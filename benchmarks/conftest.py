@@ -1,0 +1,21 @@
+"""Shared configuration for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation (section 5) and asserts its *shape* — which design wins,
+roughly by what factor, where the crossovers fall — against the
+published values.  Absolute match is not expected (the substrate is a
+functional simulation, not the authors' testbed); tolerances are stated
+per experiment.
+
+Every experiment runs exactly once per session (``benchmark.pedantic``
+with one round): the interesting measurement is the experiment's
+*output*, not the harness's wall-clock.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,162 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper tables — these quantify *why* HerQules is built the way it
+is, by switching individual mechanisms off:
+
+1. **Bounded vs naive synchronization** (section 2.2): pipelining the
+   System-Call message vs a kernel↔verifier round trip per syscall.
+2. **Compiler optimizations** (section 4.1.4): message counts with
+   store-to-load forwarding / elision / devirtualization disabled.
+3. **AMR buffer size** (sections 2.3.2, 3.1.1): verifier-wait behaviour
+   as the buffer shrinks, and FPGA message-drop detection.
+4. **Inlined vs library runtime** (section 3.2).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import run_benchmark
+from repro.compiler.passes.cfi_finalize import CFIFinalLoweringPass
+from repro.compiler.passes.cfi_initial import CFIInitialLoweringPass
+from repro.compiler.passes.devirtualize import DevirtualizationPass
+from repro.compiler.passes.elision import MessageElisionPass
+from repro.compiler.passes.stlf import StoreToLoadForwardingPass
+from repro.compiler.passes.syscall_sync import SyscallSyncPass
+from repro.core.framework import run_program
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import get_profile
+
+
+def _run_nginx(naive):
+    module = build_module(get_profile("nginx"))
+    return run_program(module, design="hq-sfestk",
+                       kill_on_violation=False,
+                       naive_synchronization=naive)
+
+
+def test_bounded_vs_naive_synchronization(benchmark, capsys):
+    """Pipelined sync must beat a per-syscall round trip, most visibly
+    on the syscall-heavy NGINX workload."""
+    def experiment():
+        return _run_nginx(naive=False), _run_nginx(naive=True)
+
+    pipelined, naive = run_once(benchmark, experiment)
+    assert pipelined.ok and naive.ok
+    assert naive.cycles["wait"] > pipelined.cycles["wait"]
+    speedup = (naive.total_cycles() - pipelined.total_cycles()) \
+        / naive.total_cycles()
+    with capsys.disabled():
+        print(f"\n=== Ablation: synchronization ===\n"
+              f"pipelined wait cycles: {pipelined.cycles['wait']:.0f}\n"
+              f"naive wait cycles:     {naive.cycles['wait']:.0f}\n"
+              f"pipelining saves {speedup:.1%} of NGINX runtime")
+    assert speedup > 0.005
+
+
+def _pipeline(stlf=True, elision=True, devirt=True):
+    passes = [CFIInitialLoweringPass()]
+    if devirt:
+        passes.append(DevirtualizationPass())
+    if stlf:
+        passes.append(StoreToLoadForwardingPass())
+    if elision:
+        passes.append(MessageElisionPass())
+    passes.extend([CFIFinalLoweringPass(), SyscallSyncPass()])
+    return passes
+
+
+def test_optimization_ablation(benchmark, capsys):
+    """Each messaging optimization reduces message volume on the
+    pointer-heavy xalancbmk workload."""
+    def experiment():
+        results = {}
+        for label, kwargs in [
+                ("full", {}),
+                ("no-stlf", {"stlf": False}),
+                ("no-elision", {"elision": False}),
+                ("no-devirt", {"devirt": False}),
+                ("none", {"stlf": False, "elision": False,
+                          "devirt": False})]:
+            module = build_module(get_profile("483.xalancbmk"))
+            results[label] = run_program(
+                module, design="hq-sfestk", kill_on_violation=False,
+                passes_override=_pipeline(**kwargs))
+        return results
+
+    results = run_once(benchmark, experiment)
+    with capsys.disabled():
+        print("\n=== Ablation: messaging optimizations ===")
+        for label, result in results.items():
+            print(f"{label:12s} messages={result.messages_sent}")
+    for result in results.values():
+        assert result.ok
+    full = results["full"].messages_sent
+    assert results["no-stlf"].messages_sent >= full
+    assert results["no-elision"].messages_sent >= full
+    assert results["none"].messages_sent >= \
+        max(results["no-stlf"].messages_sent,
+            results["no-elision"].messages_sent)
+    # At least one optimization must actually bite on this workload.
+    assert results["none"].messages_sent > full
+
+
+def test_amr_buffer_size_ablation(benchmark, capsys):
+    """A small AMR forces the MODEL sender to wait for the verifier;
+    the paper picks 1 GB precisely so this never happens."""
+    def experiment():
+        module = build_module(get_profile("483.xalancbmk"))
+        small = run_program(module, design="hq-sfestk",
+                            kill_on_violation=False,
+                            channel_kwargs={"capacity": 8})
+        module = build_module(get_profile("483.xalancbmk"))
+        large = run_program(module, design="hq-sfestk",
+                            kill_on_violation=False)
+        return small, large
+
+    small, large = run_once(benchmark, experiment)
+    assert small.ok and large.ok
+    assert small.output == large.output  # correctness is unaffected
+    assert small.cycles["wait"] > large.cycles["wait"]
+    with capsys.disabled():
+        print(f"\n=== Ablation: AMR size ===\n"
+              f"8-message buffer wait cycles: {small.cycles['wait']:.0f}\n"
+              f"default buffer wait cycles:   {large.cycles['wait']:.0f}")
+
+
+def test_fpga_drops_detected_as_integrity_violation(benchmark):
+    """Shrinking the FPGA ring forces message drops; the counter gap is
+    detected and treated as a violation (section 3.1.1)."""
+    def experiment():
+        module = build_module(get_profile("483.xalancbmk"))
+        return run_program(module, design="hq-sfestk", channel="fpga",
+                           kill_on_violation=True,
+                           channel_kwargs={"capacity": 16})
+
+    result = run_once(benchmark, experiment)
+    assert result.outcome == "killed"
+    assert any(v.kind == "message-integrity" for v in result.violations)
+
+
+def test_inlined_vs_library_runtime(benchmark, capsys):
+    """Inlining the messaging runtime lowers per-message overhead at
+    the cost of code size (section 3.2)."""
+    def experiment():
+        module = build_module(get_profile("403.gcc"))
+        inlined = run_program(module, design="hq-sfestk",
+                              kill_on_violation=False,
+                              inlined_runtime=True)
+        module = build_module(get_profile("403.gcc"))
+        library = run_program(module, design="hq-sfestk",
+                              kill_on_violation=False,
+                              inlined_runtime=False)
+        return inlined, library
+
+    inlined, library = run_once(benchmark, experiment)
+    assert inlined.ok and library.ok
+    assert inlined.messages_sent == library.messages_sent
+    assert inlined.total_cycles() < library.total_cycles()
+    with capsys.disabled():
+        delta = (library.total_cycles() - inlined.total_cycles()) \
+            / library.total_cycles()
+        print(f"\n=== Ablation: runtime linkage ===\n"
+              f"inlining saves {delta:.1%} on gcc")

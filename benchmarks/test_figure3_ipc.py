@@ -1,0 +1,37 @@
+"""Figure 3: HQ-CFI-SfeStk relative performance per IPC primitive.
+
+Paper geometric means (SPEC + NGINX): MQ 39%, FPGA 62%, MODEL 87%.
+The shape claims: software IPC (message queues) loses more than half
+its performance to system-call overhead; AppendWrite-FPGA sits in
+between (PCIe/uncached-store stalls); the uarch software model is the
+fastest.  Tolerance: ±6 points on each geomean, strict ordering.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import figure3, format_figure
+
+
+def test_figure3(benchmark, capsys):
+    figure = run_once(benchmark, figure3)
+    with capsys.disabled():
+        print("\n=== Figure 3: HQ-CFI-SfeStk by IPC primitive ===")
+        print(format_figure(figure))
+
+    by_label = {series.label: series for series in figure.series}
+    mq = by_label["HQ-CFI-SfeStk-MQ"].geomean
+    fpga = by_label["HQ-CFI-SfeStk-FPGA"].geomean
+    model = by_label["HQ-CFI-SfeStk-MODEL"].geomean
+
+    assert mq == pytest.approx(0.39, abs=0.06)
+    assert fpga == pytest.approx(0.62, abs=0.07)
+    assert model == pytest.approx(0.87, abs=0.06)
+    assert mq < fpga < model  # the crossover structure
+
+    # Benchmarks without indirect control flow are barely affected
+    # under MODEL (lbm-style), while pointer-heavy ones suffer most.
+    lbm = by_label["HQ-CFI-SfeStk-MODEL"].relative_of("470.lbm")
+    xalanc = by_label["HQ-CFI-SfeStk-MODEL"].relative_of("483.xalancbmk")
+    assert lbm > 0.95
+    assert xalanc < lbm

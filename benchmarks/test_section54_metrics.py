@@ -1,0 +1,37 @@
+"""Section 5.4 metrics: message statistics and verifier memory.
+
+The paper's numbers come from full-length SPEC ref runs; our simulated
+runs are far shorter, so absolute counts are smaller.  The reproducible
+*shape* claims asserted here:
+
+* the message-rate distribution is heavily skewed (geomean ≪ median ≪
+  max), because most benchmarks barely use indirect control flow;
+* xalancbmk-class benchmarks send the most messages in total;
+* several benchmarks hold zero verifier entries (no control-flow
+  pointers needing protection), and the entry distribution is skewed
+  (mean ≫ median).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.metrics import collect_metrics, format_summary, summarize
+
+
+def test_section54_metrics(benchmark, capsys):
+    metrics = run_once(benchmark, collect_metrics)
+    summary = summarize(metrics)
+    with capsys.disabled():
+        print("\n=== Section 5.4 metrics ===")
+        print(format_summary(summary))
+
+    # Skewed rate distribution.
+    assert summary.max_rate > summary.median_rate
+    # The biggest total-message sender is a xalancbmk variant (the
+    # paper's max: 4.76e9 total messages by xalancbmk).
+    assert "xalancbmk" in summary.max_total_benchmark
+
+    # Verifier memory: skewed, with zero-entry benchmarks present
+    # (paper: 14 benchmarks with zero entries).
+    assert summary.zero_entry_benchmarks >= 1
+    assert summary.mean_entries >= summary.median_entries
+    # Each entry is a 16-byte pointer/value pair.
+    assert summary.max_entries > 0

@@ -1,0 +1,25 @@
+"""Table 5: RIPE exploit effectiveness per design and overflow origin.
+
+Each attack genuinely executes: the victim program overflows its own
+memory with attacker input and success is judged by whether the marker
+system call runs before any defense reacts.  Counts must equal the
+paper's exactly — they are determined by which protection mechanism
+covers which corruption class.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.table5 import PAPER_TABLE5, format_table5, table5
+
+
+def test_table5(benchmark, capsys):
+    rows = run_once(benchmark, table5)
+    with capsys.disabled():
+        print("\n=== Table 5: successful RIPE exploits ===")
+        print(format_table5(rows))
+
+    for design, expected in PAPER_TABLE5.items():
+        assert rows[design] == expected, f"{design}: {rows[design]}"
+
+    totals = {design: sum(counts.values()) for design, counts in rows.items()}
+    assert totals == {"baseline": 954, "clang-cfi": 190, "ccfi": 0,
+                      "cpi": 40, "hq-sfestk": 30, "hq-retptr": 0}

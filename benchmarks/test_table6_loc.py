@@ -1,0 +1,25 @@
+"""Table 6: component sizes in lines of code.
+
+The paper's breakdown shows a small system whose largest component by
+far is the compiler ("the bulk of our compiler implementation
+consisting of optimizations") and whose smallest is the runtime.  We
+measure the same breakdown over this reproduction and assert those
+relative-weight claims.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.table6 import format_table6, table6
+
+
+def test_table6(benchmark, capsys):
+    counts = run_once(benchmark, table6)
+    with capsys.disabled():
+        print("\n=== Table 6: component sizes (LoC) ===")
+        print(format_table6(counts))
+
+    # The compiler dominates; the runtime is the smallest component.
+    assert counts["compiler"] == max(counts.values())
+    assert counts["runtime"] == min(counts.values())
+    # Every component is non-trivial.
+    for component, count in counts.items():
+        assert count > 50, f"{component} suspiciously small ({count})"

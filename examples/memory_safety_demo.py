@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Memory safety as a HerQules policy (paper section 4.2).
+
+HerQules is a *framework*: CFI is just one policy.  This example swaps
+in the memory-safety policy — the verifier tracks every allocation and
+checks every access — and demonstrates it catching a heap buffer
+overflow, a use-after-free, and a double free, each expressed as an
+ordinary program for the simulated machine.
+
+Run:  python examples/memory_safety_demo.py
+"""
+
+from repro.compiler import IRBuilder, Module
+from repro.compiler.passes.base import PassManager
+from repro.compiler.passes.memsafety import MemorySafetyPass
+from repro.compiler.passes.syscall_sync import SyscallSyncPass
+from repro.compiler.types import I64, func, ptr
+from repro.core.framework import run_program
+from repro.policies.memory_safety import MemorySafetyPolicy
+
+
+def heap_overflow_program() -> Module:
+    """Writes one word past a 16-byte heap allocation."""
+    module = Module("heap-overflow")
+    mainf = module.add_function("main", func(I64, []))
+    b = IRBuilder(mainf.add_block("entry"))
+    block = b.malloc(b.const(16), "buf")
+    past_end = b.add(b.cast(block, I64), b.const(16), "oob")
+    b.store(b.const(7), b.cast(past_end, ptr(I64)))  # out of bounds
+    b.free(block)
+    b.ret(b.const(0))
+    return module
+
+
+def use_after_free_program() -> Module:
+    module = Module("use-after-free")
+    mainf = module.add_function("main", func(I64, []))
+    b = IRBuilder(mainf.add_block("entry"))
+    block = b.malloc(b.const(16), "buf")
+    b.free(block)
+    stale = b.load(b.cast(block, ptr(I64)), "stale")  # UAF read
+    b.ret(stale)
+    return module
+
+
+def double_free_program() -> Module:
+    module = Module("double-free")
+    mainf = module.add_function("main", func(I64, []))
+    b = IRBuilder(mainf.add_block("entry"))
+    block = b.malloc(b.const(16), "buf")
+    b.free(block)
+    b.free(block)
+    b.ret(b.const(0))
+    return module
+
+
+def run_with_memory_safety(module: Module):
+    """Instrument with the memory-safety pass and run monitored."""
+    PassManager([MemorySafetyPass(check_all_accesses=True),
+                 SyscallSyncPass()]).run(module)
+    return run_program(module, design="hq-sfestk", channel="model",
+                       policy_factory=MemorySafetyPolicy,
+                       kill_on_violation=False)
+
+
+def main() -> None:
+    for builder in (heap_overflow_program, use_after_free_program,
+                    double_free_program):
+        module = builder()
+        name = module.name
+        result = run_with_memory_safety(module)
+        print(f"=== {name} ===")
+        print(f"outcome: {result.outcome}  "
+              f"(the program itself may even 'work')")
+        memory_violations = [v for v in result.violations
+                             if v.kind == "memory-safety"]
+        for violation in memory_violations:
+            print(f"verifier: {violation.detail}")
+        if not memory_violations:
+            print("verifier: no memory-safety violation (unexpected!)")
+        print()
+
+    print("With memory safety enforced, corruption cannot occur in the")
+    print("first place — CFI and shadow stacks become unnecessary")
+    print("(section 4.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure from the paper's evaluation.
+
+Runs the full experiment suite — Table 2 (IPC micro-benchmark), Table 4
+(correctness), Table 5 (RIPE effectiveness), Table 6 (component sizes),
+Figures 3/4/5 (relative performance), and the section 5.4 metrics — and
+prints each next to the paper's published values.
+
+This is the long-form version of ``pytest benchmarks/``; expect a few
+minutes of simulated execution.
+
+Run:  python examples/reproduce_paper.py            # everything
+      python examples/reproduce_paper.py table5     # one experiment
+"""
+
+import sys
+
+from repro.bench.figures import figure3, figure4, figure5, format_figure
+from repro.bench.metrics import collect_metrics, format_summary, summarize
+from repro.bench.table2 import format_table2, table2
+from repro.bench.table4 import PAPER_TABLE4, format_table4, table4
+from repro.bench.table5 import PAPER_TABLE5, format_table5, table5
+from repro.bench.table6 import format_table6, table6
+
+
+def show_table2() -> None:
+    print("\n================ Table 2: IPC primitives ================")
+    print(format_table2(table2()))
+    print("(paper, ns/send: mq 146, pipe 316, socket 346, shm 12, "
+          "lwc 2010/switch, fpga 102, uarch <2)")
+
+
+def show_table4() -> None:
+    print("\n================ Table 4: correctness ================")
+    rows = table4()
+    print(format_table4(rows))
+    print("paper:")
+    for design, (errors, fps, invalid, ok) in PAPER_TABLE4.items():
+        print(f"  {design:<16} {errors:>6} {fps:>8} {invalid:>8} {ok:>4}")
+
+
+def show_table5() -> None:
+    print("\n================ Table 5: RIPE exploits ================")
+    rows = table5()
+    print(format_table5(rows))
+    print("paper:")
+    for design, counts in PAPER_TABLE5.items():
+        total = sum(counts.values())
+        print(f"  {design:<14} {counts['bss']:>5} {counts['data']:>5} "
+              f"{counts['heap']:>5} {counts['stack']:>5} {total:>6}")
+
+
+def show_table6() -> None:
+    print("\n================ Table 6: component sizes ================")
+    print(format_table6(table6()))
+
+
+def show_figure3() -> None:
+    print("\n========== Figure 3: HQ-CFI-SfeStk by IPC primitive ==========")
+    print(format_figure(figure3()))
+    print("(paper geomeans: MQ 0.39, FPGA 0.62, MODEL 0.87)")
+
+
+def show_figure4() -> None:
+    print("\n========== Figure 4: MODEL vs SIM, train input ==========")
+    print(format_figure(figure4()))
+    print("(paper geomeans: MODEL 0.78, SIM 0.86)")
+
+
+def show_figure5() -> None:
+    print("\n========== Figure 5: all CFI designs ==========")
+    print(format_figure(figure5()))
+    print("(paper SPEC geomeans: SfeStk 0.88, RetPtr 0.55, Clang 0.94, "
+          "CCFI 0.49, CPI 0.96)")
+
+
+def show_metrics() -> None:
+    print("\n========== Section 5.4: message statistics ==========")
+    print(format_summary(summarize(collect_metrics())))
+    print("(absolute counts differ from the paper's full-length runs; "
+          "the skew and extremes are the comparable shape)")
+
+
+EXPERIMENTS = {
+    "table2": show_table2,
+    "table4": show_table4,
+    "table5": show_table5,
+    "table6": show_table6,
+    "figure3": show_figure3,
+    "figure4": show_figure4,
+    "figure5": show_figure5,
+    "metrics": show_metrics,
+}
+
+
+def main() -> None:
+    requested = sys.argv[1:] or list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; "
+              f"choose from {sorted(EXPERIMENTS)}")
+        raise SystemExit(1)
+    for name in requested:
+        EXPERIMENTS[name]()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""HerQules reproduction: hardware-enforced message queues for
+integrity-based execution policies (Chen et al., ASPLOS 2021).
+
+A functional simulation of the full HerQules stack — the AppendWrite
+IPC primitive (FPGA and microarchitectural variants), the compiler
+instrumentation, the kernel module implementing bounded asynchronous
+validation, and the verifier — plus the baseline CFI designs the paper
+compares against, a RIPE-style attack suite, and synthetic SPEC/NGINX
+workloads that regenerate every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import run_program
+    from repro.workloads.generator import build_module
+    from repro.workloads.profiles import get_profile
+
+    result = run_program(build_module(get_profile("403.gcc")),
+                         design="hq-sfestk", channel="model")
+    print(result.outcome, result.messages_sent)
+
+See ``README.md`` for the architecture overview and ``EXPERIMENTS.md``
+for paper-vs-measured results.
+"""
+
+from repro.cfi.designs import DESIGNS, DesignConfig, get_design
+from repro.core.framework import RunResult, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DESIGNS",
+    "DesignConfig",
+    "RunResult",
+    "get_design",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""The RIPE64-style attack suite (section 5.2)."""
+
+from repro.attacks.ripe import Attack, attack_matrix, run_attack, run_ripe
+
+__all__ = ["Attack", "attack_matrix", "run_attack", "run_ripe"]

@@ -1,0 +1,418 @@
+"""RIPE64-style runtime intrusion prevention evaluator (section 5.2).
+
+RIPE [110] (and its 64-bit port RIPE64 [90]) is a *self-attacking*
+program: each testcase performs a buffer overflow against itself from a
+chosen overflow **origin** (stack / heap / bss / data), corrupts a
+chosen **target** code pointer with a chosen **technique**, and then
+triggers the hijacked control transfer; the exploit "succeeds" when its
+shellcode achieves an externally visible effect (a system call).  RIPE
+emulates *disclosure attacks* against hidden safe stacks by retrieving
+return-pointer addresses through a compiler builtin.
+
+This module reconstructs that matrix on the simulated machine.  Every
+attack is genuinely executed: the victim IR program copies attacker
+input (planted into simulated memory at load time — data the compiler
+cannot see) over its own memory, and success is judged solely by
+whether the attack-marker system call (``SYS_WIN``) executed before any
+defense stopped the program.  The per-family multiplicities reproduce
+RIPE64's combination counts, whose per-origin totals under the
+uninstrumented baseline are Table 5's first row (954 = 214 BSS + 234
+data + 234 heap + 272 stack).
+
+Families:
+
+========================  ====================================================
+family                    attack shape
+========================  ====================================================
+``fp-direct``             linear overflow onto an adjacent function pointer
+``fp-indirect``           overflow corrupts a data pointer + value; the
+                          program's own write-through becomes an arbitrary
+                          write onto a function pointer elsewhere
+``ret-direct``            linear stack overflow onto the return address
+``disclosure-linear``     linear overwrite that walks from the unsafe stack
+                          into an *adjacent* safe stack (defeats CPI's
+                          layout; stopped by guard pages)
+``disclosure-arb``        ``__builtin_return_address``-style disclosure of
+                          the return slot plus an arbitrary write to it
+========================  ====================================================
+
+Function-pointer payloads come in two flavours: ``sameclass`` redirects
+to an address-taken function of the *same static type* (a
+return-into-libc-style target that type-based CFI must allow) and
+``noclass`` to a function outside every type class (shellcode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.types import ArrayType, I64, func, ptr
+from repro.core.framework import RunResult, run_program
+from repro.sim.cpu import SYS_EXECVE, SYS_WIN
+from repro.sim.loader import Image
+from repro.sim.memory import WORD_SIZE
+from repro.sim.process import HEAP_BASE, STACK_TOP
+
+ORIGINS = ("bss", "data", "heap", "stack")
+
+#: (family, payload) -> {origin: combination count}.  Totals per origin
+#: match RIPE64's successful-under-baseline counts (Table 5, row 1).
+FAMILY_COUNTS: Dict[Tuple[str, str], Dict[str, int]] = {
+    ("fp-direct", "sameclass"): {"stack": 10, "heap": 10, "data": 10, "bss": 10},
+    ("fp-indirect", "sameclass"): {"stack": 0, "heap": 40, "data": 40, "bss": 40},
+    ("fp-direct", "noclass"): {"stack": 100, "heap": 114, "data": 114, "bss": 94},
+    ("fp-indirect", "noclass"): {"stack": 20, "heap": 60, "data": 60, "bss": 60},
+    ("ret-direct", "-"): {"stack": 132, "heap": 0, "data": 0, "bss": 0},
+    ("disclosure-linear", "-"): {"stack": 10, "heap": 0, "data": 0, "bss": 0},
+    ("disclosure-arb", "-"): {"stack": 0, "heap": 10, "data": 10, "bss": 10},
+}
+
+
+@dataclass(frozen=True)
+class Attack:
+    """One RIPE testcase."""
+
+    family: str
+    payload: str
+    origin: str
+    variant: int = 0
+
+    @property
+    def buf_words(self) -> int:
+        """Victim buffer size varies across variants, as in RIPE."""
+        return 2 + self.variant % 3
+
+
+def attack_matrix(dedup: bool = False) -> List[Attack]:
+    """Enumerate the full matrix (or one representative per family)."""
+    attacks: List[Attack] = []
+    for (family, payload), counts in FAMILY_COUNTS.items():
+        for origin, count in counts.items():
+            if count == 0:
+                continue
+            n = 1 if dedup else count
+            attacks.extend(Attack(family, payload, origin, variant)
+                           for variant in range(n))
+    return attacks
+
+
+def family_count(attack: Attack) -> int:
+    """Combination count of the attack's family at its origin."""
+    return FAMILY_COUNTS[(attack.family, attack.payload)][attack.origin]
+
+
+# ---------------------------------------------------------------------------
+# Victim construction
+# ---------------------------------------------------------------------------
+
+PreRun = Callable[[Image, object], None]
+
+
+def _payload_functions(module: ir.Module, sig) -> Tuple[ir.Function, ir.Function, ir.Function]:
+    """legit target + the two payload targets (sameclass / noclass)."""
+    legit = module.add_function("legit", sig)
+    b = IRBuilder(legit.add_block("entry"))
+    b.ret(b.mul(legit.params[0], b.const(2)))
+
+    # Return-into-libc-style target: address-taken, same static type as
+    # the legitimate callee, so type-class CFI must allow it.
+    libc_system = module.add_function("libc_system", sig)
+    libc_system.address_taken = True
+    b = IRBuilder(libc_system.add_block("entry"))
+    b.syscall(SYS_WIN, [])
+    b.ret(b.const(0))
+
+    # Shellcode-style target: different type, not address-taken.
+    shellcode = module.add_function("shellcode", func(I64, [I64, I64, I64]))
+    b = IRBuilder(shellcode.add_block("entry"))
+    b.syscall(SYS_WIN, [])
+    b.ret(b.const(0))
+    return legit, libc_system, shellcode
+
+
+def _payload_name(attack: Attack) -> str:
+    return "libc_system" if attack.payload == "sameclass" else "shellcode"
+
+
+def build_victim(attack: Attack) -> Tuple[ir.Module, PreRun]:
+    """Build the victim module and the attacker-input planting hook."""
+    builders = {
+        "fp-direct": _build_fp_direct,
+        "fp-indirect": _build_fp_indirect,
+        "ret-direct": _build_ret_direct,
+        "disclosure-linear": _build_disclosure_linear,
+        "disclosure-arb": _build_disclosure_arb,
+    }
+    return builders[attack.family](attack)
+
+
+def _input_global(module: ir.Module, words: int = 16) -> ir.GlobalVariable:
+    """The attacker-controlled input buffer (stands in for stdin/recv)."""
+    return module.add_global("attacker_input", ArrayType(I64, words),
+                             initializer=[ir.Constant(0)] * words)
+
+
+def _plant(image: Image, words: List[int]) -> None:
+    base = image.global_address["attacker_input"]
+    for i, word in enumerate(words):
+        image.process.memory.store_physical(base + i * WORD_SIZE, word)
+
+
+def _region_slots(attack: Attack, module: ir.Module, b: IRBuilder,
+                  n_slots: int) -> Tuple[List[ir.Value], Callable[[Image], int]]:
+    """Allocate ``n_slots`` adjacent word slots in the origin region.
+
+    Returns (slot pointer values, base-address resolver).  Slot ``i``
+    lives at ``base + i * 8``; a linear overflow starting at slot 0
+    reaches all of them.
+    """
+    if attack.origin == "stack":
+        allocas = [b.alloca(I64, f"slot{i}") for i in range(n_slots)]
+        # Stack layout is deterministic: resolved at plant time via the
+        # knowledge that these are main's first allocas.
+        return allocas, lambda image: -1  # resolver unused for stack
+    if attack.origin == "heap":
+        pointers = []
+        for i in range(n_slots):
+            pointers.append(b.malloc(b.const(WORD_SIZE), f"h{i}"))
+        return pointers, lambda image: HEAP_BASE
+    # bss / data: one global array, slots are its elements.
+    initializer = [ir.Constant(0)] * n_slots if attack.origin == "data" else None
+    region = module.add_global("victim_region", ArrayType(I64, n_slots),
+                               initializer=initializer)
+    slots = [b.gep_index(region, b.const(i), f"g{i}") for i in range(n_slots)]
+    return slots, lambda image: image.global_address["victim_region"]
+
+
+def _overflow_copy(b: IRBuilder, inp: ir.GlobalVariable,
+                   dst: ir.Value, max_words: int) -> None:
+    """The vulnerability: copy ``input[0]`` words from ``input[1:]`` to
+    ``dst`` with no bounds check (the attacker controls the length)."""
+    length = b.load(b.gep_index(inp, b.const(0)), "n")
+    src = b.gep_index(inp, b.const(1), "src")
+    b.memcpy(dst, src, b.mul(length, b.const(WORD_SIZE)))
+
+
+def _build_fp_direct(attack: Attack) -> Tuple[ir.Module, PreRun]:
+    """Linear overflow onto an adjacent function pointer."""
+    module = ir.Module(f"ripe-{attack.family}-{attack.origin}-{attack.payload}")
+    sig = func(I64, [I64])
+    legit, _, _ = _payload_functions(module, sig)
+    inp = _input_global(module)
+    n = attack.buf_words
+
+    mainf = module.add_function("main", func(I64, []))
+    b = IRBuilder(mainf.add_block("entry"))
+    slots, resolve_base = _region_slots(attack, module, b, n + 1)
+    fp_slot = b.cast(slots[n], ptr(ptr(sig)), "fp_slot")
+    b.store(ir.FunctionRef(legit), fp_slot)
+    _overflow_copy(b, inp, slots[0], n + 1)
+    fpv = b.load(fp_slot, "fpv")
+    result = b.icall(fpv, [b.const(7)], sig, "res")
+    b.syscall(1, [b.const(1), result, b.const(8)])
+    b.ret(result)
+
+    def pre_run(image: Image, interp) -> None:
+        target = image.function_address[_payload_name(attack)]
+        payload = [n + 1] + [0x41] * n + [target]
+        _plant(image, payload)
+
+    return module, pre_run
+
+
+def _build_fp_indirect(attack: Attack) -> Tuple[ir.Module, PreRun]:
+    """Overflow corrupts (pointer, value); the program's own write
+    through the pointer becomes an arbitrary write onto a function
+    pointer stored elsewhere (here: a data-segment global)."""
+    module = ir.Module(f"ripe-{attack.family}-{attack.origin}-{attack.payload}")
+    sig = func(I64, [I64])
+    legit, _, _ = _payload_functions(module, sig)
+    inp = _input_global(module)
+    g_fp = module.add_global("g_fp", ptr(sig), initializer=[ir.Constant(0)])
+    dummy = module.add_global("dummy", I64, initializer=[ir.Constant(0)])
+    n = attack.buf_words
+
+    mainf = module.add_function("main", func(I64, []))
+    b = IRBuilder(mainf.add_block("entry"))
+    # Region layout: [buf x n][dst_ptr][val]
+    slots, resolve_base = _region_slots(attack, module, b, n + 2)
+    dst_slot, val_slot = slots[n], slots[n + 1]
+    b.store(b.cast(dummy, I64, "dummy_addr"), dst_slot)
+    b.store(ir.FunctionRef(legit), b.cast(g_fp, ptr(ptr(sig)), "gfp"))
+    _overflow_copy(b, inp, slots[0], n + 2)
+    # The program's own (now attacker-directed) write-through:
+    dst = b.load(dst_slot, "dst")
+    val = b.load(val_slot, "val")
+    b.store(val, b.cast(dst, ptr(I64), "dstp"))
+    fpv = b.load(b.cast(g_fp, ptr(ptr(sig)), "gfp2"), "fpv")
+    result = b.icall(fpv, [b.const(7)], sig, "res")
+    b.syscall(1, [b.const(1), result, b.const(8)])
+    b.ret(result)
+
+    def pre_run(image: Image, interp) -> None:
+        target = image.function_address[_payload_name(attack)]
+        fp_address = image.global_address["g_fp"]
+        payload = [n + 2] + [0x41] * n + [fp_address, target]
+        _plant(image, payload)
+
+    return module, pre_run
+
+
+def _build_ret_direct(attack: Attack) -> Tuple[ir.Module, PreRun]:
+    """Classic stack smash: linear overflow up to the return address."""
+    module = ir.Module(f"ripe-{attack.family}-{attack.origin}")
+    sig = func(I64, [I64])
+    _payload_functions(module, sig)
+    inp = _input_global(module)
+    n = attack.buf_words
+
+    vuln = module.add_function("vuln", func(I64, []))
+    b = IRBuilder(vuln.add_block("entry"))
+    buf = b.alloca(ArrayType(I64, n), "buf")
+    _overflow_copy(b, inp, buf, n + 1)
+    b.ret(b.const(0))
+
+    mainf = module.add_function("main", func(I64, []))
+    b = IRBuilder(mainf.add_block("entry"))
+    b.call(vuln, [], "r")
+    b.syscall(1, [b.const(1), b.const(0), b.const(8)])
+    b.ret(b.const(0))
+
+    def pre_run(image: Image, interp) -> None:
+        target = image.function_address[_payload_name(attack)
+                                        if attack.payload != "-" else "shellcode"]
+        # vuln's frame: [buf x n][saved return address]
+        payload = [n + 1] + [0x41] * n + [target]
+        _plant(image, payload)
+
+    return module, pre_run
+
+
+def _build_disclosure_linear(attack: Attack) -> Tuple[ir.Module, PreRun]:
+    """Linear overwrite sweeping from a stack buffer toward the saved
+    return address — wherever the design put it.  With CPI's adjacent
+    safe stack the sweep walks straight into the safe region; guard
+    pages (Clang, HQ-SfeStk) or a non-adjacent hidden mapping stop it.
+    The sweep length and fill value come from attacker input."""
+    module = ir.Module(f"ripe-{attack.family}-{attack.origin}")
+    sig = func(I64, [I64])
+    _payload_functions(module, sig)
+    inp = _input_global(module)
+    n = attack.buf_words
+
+    vuln = module.add_function("vuln", func(I64, []))
+    b = IRBuilder(vuln.add_block("entry"))
+    buf = b.alloca(ArrayType(I64, n), "buf")
+    sweep_words = b.load(b.gep_index(inp, b.const(0)), "sweep")
+    fill = b.load(b.gep_index(inp, b.const(1)), "fill")
+    b.memset(buf, fill, b.mul(sweep_words, b.const(WORD_SIZE)))
+    b.ret(b.const(0))
+
+    mainf = module.add_function("main", func(I64, []))
+    b = IRBuilder(mainf.add_block("entry"))
+    b.call(vuln, [], "r")
+    b.syscall(1, [b.const(1), b.const(0), b.const(8)])
+    b.ret(b.const(0))
+
+    def pre_run(image: Image, interp) -> None:
+        target = image.function_address["shellcode"]
+        # vuln's buf address: main has no allocas; main's call pushes the
+        # return slot at STACK_TOP - 8 (non-safe-stack designs), then
+        # vuln's frame sits below it.
+        options = interp.options
+        if options.safe_stack:
+            buf_address = STACK_TOP - n * WORD_SIZE
+        else:
+            buf_address = STACK_TOP - WORD_SIZE - n * WORD_SIZE
+        if options.safe_stack and interp.safe_stack_base is not None:
+            # Disclosure: sweep far enough to cover the safe region.
+            end = interp.safe_stack_base + (1 << 16)
+        else:
+            # Classic: just past the adjacent return slot.
+            end = buf_address + (n + 1) * WORD_SIZE
+        sweep_words = max((end - buf_address) // WORD_SIZE, n + 1)
+        _plant(image, [sweep_words, target])
+
+    return module, pre_run
+
+
+def _build_disclosure_arb(attack: Attack) -> Tuple[ir.Module, PreRun]:
+    """Disclose the return slot via the builtin, then write to it.
+
+    The overflow (in the origin region) supplies the value to write;
+    the victim then performs the write-through itself — RIPE's
+    self-attack structure with ``__builtin_return_address``."""
+    module = ir.Module(f"ripe-{attack.family}-{attack.origin}")
+    sig = func(I64, [I64])
+    _payload_functions(module, sig)
+    inp = _input_global(module)
+    n = attack.buf_words
+
+    mainf = module.add_function("main", func(I64, []))
+    bm = IRBuilder(mainf.add_block("entry"))
+    slots, resolve_base = _region_slots(attack, module, bm, n + 1)
+    val_slot = slots[n]
+    bm.store(bm.const(0), val_slot)
+    _overflow_copy(bm, inp, slots[0], n + 1)
+    value = bm.load(val_slot, "val")
+
+    vuln = module.add_function("vuln", func(I64, [I64]))
+    b = IRBuilder(vuln.add_block("entry"))
+    scratch = b.alloca(I64, "scratch")
+    b.store(vuln.params[0], scratch)
+    slot = b._emit(ir.RuntimeCall("builtin_ret_slot", [], I64, "slot"))
+    b.store(b.load(scratch, "v2"), b.cast(slot, ptr(I64), "slotp"))
+    b.ret(b.const(0))
+
+    bm.call(vuln, [value], "r")
+    bm.syscall(1, [bm.const(1), bm.const(0), bm.const(8)])
+    bm.ret(bm.const(0))
+
+    def pre_run(image: Image, interp) -> None:
+        target = image.function_address["shellcode"]
+        payload = [n + 1] + [0x41] * n + [target]
+        _plant(image, payload)
+
+    return module, pre_run
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def run_attack(attack: Attack, design: str, channel: str = "model") -> RunResult:
+    """Execute one attack under one design; ASLR off, execve exempt from
+    synchronization, exactly as section 5.2 configures."""
+    module, pre_run = build_victim(attack)
+    return run_program(
+        module, design=design, channel=channel,
+        kill_on_violation=True,
+        sync_exempt_syscalls={SYS_EXECVE},
+        aslr=False,
+        pre_run=pre_run)
+
+
+def attack_succeeded(result: RunResult) -> bool:
+    """RIPE's criterion: the exploit achieved its externally visible
+    effect (the marker system call ran)."""
+    return result.win_executed
+
+
+def run_ripe(design: str, channel: str = "model",
+             dedup: bool = True) -> Dict[str, int]:
+    """Run the matrix under ``design``; returns successful-exploit
+    counts per origin (a Table 5 row).
+
+    With ``dedup=True`` one representative per (family, origin) runs and
+    its family count is credited on success — combination members are
+    behaviourally identical under a given design, as in RIPE itself.
+    """
+    successes = {origin: 0 for origin in ORIGINS}
+    for attack in attack_matrix(dedup=dedup):
+        result = run_attack(attack, design, channel)
+        if attack_succeeded(result):
+            successes[attack.origin] += (family_count(attack) if dedup else 1)
+    return successes

@@ -1,0 +1,12 @@
+"""Experiment harness: the paper's tables and figures."""
+
+from repro.bench.harness import (
+    correctness_table,
+    perf_sweep,
+    relative_performance,
+    run_benchmark,
+    sweep_geomean,
+)
+
+__all__ = ["correctness_table", "perf_sweep", "relative_performance",
+           "run_benchmark", "sweep_geomean"]

@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro.bench [experiment ...]``.
+
+Regenerates the paper's tables and figures (all by default) and prints
+each alongside the published values.  Individual experiments:
+``table2 table4 table5 table6 figure3 figure4 figure5 metrics``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def show_table2() -> None:
+    from repro.bench.table2 import format_table2, table2
+    print("\n================ Table 2: IPC primitives ================")
+    print(format_table2(table2()))
+    print("(paper, ns/send: mq 146, pipe 316, socket 346, shm 12, "
+          "lwc 2010/switch, fpga 102, uarch <2)")
+
+
+def show_table4() -> None:
+    from repro.bench.table4 import PAPER_TABLE4, format_table4, table4
+    print("\n================ Table 4: correctness ================")
+    print(format_table4(table4()))
+    print("paper:")
+    for design, (errors, fps, invalid, ok) in PAPER_TABLE4.items():
+        print(f"  {design:<16} {errors:>6} {fps:>8} {invalid:>8} {ok:>4}")
+
+
+def show_table5() -> None:
+    from repro.bench.table5 import PAPER_TABLE5, format_table5, table5
+    print("\n================ Table 5: RIPE exploits ================")
+    print(format_table5(table5()))
+    print("paper:")
+    for design, counts in PAPER_TABLE5.items():
+        print(f"  {design:<14} {counts['bss']:>5} {counts['data']:>5} "
+              f"{counts['heap']:>5} {counts['stack']:>5} "
+              f"{sum(counts.values()):>6}")
+
+
+def show_table6() -> None:
+    from repro.bench.table6 import format_table6, table6
+    print("\n================ Table 6: component sizes ================")
+    print(format_table6(table6()))
+
+
+def show_figure3() -> None:
+    from repro.bench.figures import figure3, format_figure
+    print("\n========== Figure 3: HQ-CFI-SfeStk by IPC primitive =====")
+    print(format_figure(figure3()))
+    print("(paper geomeans: MQ 0.39, FPGA 0.62, MODEL 0.87)")
+
+
+def show_figure4() -> None:
+    from repro.bench.figures import figure4, format_figure
+    print("\n========== Figure 4: MODEL vs SIM, train input ==========")
+    print(format_figure(figure4()))
+    print("(paper geomeans: MODEL 0.78, SIM 0.86)")
+
+
+def show_figure5() -> None:
+    from repro.bench.figures import figure5, format_figure
+    print("\n========== Figure 5: all CFI designs ==========")
+    print(format_figure(figure5()))
+    print("(paper SPEC geomeans: SfeStk 0.88, RetPtr 0.55, Clang 0.94, "
+          "CCFI 0.49, CPI 0.96)")
+
+
+def show_metrics() -> None:
+    from repro.bench.metrics import collect_metrics, format_summary, summarize
+    print("\n========== Section 5.4: message statistics ==========")
+    print(format_summary(summarize(collect_metrics())))
+
+
+EXPERIMENTS = {
+    "table2": show_table2,
+    "table4": show_table4,
+    "table5": show_table5,
+    "table6": show_table6,
+    "figure3": show_figure3,
+    "figure4": show_figure4,
+    "figure5": show_figure5,
+    "metrics": show_metrics,
+}
+
+
+def main(argv=None) -> int:
+    requested = (argv if argv is not None else sys.argv[1:]) \
+        or list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; "
+              f"choose from {sorted(EXPERIMENTS)}")
+        return 1
+    for name in requested:
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Figures 3, 4, and 5: per-benchmark relative-performance series.
+
+Each figure function returns the per-benchmark series the paper plots
+(sorted the way the paper sorts them) plus the geometric means, and a
+text renderer prints them as aligned columns — the closest sensible
+rendering of a bar chart in a terminal.
+
+* **Figure 3** — HQ-CFI-SfeStk under different IPC primitives (POSIX
+  message queue vs AppendWrite-FPGA vs the AppendWrite-uarch software
+  model), SPEC ref + NGINX.  Paper geomeans: MQ 39%, FPGA 62%,
+  MODEL 87%.
+* **Figure 4** — the AppendWrite-uarch software model vs the ZSim-style
+  hardware simulation on the *train* input (userspace-cycles-only
+  accounting).  Paper geomeans: MODEL 78%, SIM 86%; NGINX omitted
+  (I/O-bound).
+* **Figure 5** — all five CFI designs on SPEC ref + NGINX.  Paper SPEC
+  geomeans: HQ-SfeStk 88%, HQ-RetPtr 55%, Clang CFI 94%, CCFI 49%,
+  CPI 96%; NGINX: 79/62/97/78/96.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.harness import PerfPoint, perf_sweep, sweep_geomean
+from repro.sim.cycles import AccountingMode
+from repro.workloads.profiles import PROFILES, spec_profiles
+
+
+@dataclass
+class FigureSeries:
+    """One bar series: configuration label → per-benchmark points."""
+
+    label: str
+    points: List[PerfPoint]
+
+    @property
+    def geomean(self) -> float:
+        return sweep_geomean(self.points)
+
+    def relative_of(self, benchmark: str) -> Optional[float]:
+        for point in self.points:
+            if point.benchmark == benchmark:
+                return point.relative
+        return None
+
+
+@dataclass
+class Figure:
+    """A whole figure: several series over a common benchmark axis."""
+
+    name: str
+    series: List[FigureSeries]
+    sort_by: str = ""
+
+    def benchmarks(self) -> List[str]:
+        """Benchmark axis, sorted ascending by the ``sort_by`` series
+        (the paper sorts on HQ-CFI-SfeStk-MODEL, left to right)."""
+        names = [p.benchmark for p in self.series[0].points]
+        key_series = next((s for s in self.series if s.label == self.sort_by),
+                          self.series[0])
+
+        def key(name: str) -> float:
+            value = key_series.relative_of(name)
+            return value if value is not None else 2.0
+        return sorted(names, key=key)
+
+
+def figure3(benchmarks: Optional[List[str]] = None) -> Figure:
+    """HQ-CFI-SfeStk relative performance per IPC primitive."""
+    names = benchmarks or [p.name for p in PROFILES]
+    series = [
+        FigureSeries("HQ-CFI-SfeStk-MQ",
+                     perf_sweep("hq-sfestk", channel="mq", benchmarks=names)),
+        FigureSeries("HQ-CFI-SfeStk-FPGA",
+                     perf_sweep("hq-sfestk", channel="fpga",
+                                benchmarks=names)),
+        FigureSeries("HQ-CFI-SfeStk-MODEL",
+                     perf_sweep("hq-sfestk", channel="model",
+                                benchmarks=names)),
+    ]
+    return Figure("figure3", series, sort_by="HQ-CFI-SfeStk-MODEL")
+
+
+def figure4(benchmarks: Optional[List[str]] = None) -> Figure:
+    """MODEL vs SIM on the train input (NGINX omitted, as in the paper)."""
+    names = benchmarks or [p.name for p in spec_profiles()]
+    series = [
+        FigureSeries("HQ-CFI-SfeStk-MODEL-Train",
+                     perf_sweep("hq-sfestk", channel="model",
+                                dataset="train", benchmarks=names)),
+        FigureSeries("HQ-CFI-SfeStk-SIM-Train",
+                     perf_sweep("hq-sfestk", channel="sim", dataset="train",
+                                benchmarks=names,
+                                accounting=AccountingMode.SIM)),
+    ]
+    return Figure("figure4", series, sort_by="HQ-CFI-SfeStk-MODEL-Train")
+
+
+def figure5(benchmarks: Optional[List[str]] = None) -> Figure:
+    """All CFI designs on SPEC ref + NGINX."""
+    names = benchmarks or [p.name for p in PROFILES]
+    series = [
+        FigureSeries("HQ-CFI-SfeStk-MODEL",
+                     perf_sweep("hq-sfestk", channel="model",
+                                benchmarks=names)),
+        FigureSeries("HQ-CFI-RetPtr-MODEL",
+                     perf_sweep("hq-retptr", channel="model",
+                                benchmarks=names)),
+        FigureSeries("Clang/LLVM CFI",
+                     perf_sweep("clang-cfi", benchmarks=names)),
+        FigureSeries("CCFI", perf_sweep("ccfi", benchmarks=names)),
+        FigureSeries("CPI", perf_sweep("cpi", benchmarks=names)),
+    ]
+    return Figure("figure5", series, sort_by="HQ-CFI-SfeStk-MODEL")
+
+
+def format_figure(figure: Figure) -> str:
+    """Render the figure as an aligned text table, sorted as the paper
+    sorts, with geometric means in the footer."""
+    width = max(len(s.label) for s in figure.series)
+    header = f"{'benchmark':<18}" + "".join(
+        f"{s.label:>{width + 2}}" for s in figure.series)
+    lines = [header]
+    for benchmark in figure.benchmarks():
+        cells = []
+        for series in figure.series:
+            value = series.relative_of(benchmark)
+            cells.append(f"{value:.2f}" if value is not None else "excl")
+        lines.append(f"{benchmark:<18}" + "".join(
+            f"{cell:>{width + 2}}" for cell in cells))
+    geos = [f"{s.geomean:.3f}" for s in figure.series]
+    lines.append(f"{'GEOMEAN':<18}" + "".join(
+        f"{geo:>{width + 2}}" for geo in geos))
+    return "\n".join(lines)

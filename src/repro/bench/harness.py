@@ -1,0 +1,224 @@
+"""Experiment harness: runs benchmarks under designs, computes the
+paper's metrics (relative performance, correctness categories, message
+statistics), and aggregates them into the tables and figures of
+section 5.
+
+Key conventions from the paper:
+
+* every design is normalized against a **version-specific baseline**
+  (CCFI/CPI are built on legacy Clang 3.x, everything else on modern
+  Clang 10), so relative performance and output comparison use the
+  matching baseline build;
+* correctness and performance runs *continue after policy violations*
+  (``kill_on_violation=False``) because of the baselines' false
+  positives; only the RIPE effectiveness runs kill;
+* relative performance is ``baseline_time / design_time`` for SPEC
+  (execution time) and equivalently throughput ratio for NGINX.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.framework import RunResult, run_program
+from repro.sim.cycles import AccountingMode
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import (
+    PROFILES,
+    BenchmarkProfile,
+    get_profile,
+    spec_profiles,
+)
+
+#: Designs built with the legacy Clang 3.x toolchain (section 5).
+#: ``baseline-ccfi``/``baseline-cpi`` are Table 4's version-specific
+#: baselines: uninstrumented, but built with the legacy toolchain.
+LEGACY_DESIGNS = {"ccfi", "cpi", "baseline-ccfi", "baseline-cpi"}
+
+
+def compiler_for(design: str) -> str:
+    """Toolchain generation used to build benchmarks for ``design``."""
+    return "legacy" if design in LEGACY_DESIGNS else "modern"
+
+
+def real_design(design: str) -> str:
+    """Resolve Table 4 baseline aliases to the underlying design."""
+    if design in ("baseline-ccfi", "baseline-cpi"):
+        return "baseline"
+    return design
+
+
+def run_benchmark(name: str, design: str, channel: str = "model",
+                  dataset: str = "ref",
+                  accounting: AccountingMode = AccountingMode.MODEL,
+                  max_steps: int = 10_000_000) -> RunResult:
+    """Run one benchmark under one design (continue-on-violation mode)."""
+    profile = get_profile(name)
+    module = build_module(profile, dataset=dataset,
+                          compiler=compiler_for(design))
+    return run_program(module, design=real_design(design), channel=channel,
+                       kill_on_violation=False, max_steps=max_steps)
+
+
+@dataclass
+class PerfPoint:
+    """Relative performance of one benchmark under one design."""
+
+    benchmark: str
+    design: str
+    channel: Optional[str]
+    relative: Optional[float]       # None when the run failed
+    baseline_cycles: float = 0.0
+    design_cycles: float = 0.0
+    messages: int = 0
+    excluded_reason: str = ""
+
+
+def relative_performance(name: str, design: str, channel: str = "model",
+                         dataset: str = "ref",
+                         accounting: AccountingMode = AccountingMode.MODEL
+                         ) -> PerfPoint:
+    """Relative performance vs the version-specific baseline.
+
+    Benchmarks that error or produce invalid output under the design are
+    excluded from means, exactly as in section 5.3.2 ("we omit
+    measurements for benchmarks that encounter errors or produce
+    invalid output, but not if only false positives are emitted").
+    """
+    base = run_benchmark(name, "baseline", dataset=dataset)
+    # Version-specific baseline for legacy designs.
+    if design in LEGACY_DESIGNS:
+        profile = get_profile(name)
+        module = build_module(profile, dataset=dataset, compiler="legacy")
+        base = run_program(module, design="baseline",
+                           kill_on_violation=False)
+    result = run_benchmark(name, design, channel=channel, dataset=dataset)
+
+    point = PerfPoint(benchmark=name, design=design,
+                      channel=result.channel, relative=None,
+                      messages=result.messages_sent)
+    if not base.ok:
+        point.excluded_reason = f"baseline failed: {base.outcome}"
+        return point
+    if not result.ok:
+        point.excluded_reason = result.outcome
+        return point
+    if result.output != base.output:
+        point.excluded_reason = "invalid output"
+        return point
+    point.baseline_cycles = base.total_cycles(accounting)
+    point.design_cycles = result.total_cycles(accounting)
+    if point.design_cycles > 0:
+        point.relative = point.baseline_cycles / point.design_cycles
+    return point
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on an empty sequence."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def perf_sweep(design: str, channel: str = "model", dataset: str = "ref",
+               benchmarks: Optional[List[str]] = None,
+               accounting: AccountingMode = AccountingMode.MODEL
+               ) -> List[PerfPoint]:
+    """Relative performance of every benchmark under one design."""
+    names = benchmarks or [p.name for p in PROFILES]
+    return [relative_performance(name, design, channel, dataset, accounting)
+            for name in names]
+
+
+def sweep_geomean(points: List[PerfPoint]) -> float:
+    """Geometric mean over the included (non-excluded) points."""
+    return geometric_mean([p.relative for p in points
+                           if p.relative is not None])
+
+
+# ---------------------------------------------------------------------------
+# Correctness classification (Table 4)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CorrectnessRecord:
+    """Table 4 categories for one benchmark under one design.
+
+    Categories are not mutually exclusive (a run can emit false
+    positives and then crash).  ``true_positive`` marks violations on
+    benchmarks with a *known real bug* (the omnetpp use-after-free) —
+    discoveries, not false positives.
+    """
+
+    benchmark: str
+    design: str
+    error: bool = False
+    false_positive: bool = False
+    invalid: bool = False
+    true_positive: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not (self.error or self.false_positive or self.invalid)
+
+
+def classify_correctness(name: str, design: str,
+                         channel: str = "model") -> CorrectnessRecord:
+    """Run and classify one benchmark per Table 4's taxonomy."""
+    profile = get_profile(name)
+    compiler = compiler_for(design)
+    # The reference output comes from the version-specific baseline.
+    base_module = build_module(profile, compiler=compiler)
+    base = run_program(base_module, design="baseline",
+                       kill_on_violation=False)
+    result = run_benchmark(name, design, channel=channel)
+
+    record = CorrectnessRecord(benchmark=name, design=design)
+    record.error = not result.ok
+    if result.ok and base.ok and result.output != base.output:
+        record.invalid = True
+    if record.error and result.output:
+        # The run died after emitting output: what exists is truncated
+        # or corrupt, so the result is also invalid.  A run that died
+        # before producing any output counts as an error only.
+        record.invalid = True
+
+    violated = bool(result.violations) or result.runtime_violations > 0
+    if violated:
+        if profile.has("static_init_uaf") and design.startswith("hq"):
+            # HQ-CFI's use-after-free discovery: a real bug (section
+            # 5.2), not a false positive.
+            record.true_positive = True
+        else:
+            record.false_positive = True
+    return record
+
+
+@dataclass
+class Table4Row:
+    """One row of Table 4."""
+
+    design: str
+    errors: int = 0
+    false_positives: int = 0
+    invalid: int = 0
+    ok: int = 0
+    true_positives: int = 0
+
+
+def correctness_table(design: str, channel: str = "model",
+                      benchmarks: Optional[List[str]] = None) -> Table4Row:
+    """Aggregate Table 4 counts for one design."""
+    names = benchmarks or [p.name for p in PROFILES]
+    row = Table4Row(design=design)
+    for name in names:
+        record = classify_correctness(name, design, channel)
+        row.errors += record.error
+        row.false_positives += record.false_positive
+        row.invalid += record.invalid
+        row.ok += record.ok
+        row.true_positives += record.true_positive
+    return row

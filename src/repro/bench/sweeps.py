@@ -1,0 +1,164 @@
+"""Sensitivity sweeps: where do the IPC primitives cross over?
+
+The paper's Figure 3 fixes the workloads and varies the primitive; this
+analysis (an extension, not a paper figure) fixes the program shape and
+sweeps the *instrumentation density* — protected events per thousand
+iterations — to map each primitive's viability envelope:
+
+* at which density does each primitive drop below a target relative
+  performance (e.g. the classic "5% overhead" deployability bar)?
+* how does the MQ/FPGA/MODEL gap widen as density grows?
+
+It also contains the memory-safety-vs-CFI overhead comparison for the
+section 4.2 policy, quantifying the paper's remark that full memory
+safety subsumes CFI — at a price.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler.passes.base import PassManager
+from repro.compiler.passes.memsafety import MemorySafetyPass
+from repro.compiler.passes.syscall_sync import SyscallSyncPass
+from repro.core.framework import run_program
+from repro.policies.memory_safety import MemorySafetyPolicy
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Densities swept (indirect calls + fn-ptr writes per 1000 iterations).
+DEFAULT_DENSITIES = (0, 50, 150, 400, 1000, 2500)
+
+
+def _sweep_profile(density: int) -> BenchmarkProfile:
+    """A fixed compute shape with variable pointer-event density."""
+    return BenchmarkProfile(
+        name=f"sweep-{density}",
+        suite="CPU2017",
+        language="C",
+        iterations=300,
+        compute_ops=120,
+        icalls_per_k=density,
+        fnptr_writes_per_k=density,
+        protected_calls_per_k=0,
+        # No periodic output: density is the only variable, and the
+        # single final syscall keeps synchronization cost constant.
+        syscalls_per_k=0,
+    )
+
+
+@dataclass
+class SweepPoint:
+    """Relative performance of one primitive at one density."""
+
+    density: int
+    primitive: str
+    relative: float
+    messages: int
+
+
+def density_sweep(primitives: Optional[List[str]] = None,
+                  densities: Optional[List[int]] = None) -> List[SweepPoint]:
+    """Run the sweep; returns one point per (density, primitive)."""
+    primitives = primitives or ["mq", "fpga", "model", "sim"]
+    densities = list(densities or DEFAULT_DENSITIES)
+    points: List[SweepPoint] = []
+    for density in densities:
+        profile = _sweep_profile(density)
+        baseline = run_program(build_module(profile), design="baseline")
+        base_cycles = baseline.total_cycles()
+        for primitive in primitives:
+            result = run_program(build_module(profile),
+                                 design="hq-sfestk", channel=primitive,
+                                 kill_on_violation=False)
+            points.append(SweepPoint(
+                density=density,
+                primitive=primitive,
+                relative=base_cycles / result.total_cycles(),
+                messages=result.messages_sent))
+    return points
+
+
+def crossover_density(points: List[SweepPoint], primitive: str,
+                      floor: float = 0.95) -> Optional[int]:
+    """The lowest swept density at which ``primitive`` falls below
+    ``floor`` relative performance (None if it never does)."""
+    for point in sorted((p for p in points if p.primitive == primitive),
+                        key=lambda p: p.density):
+        if point.relative < floor:
+            return point.density
+    return None
+
+
+def format_sweep(points: List[SweepPoint]) -> str:
+    """Render the sweep as a density × primitive table."""
+    primitives = sorted({p.primitive for p in points})
+    densities = sorted({p.density for p in points})
+    by_key: Dict[tuple, SweepPoint] = {
+        (p.density, p.primitive): p for p in points}
+    lines = [f"{'events/k iter':>13}" + "".join(f"{prim:>9}"
+                                                for prim in primitives)]
+    for density in densities:
+        cells = "".join(
+            f"{by_key[(density, prim)].relative:>9.3f}"
+            for prim in primitives)
+        lines.append(f"{density:>13}" + cells)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Memory safety vs CFI (section 4.2 extension)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PolicyCost:
+    """Overhead of one policy on one workload."""
+
+    policy: str
+    relative: float
+    messages: int
+
+
+def memory_safety_vs_cfi(density: int = 400) -> List[PolicyCost]:
+    """Compare HQ-CFI against the full memory-safety policy on the same
+    workload.  Memory safety checks *every* access, so it subsumes CFI
+    (section 4.2: "eliminates the need for mitigations such as
+    control-flow integrity") — at a much higher message volume."""
+    profile = _sweep_profile(density)
+    profile = dataclasses.replace(profile, heap_ops_per_k=200)
+
+    baseline = run_program(build_module(profile), design="baseline")
+    base_cycles = baseline.total_cycles()
+
+    cfi = run_program(build_module(profile), design="hq-sfestk",
+                      kill_on_violation=False)
+
+    memsafety_module = build_module(profile)
+    PassManager([MemorySafetyPass(check_all_accesses=True),
+                 SyscallSyncPass()]).run(
+        memsafety_module)
+    memsafety = run_program(memsafety_module, design="baseline",
+                            policy_factory=MemorySafetyPolicy,
+                            kill_on_violation=False)
+    # Memory safety runs monitored: rebuild under the HQ plumbing.
+    memsafety_module = build_module(profile)
+    PassManager([MemorySafetyPass(check_all_accesses=True),
+                 SyscallSyncPass()]).run(
+        memsafety_module)
+    memsafety = run_program(memsafety_module, design="hq-sfestk",
+                            policy_factory=MemorySafetyPolicy,
+                            kill_on_violation=False,
+                            passes_override=[])
+    # passes_override=[] keeps the module's hand-applied memory-safety
+    # instrumentation without re-adding the CFI pipeline.
+
+    return [
+        PolicyCost("hq-cfi", base_cycles / cfi.total_cycles(),
+                   cfi.messages_sent),
+        PolicyCost("memory-safety",
+                   base_cycles / memsafety.total_cycles(),
+                   memsafety.messages_sent),
+    ]

@@ -1,0 +1,72 @@
+"""Table 2: comparison of IPC primitives.
+
+Reproduces the micro-benchmark of section 2.3: repeatedly send messages
+through each primitive and report the mean per-send time, alongside the
+two qualitative properties (append-only, asynchronous validation).
+The per-send times come out of the same cost model the performance
+figures use, so this table doubles as that model's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.messages import pointer_check
+from repro.ipc.registry import available_primitives, create_channel
+from repro.sim.cycles import CLOCK_GHZ
+from repro.sim.process import Process
+
+#: Primitives in Table 2's order; ``model`` is our addition (the -MODEL
+#: configurations); ``sim``/``uarch`` are the same implementation.
+TABLE2_ORDER = ["mq", "pipe", "socket", "shm", "lwc", "fpga", "uarch"]
+
+
+@dataclass
+class Table2Row:
+    """One primitive's measured characteristics."""
+
+    primitive: str
+    append_only: bool
+    async_validation: bool
+    primary_cost: str
+    send_ns: float
+
+
+def measure_send_ns(primitive: str, sends: int = 1000) -> float:
+    """Mean per-send time over ``sends`` messages, in nanoseconds."""
+    channel = create_channel(primitive, capacity=sends + 16)
+    process = Process(f"bench-{primitive}")
+    message = pointer_check(0x1000, 0x2000)
+    for _ in range(sends):
+        channel.send(process, message)
+    channel.receive_all()
+    total_cycles = (process.cycles.user + process.cycles.ipc
+                    + process.cycles.syscall + process.cycles.wait)
+    return total_cycles / sends / CLOCK_GHZ
+
+
+def table2(sends: int = 1000) -> List[Table2Row]:
+    """Generate all Table 2 rows."""
+    rows = []
+    for primitive in TABLE2_ORDER:
+        channel = create_channel(primitive)
+        rows.append(Table2Row(
+            primitive=primitive,
+            append_only=channel.append_only,
+            async_validation=channel.async_validation,
+            primary_cost=channel.primary_cost,
+            send_ns=measure_send_ns(primitive, sends)))
+    return rows
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    """Render rows the way the paper prints Table 2."""
+    lines = [f"{'IPC Primitive':<16} {'Append':>6} {'Async':>6} "
+             f"{'Primary Cost':<14} {'Time (ns)':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row.primitive:<16} {'yes' if row.append_only else 'no':>6} "
+            f"{'yes' if row.async_validation else 'no':>6} "
+            f"{row.primary_cost:<14} {row.send_ns:>10.1f}")
+    return "\n".join(lines)

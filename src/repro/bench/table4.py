@@ -1,0 +1,56 @@
+"""Table 4: correctness of the CFI designs across all 48 benchmarks.
+
+Paper values::
+
+    Design           Errors  False Positives  Invalid  OK
+    Baseline            0          0             0     48
+    Baseline-CCFI       2          0             2     46
+    Baseline-CPI        2          0             2     46
+    Clang/LLVM CFI      0         15             0     33
+    CCFI               12         29             9     19
+    CPI                14          0            14     34
+    HQ-CFI              0          0             0     48
+
+Categories are not mutually exclusive.  HQ-CFI additionally *discovers*
+the two omnetpp use-after-free bugs (true positives, reported
+separately — they are real bugs, not false positives).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.harness import Table4Row, correctness_table
+
+#: Table 4's designs, top to bottom.
+TABLE4_DESIGNS = ["baseline", "baseline-ccfi", "baseline-cpi",
+                  "clang-cfi", "ccfi", "cpi", "hq-sfestk"]
+
+#: The paper's reported values, for EXPERIMENTS.md comparison.
+PAPER_TABLE4 = {
+    "baseline": (0, 0, 0, 48),
+    "baseline-ccfi": (2, 0, 2, 46),
+    "baseline-cpi": (2, 0, 2, 46),
+    "clang-cfi": (0, 15, 0, 33),
+    "ccfi": (12, 29, 9, 19),
+    "cpi": (14, 0, 14, 34),
+    "hq-sfestk": (0, 0, 0, 48),
+}
+
+
+def table4(designs: Optional[List[str]] = None,
+           benchmarks: Optional[List[str]] = None) -> Dict[str, Table4Row]:
+    """Compute Table 4 rows by actually running every benchmark."""
+    rows = {}
+    for design in designs or TABLE4_DESIGNS:
+        rows[design] = correctness_table(design, benchmarks=benchmarks)
+    return rows
+
+
+def format_table4(rows: Dict[str, Table4Row]) -> str:
+    lines = [f"{'Design':<16} {'Errors':>6} {'FalsePos':>8} "
+             f"{'Invalid':>8} {'OK':>4} {'TruePos':>8}"]
+    for design, row in rows.items():
+        lines.append(f"{design:<16} {row.errors:>6} {row.false_positives:>8} "
+                     f"{row.invalid:>8} {row.ok:>4} {row.true_positives:>8}")
+    return "\n".join(lines)

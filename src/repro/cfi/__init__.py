@@ -1,0 +1,8 @@
+"""Control-flow integrity: HQ-CFI and the baseline designs."""
+
+from repro.cfi.designs import DESIGNS, DesignConfig, get_design
+from repro.cfi.hq_cfi import HQCFIPolicy
+from repro.cfi.pointer_table import PointerTable
+
+__all__ = ["DESIGNS", "DesignConfig", "HQCFIPolicy", "PointerTable",
+           "get_design"]

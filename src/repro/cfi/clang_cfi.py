@@ -1,0 +1,108 @@
+"""Clang/LLVM CFI baseline (coarse-grained, type-based) [30].
+
+Forward edges are partitioned into equivalence classes by *language-
+level function type*: an indirect call through a pointer of signature
+``T`` may only target address-taken functions whose signature is
+exactly ``T``.  This is fast and widely deployed, but:
+
+* **false positives** — C programs legally call through a pointer whose
+  static type differs from the callee's (casting/decay); povray defines
+  ``void *(void *)`` and calls it as ``void *(pov::Object_Struct *)``
+  (section 5.1).  Here that emerges mechanically: the call-site class
+  is keyed by the *static* signature at the call, so a type-cast target
+  lands outside it.
+* **code-reuse attacks** — any function in the same class is a valid
+  target, so redirecting a pointer to a same-signature dangerous
+  function (return-to-libc style) passes the check (Table 5's 160
+  return-to-libc exploits against Clang CFI).
+
+Backward edges use Clang's SafeStack with guard pages between the safe
+and unsafe stacks (section 5.2), configured via
+:class:`~repro.sim.cpu.ExecOptions`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.compiler import ir
+from repro.compiler.analysis import address_taken_functions
+from repro.compiler.passes.base import ModulePass
+from repro.sim.cpu import PolicyViolationError, Runtime
+from repro.sim.loader import Image
+
+#: Per-check cost: load the class bit vector (typically a cache miss in
+#: large programs), mask, test, and branch.
+CHECK_CYCLES = 25.0
+
+
+def signature_class(signature) -> str:
+    """The equivalence-class key: the exact language-level type."""
+    return repr(signature)
+
+
+class ClangCFIPass(ModulePass):
+    """Insert class-membership checks before every indirect call."""
+
+    name = "clang-cfi"
+
+    def run(self, module: ir.Module) -> None:
+        classes: Dict[str, int] = getattr(module, "cfi_class_ids", {})
+        for function in module.functions.values():
+            for block in list(function.blocks):
+                for instruction in list(block.instructions):
+                    if not isinstance(instruction, ir.ICall):
+                        continue
+                    key = signature_class(instruction.signature)
+                    class_id = classes.setdefault(key, len(classes))
+                    block.insert_before(instruction, ir.RuntimeCall(
+                        "clang_cfi_check",
+                        [instruction.target, ir.Constant(class_id)]))
+                    self.bump("checks")
+        module.cfi_class_ids = classes  # type: ignore[attr-defined]
+
+
+class ClangCFIRuntime(Runtime):
+    """In-process check: abort unless the target is in the class.
+
+    ``abort_on_violation=False`` is the continue-after-violation mode
+    used by the paper's correctness and performance runs (section 5);
+    violations are counted instead of aborting.
+    """
+
+    name = "clang-cfi"
+
+    def __init__(self, abort_on_violation: bool = True) -> None:
+        self._class_members: Dict[int, Set[int]] = {}
+        self.abort_on_violation = abort_on_violation
+        self.violations = 0
+
+    def on_program_start(self, image: Image) -> None:
+        """Build class membership from address-taken function types."""
+        module = image.module
+        classes: Dict[str, int] = getattr(module, "cfi_class_ids", {})
+        taken = address_taken_functions(module)
+        self._class_members = {class_id: set() for class_id in classes.values()}
+        for function in module.functions.values():
+            if function.name not in taken:
+                continue
+            key = signature_class(function.signature)
+            if key in classes:
+                self._class_members[classes[key]].add(
+                    image.function_address[function.name])
+
+    def call(self, name: str, args: List[int]) -> int:
+        if name != "clang_cfi_check":
+            raise KeyError(f"unknown Clang CFI runtime entry {name!r}")
+        target, class_id = args[0], args[1]
+        self.interpreter.process.cycles.charge_user(CHECK_CYCLES,
+                                                    category="cfi-check")
+        members = self._class_members.get(class_id, set())
+        if target not in members:
+            self.violations += 1
+            if self.abort_on_violation:
+                raise PolicyViolationError(
+                    "clang-cfi",
+                    f"indirect call target {target:#x} not in type class "
+                    f"{class_id} ({len(members)} members)")
+        return 0

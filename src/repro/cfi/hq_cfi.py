@@ -1,0 +1,72 @@
+"""HQ-CFI: the paper's fine-grained pointer-integrity policy.
+
+Verifier-side interpretation of the ``POINTER_*`` messages (sections
+4.1.3/4.1.5).  Unlike equivalence-class CFI, pointer integrity is
+maximally precise: a check passes only if the loaded value equals the
+most recent definition for that exact address — so any corruption of a
+control-flow pointer, and any use after its invalidation (use-after-
+free), is a violation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.messages import Message, Op
+from repro.core.policy import Policy, Violation
+from repro.cfi.pointer_table import PointerTable
+
+
+class HQCFIPolicy(Policy):
+    """Pointer-integrity policy context for one monitored process."""
+
+    name = "hq-cfi"
+
+    def __init__(self) -> None:
+        self.table = PointerTable()
+        self.checks = 0
+        self.defines = 0
+        self.use_after_free_hits = 0
+
+    def handle(self, message: Message) -> Optional[Violation]:
+        op = message.op
+        if op is Op.POINTER_DEFINE:
+            self.defines += 1
+            self.table.define(message.arg0, message.arg1)
+            return None
+        if op is Op.POINTER_CHECK:
+            self.checks += 1
+            error = self.table.check(message.arg0, message.arg1)
+            return self._violation(message, error)
+        if op is Op.POINTER_CHECK_INVALIDATE:
+            self.checks += 1
+            error = self.table.check_invalidate(message.arg0, message.arg1)
+            return self._violation(message, error)
+        if op is Op.POINTER_INVALIDATE:
+            self.table.invalidate(message.arg0)
+            return None
+        if op is Op.POINTER_BLOCK_COPY:
+            self.table.block_copy(message.arg0, message.arg1, message.aux)
+            return None
+        if op is Op.POINTER_BLOCK_MOVE:
+            self.table.block_move(message.arg0, message.arg1, message.aux)
+            return None
+        if op is Op.POINTER_BLOCK_INVALIDATE:
+            self.table.block_invalidate(message.arg0, message.aux)
+            return None
+        return None
+
+    def _violation(self, message: Message, error: Optional[str]) -> Optional[Violation]:
+        if error is None:
+            return None
+        if "use-after-free" in error:
+            self.use_after_free_hits += 1
+        return Violation(message.pid, "cfi-pointer-integrity", error, message)
+
+    def clone(self) -> "HQCFIPolicy":
+        child = HQCFIPolicy()
+        child.table = self.table.copy()
+        return child
+
+    def entry_count(self) -> int:
+        return len(self.table)

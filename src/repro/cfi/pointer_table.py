@@ -1,0 +1,105 @@
+"""Verifier-side pointer-value table for HQ-CFI (section 4.1).
+
+The table maps *pointer addresses* to their last defined *values* —
+each entry is the 16-byte pointer/value pair the paper counts in its
+memory-overhead metric (section 5.4).  All block operations implement
+the exact semantics of section 4.1.3, including overlap handling and
+invalidation of pre-existing destination pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class PointerTable:
+    """Address → value map with block operations."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._entries
+
+    def get(self, address: int) -> Optional[int]:
+        return self._entries.get(address)
+
+    def define(self, address: int, value: int) -> None:
+        """Pointer-Define: initialize/overwrite the entry at ``address``."""
+        self._entries[address] = value
+
+    def check(self, address: int, value: int) -> Optional[str]:
+        """Pointer-Check: return an error string if the check fails.
+
+        A missing entry means the pointer was never defined or was
+        invalidated — i.e. corruption or a use-after-free.
+        """
+        recorded = self._entries.get(address)
+        if recorded is None:
+            return "use of undefined or invalidated pointer (use-after-free?)"
+        if recorded != value:
+            return (f"pointer value mismatch: recorded {recorded:#x}, "
+                    f"loaded {value:#x}")
+        return None
+
+    def invalidate(self, address: int) -> None:
+        """Pointer-Invalidate: drop the entry (no-op when absent)."""
+        self._entries.pop(address, None)
+
+    def check_invalidate(self, address: int, value: int) -> Optional[str]:
+        """Pointer-Check-Invalidate (backward edges, section 4.1.5)."""
+        error = self.check(address, value)
+        if error is None:
+            self.invalidate(address)
+        return error
+
+    def _in_range(self, start: int, size: int) -> List[Tuple[int, int]]:
+        return [(address, value) for address, value in self._entries.items()
+                if start <= address < start + size]
+
+    def block_copy(self, src: int, dst: int, size: int) -> int:
+        """Pointer-Block-Copy: ranges may intersect; pre-existing
+        pointers in the destination are invalidated.  Returns the number
+        of pointers copied."""
+        moved = self._in_range(src, size)
+        # Invalidate pre-existing destination entries first, except the
+        # slots about to be written (they are overwritten anyway).
+        for address, _ in self._in_range(dst, size):
+            del self._entries[address]
+        for address, value in moved:
+            self._entries[dst + (address - src)] = value
+        return len(moved)
+
+    def block_move(self, src: int, dst: int, size: int) -> int:
+        """Pointer-Block-Move: disjoint ranges; source entries are
+        removed (the realloc optimization).  Returns pointers moved."""
+        if src < dst + size and dst < src + size:
+            # Intersecting ranges violate the message contract; fall
+            # back to copy semantics to stay safe.
+            return self.block_copy(src, dst, size)
+        moved = self._in_range(src, size)
+        for address, _ in self._in_range(dst, size):
+            del self._entries[address]
+        for address, value in moved:
+            del self._entries[address]
+            self._entries[dst + (address - src)] = value
+        return len(moved)
+
+    def block_invalidate(self, start: int, size: int) -> int:
+        """Pointer-Block-Invalidate: drop every entry in the range
+        (free semantics).  Returns the number invalidated."""
+        doomed = self._in_range(start, size)
+        for address, _ in doomed:
+            del self._entries[address]
+        return len(doomed)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return self._entries.items()
+
+    def copy(self) -> "PointerTable":
+        clone = PointerTable()
+        clone._entries = dict(self._entries)
+        return clone

@@ -1,0 +1,8 @@
+"""The mini compiler: IR, builder, analyses, instrumentation passes."""
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.cfg import DominatorTree, PostDominatorTree
+from repro.compiler.ir import BasicBlock, Function, Module
+
+__all__ = ["BasicBlock", "DominatorTree", "Function", "IRBuilder",
+           "Module", "PostDominatorTree"]

@@ -1,0 +1,200 @@
+"""Control-flow graph analyses: dominators and post-dominators.
+
+The syscall-synchronization pass places System-Call messages at "the
+earliest suitable point" using graph dominators (section 3.2): the
+point must dominate the system call, be post-dominated by it, and not
+dominate intervening calls/messages.  This module computes dominator
+and post-dominator trees with the classic iterative dataflow algorithm
+of Cooper, Harvey & Kennedy — equivalent in result to the
+Lengauer-Tarjan algorithm the paper cites [65], and simpler to verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.compiler.ir import BasicBlock, Function
+
+
+def predecessors(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map each block to its CFG predecessors."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for successor in block.successors:
+            preds[successor].append(block)
+    return preds
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (unreachable excluded)."""
+    seen: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        seen.add(block)
+        for successor in block.successors:
+            if successor not in seen:
+                visit(successor)
+        order.append(block)
+
+    if function.blocks:
+        visit(function.entry)
+    order.reverse()
+    return order
+
+
+class DominatorTree:
+    """Immediate-dominator tree over a function's reachable blocks."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.order = reverse_postorder(function)
+        self._index = {block: i for i, block in enumerate(self.order)}
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        if not self.order:
+            return
+        entry = self.order[0]
+        preds = predecessors(self.function)
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.order[1:]:
+                candidates = [p for p in preds[block] if p in idom]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for other in candidates[1:]:
+                    new_idom = self._intersect(idom, new_idom, other)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        idom[entry] = None
+        self.idom = idom
+
+    def _intersect(self, idom, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while self._index[a] > self._index[b]:
+                a = idom[a]
+            while self._index[b] > self._index[a]:
+                b = idom[b]
+        return a
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """Whether ``a`` dominates ``b`` (reflexive)."""
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def dominators_of(self, block: BasicBlock) -> List[BasicBlock]:
+        """All dominators of ``block``, nearest first."""
+        result = []
+        node: Optional[BasicBlock] = block
+        while node is not None:
+            result.append(node)
+            node = self.idom.get(node)
+        return result
+
+
+class PostDominatorTree:
+    """Immediate post-dominator tree (computed on the reversed CFG).
+
+    Functions may have several exits (multiple rets, longjmp); a virtual
+    exit node unifies them, represented here by ``None``.
+    """
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._succ = {b: list(b.successors) for b in function.blocks}
+        self._exits = [b for b in function.blocks if not b.successors]
+        self.ipdom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        blocks = self.function.blocks
+        if not blocks:
+            return
+        # Reverse CFG: edges successor -> block, virtual exit -> each exit.
+        rpreds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in blocks}
+        for block, successors in self._succ.items():
+            for successor in successors:
+                rpreds[block].append(successor)
+        # Postorder on the reverse graph starting from exits.
+        seen: Set[BasicBlock] = set()
+        order: List[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            seen.add(block)
+            for pred in self._rcfg_successors(block):
+                if pred not in seen:
+                    visit(pred)
+            order.append(block)
+
+        for exit_block in self._exits:
+            if exit_block not in seen:
+                visit(exit_block)
+        order.reverse()
+        index = {block: i for i, block in enumerate(order)}
+
+        ipdom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        for exit_block in self._exits:
+            ipdom[exit_block] = exit_block
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                if block in self._exits:
+                    continue
+                candidates = [s for s in self._succ[block] if s in ipdom]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for other in candidates[1:]:
+                    new = self._intersect(ipdom, index, new, other)
+                if ipdom.get(block) is not new:
+                    ipdom[block] = new
+                    changed = True
+        for exit_block in self._exits:
+            ipdom[exit_block] = None
+        self.ipdom = ipdom
+
+    def _rcfg_successors(self, block: BasicBlock) -> List[BasicBlock]:
+        """Successors in the reverse CFG = predecessors in the real CFG."""
+        result = []
+        for candidate in self.function.blocks:
+            if block in candidate.successors:
+                result.append(candidate)
+        return result
+
+    def _intersect(self, ipdom, index, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        seen_a = set()
+        node: Optional[BasicBlock] = a
+        while node is not None:
+            seen_a.add(node)
+            node = ipdom.get(node)
+            if node in seen_a:
+                break
+        node = b
+        while node is not None and node not in seen_a:
+            nxt = ipdom.get(node)
+            if nxt is node:
+                break
+            node = nxt
+        return node if node is not None else a
+
+    def post_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """Whether ``a`` post-dominates ``b`` (reflexive)."""
+        node: Optional[BasicBlock] = b
+        seen: Set[BasicBlock] = set()
+        while node is not None and node not in seen:
+            if node is a:
+                return True
+            seen.add(node)
+            node = self.ipdom.get(node)
+        return False

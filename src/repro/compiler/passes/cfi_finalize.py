@@ -1,0 +1,87 @@
+"""Final lowering: block-op instrumentation and messaging optimizations.
+
+Runs after program optimization (section 4.1.4, "Final Lowering"):
+
+* **Block memory operations.**  ``memcpy``/``memmove`` get a
+  ``Pointer-Block-Copy`` message, ``realloc`` a ``Pointer-Block-Move``,
+  and ``free`` a ``Pointer-Block-Invalidate`` — unless *strict subtype
+  checking* proves the copied composite type contains no control-flow
+  pointers.  Strict checking is defeated when a composite holding
+  function pointers was passed inter-procedurally as a decayed raw
+  pointer (four SPEC benchmarks do this); the built-in *allowlist*
+  (``module.block_op_allowlist``) forces instrumentation inside the
+  named functions, and ``strict_subtype_checking=False`` conservatively
+  instruments every block operation instead.
+
+* **Store-to-load forwarding** (:class:`StoreToLoadForwardingPass`) and
+  **message elision** (:class:`MessageElisionPass`) live in their own
+  passes but belong to this stage of the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.passes.base import ModulePass
+from repro.compiler.types import contains_function_pointer
+
+
+class CFIFinalLoweringPass(ModulePass):
+    """Insert block-operation messaging with strict subtype checking."""
+
+    name = "cfi-finalize"
+
+    def __init__(self, strict_subtype_checking: bool = True) -> None:
+        super().__init__()
+        self.strict_subtype_checking = strict_subtype_checking
+
+    def run(self, module: ir.Module) -> None:
+        for function in module.functions.values():
+            if function.is_declaration:
+                continue
+            allowlisted = function.name in module.block_op_allowlist
+            for block in list(function.blocks):
+                for instruction in list(block.instructions):
+                    if isinstance(instruction, ir.MemCopy):
+                        self._lower_memcopy(block, instruction, allowlisted)
+                    elif isinstance(instruction, ir.MemSet):
+                        self._lower_memset(block, instruction, allowlisted)
+                    elif isinstance(instruction, ir.Realloc):
+                        block.insert_after(instruction, ir.RuntimeCall(
+                            "hq_realloc_hook",
+                            [instruction.pointer, instruction,
+                             instruction.size]))
+                        self.bump("realloc-hooks")
+                    elif isinstance(instruction, ir.Free):
+                        block.insert_before(instruction, ir.RuntimeCall(
+                            "hq_free_hook", [instruction.pointer]))
+                        self.bump("free-hooks")
+
+    def _should_instrument(self, op: ir.MemCopy, allowlisted: bool) -> bool:
+        if not self.strict_subtype_checking:
+            return True
+        if allowlisted:
+            # The allowlist always instruments block operations in the
+            # named functions, recovering the decayed-pointer cases.
+            return True
+        if op.element_type is None:
+            # Unknown element type: conservatively instrument.
+            return True
+        # Strict subtype checking: skip statically clean types.  This is
+        # exactly where a decayed composite (op.decayed) slips through.
+        return contains_function_pointer(op.element_type)
+
+    def _lower_memcopy(self, block: ir.BasicBlock, op: ir.MemCopy,
+                       allowlisted: bool) -> None:
+        if not self._should_instrument(op, allowlisted):
+            self.bump("block-ops-elided")
+            return
+        block.insert_after(op, ir.RuntimeCall(
+            "hq_pointer_block_copy", [op.src, op.dst, op.size]))
+        self.bump("block-copies")
+
+    def _lower_memset(self, block: ir.BasicBlock, op: ir.MemSet,
+                      allowlisted: bool) -> None:
+        # Overwriting a range destroys any pointers it held.
+        block.insert_after(op, ir.RuntimeCall(
+            "hq_pointer_block_invalidate", [op.dst, op.size]))
+        self.bump("block-invalidates")

@@ -1,0 +1,124 @@
+"""Message elision: remove superfluous messages (section 4.1.4).
+
+A field- and path-sensitive cleanup over the messaging calls the
+earlier passes inserted:
+
+* **Unchecked slots**: if a given control-flow pointer slot is never
+  checked anywhere in the function (and cannot escape), its defines and
+  invalidates serve no purpose and are removed.
+* **Dead intermediate defines**: when multiple defines target the same
+  slot and no check can observe the intermediate value (the later
+  define dominates no intervening check), the earlier define is
+  removed.
+* **Duplicate invalidates**: consecutive invalidates of the same slot
+  (e.g. after inlining of C++ destructors) collapse to one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import ir
+from repro.compiler.analysis import EscapeAnalysis
+from repro.compiler.cfg import DominatorTree
+from repro.compiler.passes.base import ModulePass
+from repro.compiler.passes.stlf import _slot_key
+
+
+def _message_slot(call: ir.RuntimeCall) -> Optional[Tuple]:
+    """The slot key a messaging call refers to, when identifiable."""
+    if not call.args:
+        return None
+    return _slot_key(call.args[0])
+
+
+class MessageElisionPass(ModulePass):
+    """Remove messages no check can ever observe."""
+
+    name = "elision"
+
+    DEFINE = "hq_pointer_define"
+    CHECK_NAMES = ("hq_pointer_check", "hq_pointer_check_invalidate")
+    INVALIDATE = "hq_pointer_invalidate"
+    BLOCK_INVALIDATE = "hq_pointer_block_invalidate"
+
+    def run(self, module: ir.Module) -> None:
+        for function in module.functions.values():
+            if function.is_declaration:
+                continue
+            self._run_on_function(function)
+
+    def _run_on_function(self, function: ir.Function) -> None:
+        escape = EscapeAnalysis(function)
+        calls = [i for i in function.instructions()
+                 if isinstance(i, ir.RuntimeCall)]
+        checked_slots = {slot for slot in
+                         (_message_slot(c) for c in calls
+                          if c.runtime_name in self.CHECK_NAMES)
+                         if slot is not None}
+
+        # Rule 1: defines/invalidates of never-checked, non-escaping slots.
+        for call in calls:
+            if call.runtime_name not in (self.DEFINE, self.INVALIDATE,
+                                         self.BLOCK_INVALIDATE):
+                continue
+            slot = _message_slot(call)
+            if slot is None or slot in checked_slots:
+                continue
+            root = call.args[0]
+            while isinstance(root, (ir.Gep, ir.Cast)):
+                root = root.pointer if isinstance(root, ir.Gep) else root.value
+            if not isinstance(root, ir.Alloca) or escape.may_escape(root):
+                # Escaping or non-local slots may be checked elsewhere
+                # (other functions, block copies): keep the messages.
+                continue
+            if call.block is not None:
+                call.block.remove(call)
+                self.bump("unchecked-slot-messages-elided")
+
+        # Rule 2: intra-block dead intermediate defines; Rule 3:
+        # duplicate invalidates.
+        for block in function.blocks:
+            self._elide_in_block(block)
+
+    def _elide_in_block(self, block: ir.BasicBlock) -> None:
+        last_define: Dict[Tuple, ir.RuntimeCall] = {}
+        last_invalidate: Dict[Tuple, ir.RuntimeCall] = {}
+        doomed: List[ir.RuntimeCall] = []
+        for instruction in block.instructions:
+            if isinstance(instruction, ir.RuntimeCall):
+                name = instruction.runtime_name
+                slot = _message_slot(instruction)
+                if slot is None:
+                    if name in self.CHECK_NAMES:
+                        last_define.clear()
+                        last_invalidate.clear()
+                    continue
+                if name == self.DEFINE:
+                    previous = last_define.get(slot)
+                    if previous is not None:
+                        # No check observed the earlier define: dead.
+                        doomed.append(previous)
+                        self.bump("intermediate-defines-elided")
+                    last_define[slot] = instruction
+                    last_invalidate.pop(slot, None)
+                elif name in self.CHECK_NAMES:
+                    last_define.pop(slot, None)
+                    last_invalidate.pop(slot, None)
+                elif name == self.INVALIDATE:
+                    previous = last_invalidate.get(slot)
+                    if previous is not None:
+                        doomed.append(instruction)
+                        self.bump("duplicate-invalidates-elided")
+                        continue
+                    last_invalidate[slot] = instruction
+                    last_define.pop(slot, None)
+            elif isinstance(instruction, (ir.Call, ir.ICall, ir.Syscall,
+                                          ir.MemCopy, ir.MemSet)):
+                # A call might check remotely: intermediate values become
+                # observable; reset tracking.
+                last_define.clear()
+                last_invalidate.clear()
+        for call in doomed:
+            if call.block is block:
+                block.remove(call)

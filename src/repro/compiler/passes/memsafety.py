@@ -1,0 +1,98 @@
+"""Memory-safety instrumentation pass (paper section 4.2).
+
+Pairs with :class:`repro.policies.memory_safety.MemorySafetyPolicy`:
+
+* ``malloc`` → ``Allocation-Create`` after the allocation;
+* ``realloc`` → ``Allocation-Extend``;
+* ``free`` → ``Allocation-Destroy`` before the deallocation;
+* stack ``alloca`` → ``Allocation-Create`` at frame entry and
+  ``Allocation-Destroy-All`` before every return;
+* every ``load``/``store`` through a non-trivially-safe pointer →
+  ``Allocation-Check`` on the accessed address.
+
+Accesses through pointers that provably point at a live local slot
+(a direct, non-escaping ``alloca`` reference) are skipped — the static
+analogue of the spatial checks a production system elides.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.analysis import EscapeAnalysis
+from repro.compiler.passes.base import ModulePass
+from repro.compiler.types import I64
+
+
+class MemorySafetyPass(ModulePass):
+    """Insert ``hq_allocation_*`` runtime calls."""
+
+    name = "memory-safety"
+
+    def __init__(self, check_all_accesses: bool = False) -> None:
+        super().__init__()
+        #: When True, even provably-safe local accesses are checked
+        #: (useful for measuring the elision benefit).
+        self.check_all_accesses = check_all_accesses
+
+    def run(self, module: ir.Module) -> None:
+        for function in module.functions.values():
+            if function.is_declaration:
+                continue
+            self._run_on_function(function)
+
+    def _run_on_function(self, function: ir.Function) -> None:
+        escape = EscapeAnalysis(function)
+        allocas = [i for i in function.instructions()
+                   if isinstance(i, ir.Alloca)]
+
+        # Stack frame lifetime.
+        for alloca in allocas:
+            size = max(alloca.allocated_type.size(), 8)
+            block = alloca.block
+            block.insert_after(alloca, ir.RuntimeCall(
+                "hq_allocation_create", [alloca, ir.Constant(size, I64)]))
+            self.bump("stack-creates")
+        if allocas:
+            for block in function.blocks:
+                terminator = block.terminator
+                if isinstance(terminator, ir.Ret):
+                    for alloca in allocas:
+                        size = max(alloca.allocated_type.size(), 8)
+                        block.insert_before(terminator, ir.RuntimeCall(
+                            "hq_allocation_destroy_all",
+                            [alloca, ir.Constant(size, I64)]))
+                        self.bump("stack-destroys")
+
+        for block in list(function.blocks):
+            for instruction in list(block.instructions):
+                if isinstance(instruction, ir.Malloc):
+                    block.insert_after(instruction, ir.RuntimeCall(
+                        "hq_allocation_create",
+                        [instruction, instruction.size]))
+                    self.bump("heap-creates")
+                elif isinstance(instruction, ir.Realloc):
+                    block.insert_after(instruction, ir.RuntimeCall(
+                        "hq_allocation_extend",
+                        [instruction.pointer, instruction,
+                         instruction.size]))
+                    self.bump("heap-extends")
+                elif isinstance(instruction, ir.Free):
+                    block.insert_before(instruction, ir.RuntimeCall(
+                        "hq_allocation_destroy", [instruction.pointer]))
+                    self.bump("heap-destroys")
+                elif isinstance(instruction, (ir.Load, ir.Store)):
+                    if self._needs_check(escape, instruction):
+                        block.insert_before(instruction, ir.RuntimeCall(
+                            "hq_allocation_check", [instruction.pointer]))
+                        self.bump("access-checks")
+
+    def _needs_check(self, escape: EscapeAnalysis,
+                     access: ir.Instruction) -> bool:
+        if self.check_all_accesses:
+            return True
+        pointer = access.pointer
+        # Direct access to a local slot whose address never escapes is
+        # statically in bounds and alive.
+        if isinstance(pointer, ir.Alloca) and not escape.may_escape(pointer):
+            return False
+        return True

@@ -1,0 +1,48 @@
+"""Backward-edge (return pointer) instrumentation (section 4.1.6).
+
+The HQ-CFI-RetPtr variant protects return addresses with messages: a
+``Pointer-Define`` of the return-address slot in the function prologue
+and a ``Pointer-Check-Invalidate`` in the epilogue.  The pass selects
+functions that *may write to memory*, are *known to return*, *contain
+stack allocations*, and are *not always tail called* — any other
+function either cannot corrupt its own return slot or has no frame
+outliving anything corruptible.
+
+The runtime entry points take no IR arguments: the return-address slot
+address is machine state (the slot the call sequence just pushed),
+which the runtime obtains from the interpreter's call stack — exactly
+as the real instrumentation reads the frame's return-address slot.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.analysis import needs_return_pointer_protection
+from repro.compiler.passes.base import ModulePass
+
+
+class ReturnPointerPass(ModulePass):
+    """Insert prologue defines and epilogue check-invalidates."""
+
+    name = "retptr"
+
+    def run(self, module: ir.Module) -> None:
+        for function in module.functions.values():
+            if not needs_return_pointer_protection(function):
+                continue
+            self.bump("functions-instrumented")
+            entry = function.entry
+            # Prologue: define after phis (the return address was just
+            # pushed by the caller's call sequence).
+            index = 0
+            while index < len(entry.instructions) and \
+                    isinstance(entry.instructions[index], ir.Phi):
+                index += 1
+            entry.insert(index, ir.RuntimeCall("hq_retptr_define", []))
+            # Epilogue: check-invalidate immediately before each return.
+            for block in function.blocks:
+                terminator = block.terminator
+                if isinstance(terminator, ir.Ret):
+                    block.insert_before(terminator, ir.RuntimeCall(
+                        "hq_retptr_check_invalidate", []))
+                    self.bump("epilogue-checks")

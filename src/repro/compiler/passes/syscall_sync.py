@@ -1,0 +1,98 @@
+"""System-call synchronization message placement (sections 2.2, 3.2).
+
+Before every system-call instruction, a ``SYSCALL`` message must be
+sent so the verifier can confirm all outstanding messages were
+processed and unblock the paused call.  To pipeline the message with
+the syscall itself, the pass places it at the *earliest suitable
+point*, found with graph dominators: the program point must
+
+1. dominate the system call (it always executes first on any path
+   reaching the call),
+2. be post-dominated by the system call (it never executes unless the
+   call follows, under non-exceptional control flow), and
+3. not precede any other message or function call that also dominates
+   the system call (those could enqueue later messages, which the
+   verifier must also have processed).
+
+The implementation walks backward from the syscall through the chain of
+dominating, post-dominated blocks, stopping at the most recent call or
+message — the earliest point satisfying all three conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.compiler import ir
+from repro.compiler.cfg import DominatorTree, PostDominatorTree
+from repro.compiler.passes.base import ModulePass
+
+#: Instructions that produce messages or may produce them via callees.
+_BARRIERS = (ir.Call, ir.ICall, ir.RuntimeCall, ir.Syscall,
+             ir.Setjmp, ir.Longjmp)
+
+
+class SyscallSyncPass(ModulePass):
+    """Insert ``hq_syscall`` messages before system calls."""
+
+    name = "syscall-sync"
+
+    def run(self, module: ir.Module) -> None:
+        for function in module.functions.values():
+            if function.is_declaration:
+                continue
+            dom = DominatorTree(function)
+            pdom = PostDominatorTree(function)
+            syscalls = [i for i in function.instructions()
+                        if isinstance(i, ir.Syscall)]
+            for syscall in syscalls:
+                block, index = self._placement(function, dom, pdom, syscall)
+                block.insert(index, ir.RuntimeCall(
+                    "hq_syscall", [ir.Constant(syscall.number)]))
+                self.bump("sync-messages")
+
+    def _placement(self, function: ir.Function, dom: DominatorTree,
+                   pdom: PostDominatorTree,
+                   syscall: ir.Syscall) -> Tuple[ir.BasicBlock, int]:
+        """Find the earliest suitable (block, index) for the message."""
+        block = syscall.block
+        assert block is not None
+        index = block.instructions.index(syscall)
+        # Walk backward within the block: stop just after the most
+        # recent barrier (condition 3).
+        while index > 0:
+            previous = block.instructions[index - 1]
+            if isinstance(previous, _BARRIERS):
+                return block, index
+            if isinstance(previous, ir.Phi):
+                return block, index
+            index -= 1
+        # Reached the block head: try to hoist into the immediate
+        # dominator, provided the syscall's block post-dominates it
+        # (condition 2), it still dominates the syscall (condition 1,
+        # trivially true for a dominator), and the hoist preserves
+        # execution frequency — the dominator must fall through
+        # unconditionally into this block, or it could be a loop header
+        # that runs (and would send the message) many times per syscall.
+        idom = dom.idom.get(block)
+        if idom is not None and idom is not block and \
+                idom.successors == [block] and \
+                pdom.post_dominates(block, idom):
+            hoisted = self._placement_in_block(idom)
+            if hoisted is not None:
+                self.bump("sync-messages-hoisted")
+                return hoisted
+        return block, 0
+
+    def _placement_in_block(self, block: ir.BasicBlock) -> Optional[Tuple[ir.BasicBlock, int]]:
+        """Latest barrier-free position in ``block`` (before terminator)."""
+        terminator = block.terminator
+        if terminator is None:
+            return None
+        index = block.instructions.index(terminator)
+        while index > 0:
+            previous = block.instructions[index - 1]
+            if isinstance(previous, _BARRIERS) or isinstance(previous, ir.Phi):
+                break
+            index -= 1
+        return block, index

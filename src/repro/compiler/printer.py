@@ -1,0 +1,152 @@
+"""Textual IR printer.
+
+Renders a module in an LLVM-flavoured syntax — for debugging
+instrumentation passes, for golden-output tests, and for the curious.
+The format is stable enough to assert against (tests do) but is not a
+parsing format: there is deliberately no reader.
+
+Example output::
+
+    define i64 @main() {
+    entry:
+      %slot = alloca i64(i64)*
+      store @handler, %slot
+      %t = load %slot
+      %r = icall %t(const 21) : i64(i64)
+      ret %r
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler import ir
+
+
+def format_value(value: ir.Value) -> str:
+    """Operand-position rendering of a value."""
+    if isinstance(value, ir.Constant):
+        return f"const {value.value}"
+    if isinstance(value, ir.FunctionRef):
+        return f"@{value.function.name}"
+    if isinstance(value, ir.GlobalVariable):
+        return f"@{value.name}"
+    if isinstance(value, ir.Argument):
+        return f"%{value.name}"
+    if isinstance(value, ir.Instruction):
+        return f"%{value.name}"
+    return repr(value)
+
+
+def format_instruction(instruction: ir.Instruction) -> str:
+    """One-line rendering of an instruction."""
+    v = format_value
+    if isinstance(instruction, ir.Alloca):
+        return f"%{instruction.name} = alloca {instruction.allocated_type!r}"
+    if isinstance(instruction, ir.Load):
+        flags = "".join(f" !{f}" for f in ("volatile", "atomic")
+                        if getattr(instruction, f))
+        return f"%{instruction.name} = load {v(instruction.pointer)}{flags}"
+    if isinstance(instruction, ir.Store):
+        return f"store {v(instruction.value)}, {v(instruction.pointer)}"
+    if isinstance(instruction, ir.Gep):
+        if instruction.field is not None:
+            suffix = f".{instruction.field}"
+        else:
+            suffix = f"[{v(instruction.index)}]"
+        return (f"%{instruction.name} = gep "
+                f"{v(instruction.pointer)}{suffix}")
+    if isinstance(instruction, ir.Cast):
+        return (f"%{instruction.name} = cast {v(instruction.value)} "
+                f"to {instruction.type!r}")
+    if isinstance(instruction, ir.BinOp):
+        return (f"%{instruction.name} = {instruction.op} "
+                f"{v(instruction.lhs)}, {v(instruction.rhs)}")
+    if isinstance(instruction, ir.Cmp):
+        return (f"%{instruction.name} = cmp {instruction.op} "
+                f"{v(instruction.lhs)}, {v(instruction.rhs)}")
+    if isinstance(instruction, ir.Select):
+        return (f"%{instruction.name} = select {v(instruction.cond)}, "
+                f"{v(instruction.if_true)}, {v(instruction.if_false)}")
+    if isinstance(instruction, ir.Phi):
+        incoming = ", ".join(f"[{v(value)}, {block.name}]"
+                             for value, block in instruction.incoming)
+        return f"%{instruction.name} = phi {incoming}"
+    if isinstance(instruction, ir.Br):
+        return f"br {instruction.target.name}"
+    if isinstance(instruction, ir.CondBr):
+        return (f"br {v(instruction.cond)} ? {instruction.if_true.name} "
+                f": {instruction.if_false.name}")
+    if isinstance(instruction, ir.Ret):
+        if instruction.value is None:
+            return "ret"
+        return f"ret {v(instruction.value)}"
+    if isinstance(instruction, ir.Call):
+        args = ", ".join(v(a) for a in instruction.args)
+        tail = "tail " if instruction.tail else ""
+        return (f"%{instruction.name} = {tail}call "
+                f"@{instruction.callee.name}({args})")
+    if isinstance(instruction, ir.ICall):
+        args = ", ".join(v(a) for a in instruction.args)
+        return (f"%{instruction.name} = icall {v(instruction.target)}"
+                f"({args}) : {instruction.signature!r}")
+    if isinstance(instruction, ir.RuntimeCall):
+        args = ", ".join(v(a) for a in instruction.args)
+        return (f"%{instruction.name} = rt.{instruction.runtime_name}"
+                f"({args})")
+    if isinstance(instruction, ir.Malloc):
+        return f"%{instruction.name} = malloc {v(instruction.size)}"
+    if isinstance(instruction, ir.Free):
+        return f"free {v(instruction.pointer)}"
+    if isinstance(instruction, ir.Realloc):
+        return (f"%{instruction.name} = realloc {v(instruction.pointer)}, "
+                f"{v(instruction.size)}")
+    if isinstance(instruction, ir.MemCopy):
+        kind = "memmove" if instruction.move else "memcpy"
+        decayed = " !decayed" if instruction.decayed else ""
+        return (f"{kind} {v(instruction.dst)}, {v(instruction.src)}, "
+                f"{v(instruction.size)}{decayed}")
+    if isinstance(instruction, ir.MemSet):
+        return (f"memset {v(instruction.dst)}, {v(instruction.value)}, "
+                f"{v(instruction.size)}")
+    if isinstance(instruction, ir.Syscall):
+        args = ", ".join(v(a) for a in instruction.args)
+        return f"%{instruction.name} = syscall {instruction.number}({args})"
+    if isinstance(instruction, ir.Setjmp):
+        return f"%{instruction.name} = setjmp {v(instruction.buf)}"
+    if isinstance(instruction, ir.Longjmp):
+        return f"longjmp {v(instruction.buf)}, {v(instruction.value)}"
+    return f"<{instruction.opname}>"
+
+
+def format_function(function: ir.Function) -> str:
+    """Full textual rendering of one function."""
+    params = ", ".join(f"%{p.name}: {p.type!r}" for p in function.params)
+    header = f"define {function.signature.ret!r} @{function.name}({params})"
+    if function.is_declaration:
+        return f"declare {header[7:]}"
+    lines: List[str] = [header + " {"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for instruction in block.instructions:
+            lines.append(f"  {format_instruction(instruction)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: ir.Module) -> str:
+    """Full textual rendering of a module: globals then functions."""
+    lines: List[str] = [f"; module {module.name}"]
+    for variable in module.globals.values():
+        const = "constant" if variable.const else "global"
+        if variable.initializer is None:
+            init = "zeroinitializer"
+        else:
+            init = ", ".join(format_value(v) for v in variable.initializer)
+        lines.append(f"@{variable.name} = {const} "
+                     f"{variable.value_type!r} [{init}]")
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(format_function(function))
+    return "\n".join(lines)

@@ -1,0 +1,252 @@
+"""Type system for the mini IR.
+
+A deliberately small subset of LLVM's type system — just enough to
+express what HerQules' instrumentation reasons about: function pointers
+(including ones laundered through casts and struct fields), C++ objects
+with vtable pointers, composite types passed to block memory operations,
+and ordinary scalar data.
+
+The data model is word-granular: every scalar (int, float, pointer)
+occupies one 8-byte word, so struct layout is simply one word per scalar
+field.  This matches the simulated memory (:mod:`repro.sim.memory`) and
+is sufficient for pointer-integrity policies, which only care about
+pointer-sized slots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+WORD = 8
+
+
+class Type:
+    """Base class for IR types."""
+
+    def size(self) -> int:
+        """Size in bytes."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        return ()
+
+
+class VoidType(Type):
+    """No value; only valid as a function return type."""
+
+    def size(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """Integer; all widths occupy one word in memory."""
+
+    def __init__(self, bits: int = 64) -> None:
+        self.bits = bits
+
+    def size(self) -> int:
+        return WORD
+
+    def _key(self):
+        return (self.bits,)
+
+    def __repr__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """Floating point; occupies one word."""
+
+    def size(self) -> int:
+        return WORD
+
+    def __repr__(self) -> str:
+        return "double"
+
+
+class FunctionType(Type):
+    """A function signature.  Not a first-class value type; only pointers
+    to functions are values."""
+
+    def __init__(self, ret: Type, params: Sequence[Type], vararg: bool = False) -> None:
+        self.ret = ret
+        self.params = tuple(params)
+        self.vararg = vararg
+
+    def size(self) -> int:
+        raise TypeError("function types have no size; use a pointer to one")
+
+    def _key(self):
+        return (self.ret, self.params, self.vararg)
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.params)
+        if self.vararg:
+            params += ", ..."
+        return f"{self.ret!r}({params})"
+
+
+class PointerType(Type):
+    """Pointer to ``pointee``; one word."""
+
+    def __init__(self, pointee: Type) -> None:
+        self.pointee = pointee
+
+    def size(self) -> int:
+        return WORD
+
+    def _key(self):
+        return (self.pointee,)
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+class ArrayType(Type):
+    """Fixed-size array."""
+
+    def __init__(self, element: Type, count: int) -> None:
+        self.element = element
+        self.count = count
+
+    def size(self) -> int:
+        return self.element.size() * self.count
+
+    def _key(self):
+        return (self.element, self.count)
+
+    def __repr__(self) -> str:
+        return f"[{self.count} x {self.element!r}]"
+
+
+class StructType(Type):
+    """A named composite type with ordered fields.
+
+    ``is_cpp_object``/``has_vptr`` mark C++ classes whose first field is
+    the virtual-table pointer, which the CFI passes treat specially
+    (section 4.1.3: vtable and vtable-table pointers).
+    """
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, Type]],
+                 has_vptr: bool = False) -> None:
+        self.name = name
+        self.fields = list(fields)
+        self.has_vptr = has_vptr
+
+    def size(self) -> int:
+        return sum(ftype.size() for _, ftype in self.fields)
+
+    def field_offset(self, field_name: str) -> int:
+        """Byte offset of the named field."""
+        offset = 0
+        for name, ftype in self.fields:
+            if name == field_name:
+                return offset
+            offset += ftype.size()
+        raise KeyError(f"struct {self.name} has no field {field_name!r}")
+
+    def field_type(self, field_name: str) -> Type:
+        for name, ftype in self.fields:
+            if name == field_name:
+                return ftype
+        raise KeyError(f"struct {self.name} has no field {field_name!r}")
+
+    def field_index(self, field_name: str) -> int:
+        for i, (name, _) in enumerate(self.fields):
+            if name == field_name:
+                return i
+        raise KeyError(f"struct {self.name} has no field {field_name!r}")
+
+    def _key(self):
+        # Structs are nominal: two structs with the same name are the
+        # same type (like LLVM identified structs).
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+# -- shared singletons -------------------------------------------------------
+
+VOID = VoidType()
+I64 = IntType(64)
+I32 = IntType(32)
+I8 = IntType(8)
+F64 = FloatType()
+
+
+def ptr(pointee: Type) -> PointerType:
+    """Shorthand for :class:`PointerType`."""
+    return PointerType(pointee)
+
+
+def func(ret: Type, params: Sequence[Type] = (), vararg: bool = False) -> FunctionType:
+    """Shorthand for :class:`FunctionType`."""
+    return FunctionType(ret, params, vararg)
+
+
+def is_function_pointer(t: Type) -> bool:
+    """Whether ``t`` is a direct pointer-to-function type."""
+    return isinstance(t, PointerType) and isinstance(t.pointee, FunctionType)
+
+
+def is_vtable_pointer(t: Type) -> bool:
+    """Whether ``t`` is a pointer to a vtable (array of function ptrs)."""
+    return (isinstance(t, PointerType)
+            and isinstance(t.pointee, ArrayType)
+            and is_function_pointer(t.pointee.element))
+
+
+def contains_function_pointer(t: Type, _seen: Optional[set] = None) -> bool:
+    """Whether ``t`` transitively contains a function-pointer or vtable
+    slot — the *strict subtype check* applied to composite types passed
+    into block memory operations (section 4.1.4, Final Lowering)."""
+    if _seen is None:
+        _seen = set()
+    if id(t) in _seen:
+        return False
+    _seen.add(id(t))
+    if is_function_pointer(t) or is_vtable_pointer(t):
+        return True
+    if isinstance(t, StructType):
+        if t.has_vptr:
+            return True
+        return any(contains_function_pointer(ft, _seen) for _, ft in t.fields)
+    if isinstance(t, ArrayType):
+        return contains_function_pointer(t.element, _seen)
+    return False
+
+
+def pointer_slot_offsets(t: Type, base: int = 0) -> List[int]:
+    """Byte offsets of every function-pointer/vptr slot inside ``t``.
+
+    Used by the verifier-side block operations and by tests to predict
+    which slots a ``Pointer-Block-Copy`` should relocate.
+    """
+    offsets: List[int] = []
+    if is_function_pointer(t) or is_vtable_pointer(t):
+        return [base]
+    if isinstance(t, StructType):
+        cursor = base
+        if t.has_vptr and t.fields and t.fields[0][0] != "__vptr":
+            # has_vptr structs are expected to declare __vptr explicitly;
+            # tolerate either spelling.
+            pass
+        for _, ftype in t.fields:
+            offsets.extend(pointer_slot_offsets(ftype, cursor))
+            cursor += ftype.size()
+    elif isinstance(t, ArrayType):
+        cursor = base
+        for _ in range(t.count):
+            offsets.extend(pointer_slot_offsets(t.element, cursor))
+            cursor += t.element.size()
+    return offsets

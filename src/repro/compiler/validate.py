@@ -1,0 +1,168 @@
+"""IR validator: SSA and CFG well-formedness checks.
+
+``Module.verify()`` checks only block termination (cheap, runs after
+every pass).  This module performs the deeper checks a compiler needs
+when developing new passes:
+
+* every instruction operand is *available* at its use: a constant,
+  global, argument, or an instruction whose defining block dominates
+  the use (with the φ exception: incoming values need only dominate the
+  corresponding predecessor's exit);
+* φ-nodes appear only at block heads, and their incoming blocks are
+  exactly the CFG predecessors;
+* branch targets belong to the same function;
+* instructions appear in exactly one block, and ``instruction.block``
+  back-references are consistent.
+
+Raises :class:`ValidationError` with a path to the offending
+instruction.  The pass-pipeline tests run it over every instrumented
+module, so a miscompiling pass fails loudly rather than corrupting an
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.compiler import ir
+from repro.compiler.cfg import DominatorTree, predecessors, reverse_postorder
+
+
+class ValidationError(Exception):
+    """The module violates an SSA/CFG invariant."""
+
+    def __init__(self, function: ir.Function, instruction: ir.Instruction,
+                 detail: str) -> None:
+        location = (f"{function.name}:"
+                    f"{instruction.block.name if instruction.block else '?'}:"
+                    f"%{instruction.name}")
+        super().__init__(f"{location}: {detail}")
+        self.function = function
+        self.instruction = instruction
+
+
+def _is_always_available(value: ir.Value) -> bool:
+    return isinstance(value, (ir.Constant, ir.GlobalVariable,
+                              ir.FunctionRef, ir.Argument))
+
+
+def validate_function(function: ir.Function) -> None:
+    """Validate one function; no-op for declarations."""
+    if function.is_declaration:
+        return
+    _check_block_membership(function)
+    _check_branch_targets(function)
+    _check_phi_placement(function)
+    _check_ssa_dominance(function)
+
+
+def validate_module(module: ir.Module) -> None:
+    """Validate every function (plus the cheap structural checks)."""
+    module.verify()
+    for function in module.functions.values():
+        validate_function(function)
+
+
+def _check_block_membership(function: ir.Function) -> None:
+    seen: Set[int] = set()
+    for block in function.blocks:
+        for instruction in block.instructions:
+            if id(instruction) in seen:
+                raise ValidationError(function, instruction,
+                                      "appears in more than one position")
+            seen.add(id(instruction))
+            if instruction.block is not block:
+                raise ValidationError(
+                    function, instruction,
+                    f"block back-reference points at "
+                    f"{getattr(instruction.block, 'name', None)!r}, "
+                    f"found in {block.name!r}")
+
+
+def _check_branch_targets(function: ir.Function) -> None:
+    own_blocks = set(map(id, function.blocks))
+    for block in function.blocks:
+        terminator = block.terminator
+        for successor in block.successors:
+            if id(successor) not in own_blocks:
+                raise ValidationError(
+                    function, terminator,
+                    f"branch target {successor.name!r} belongs to "
+                    f"another function")
+
+
+def _check_phi_placement(function: ir.Function) -> None:
+    preds = predecessors(function)
+    reachable = set(reverse_postorder(function))
+    for block in function.blocks:
+        past_head = False
+        for instruction in block.instructions:
+            if isinstance(instruction, ir.Phi):
+                if past_head:
+                    raise ValidationError(function, instruction,
+                                          "phi after non-phi instruction")
+                if block not in reachable:
+                    continue
+                incoming_blocks = {id(b) for _, b in instruction.incoming}
+                pred_blocks = {id(b) for b in preds[block]}
+                missing = pred_blocks - incoming_blocks
+                if missing:
+                    names = [b.name for b in preds[block]
+                             if id(b) in missing]
+                    raise ValidationError(
+                        function, instruction,
+                        f"no incoming value for predecessor(s) {names}")
+            else:
+                past_head = True
+
+
+def _check_ssa_dominance(function: ir.Function) -> None:
+    dom = DominatorTree(function)
+    reachable = set(dom.order)
+    defined_in: Dict[int, ir.BasicBlock] = {}
+    positions: Dict[int, int] = {}
+    for block in function.blocks:
+        for index, instruction in enumerate(block.instructions):
+            defined_in[id(instruction)] = block
+            positions[id(instruction)] = index
+
+    def available(value: ir.Value, use_block: ir.BasicBlock,
+                  use_index: int) -> bool:
+        if _is_always_available(value):
+            return True
+        if not isinstance(value, ir.Instruction):
+            return False
+        def_block = defined_in.get(id(value))
+        if def_block is None:
+            return False  # defined in another function (or nowhere)
+        if def_block is use_block:
+            return positions[id(value)] < use_index
+        return dom.dominates(def_block, use_block)
+
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for index, instruction in enumerate(block.instructions):
+            if isinstance(instruction, ir.Phi):
+                for value, pred in instruction.incoming:
+                    if _is_always_available(value):
+                        continue
+                    if not isinstance(value, ir.Instruction):
+                        raise ValidationError(
+                            function, instruction,
+                            f"phi incoming {value!r} is not a value")
+                    def_block = defined_in.get(id(value))
+                    if def_block is None or (pred in reachable and
+                                             not dom.dominates(def_block,
+                                                               pred)):
+                        raise ValidationError(
+                            function, instruction,
+                            f"incoming %{value.name} does not dominate "
+                            f"predecessor {pred.name}")
+                continue
+            for operand in instruction.operands:
+                if not available(operand, block, index):
+                    name = getattr(operand, "name", repr(operand))
+                    raise ValidationError(
+                        function, instruction,
+                        f"operand %{name} does not dominate this use")

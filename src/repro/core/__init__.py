@@ -1,0 +1,11 @@
+"""HerQules core: messages, verifier, policies, runtime, framework.
+
+(`run_program` lives in :mod:`repro.core.framework`; it is re-exported
+at the top level as :func:`repro.run_program`.)
+"""
+
+from repro.core.messages import Message, Op
+from repro.core.policy import Policy, Violation
+from repro.core.verifier import Verifier
+
+__all__ = ["Message", "Op", "Policy", "Verifier", "Violation"]

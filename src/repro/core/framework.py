@@ -1,0 +1,222 @@
+"""The HerQules framework: compile, wire up, and run a monitored program.
+
+This is the top-level public API.  :func:`run_program` takes a program
+module (built with :class:`repro.compiler.builder.IRBuilder` or a
+workload generator), a design name, and an IPC primitive; it runs the
+full lifecycle of Figure 1 — compiler instrumentation, process startup
+and registration, concurrent message verification, bounded asynchronous
+validation at system calls — and returns a :class:`RunResult` with
+outcome, cycle accounting, violations, and statistics.
+
+Typical use::
+
+    from repro.core.framework import run_program
+    result = run_program(build_my_module(), design="hq-sfestk",
+                         channel="model")
+    assert result.ok
+    print(result.cycles["user"], result.messages_sent)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.cfi.ccfi import CompilationError
+from repro.cfi.designs import DesignConfig, get_design
+from repro.cfi.hq_cfi import HQCFIPolicy
+from repro.compiler import ir
+from repro.compiler.passes.base import PassManager
+from repro.core.policy import Policy, Violation
+from repro.core.runtime import HQRuntime
+from repro.core.verifier import Verifier
+from repro.ipc.appendwrite import AppendWriteModel, AppendWriteUArch
+from repro.ipc.base import Channel
+from repro.ipc.registry import create_channel
+from repro.sim.cpu import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    PolicyViolationError,
+    ProcessKilledError,
+    ProgramCrash,
+)
+from repro.sim.cycles import AccountingMode
+from repro.sim.kernel import HQKernelModule, Kernel
+from repro.sim.loader import Image
+from repro.sim.memory import SegmentationFault
+from repro.sim.process import HeapError, Process
+
+
+@dataclass
+class RunResult:
+    """Outcome of one monitored (or baseline) program execution."""
+
+    design: str
+    channel: Optional[str]
+    #: "ok", "compile-error", "crash", "hang", "violation" (in-process
+    #: abort), or "killed" (verifier-signalled kill).
+    outcome: str
+    exit_status: Optional[int] = None
+    detail: str = ""
+    #: Cycle buckets (user/ipc/syscall/wait/detail).
+    cycles: Dict[str, object] = field(default_factory=dict)
+    #: Program stdout (words written via SYS_WRITE).
+    output: List[int] = field(default_factory=list)
+    #: Verifier-recorded violations (HQ designs only).
+    violations: List[Violation] = field(default_factory=list)
+    messages_sent: int = 0
+    hijacks: int = 0
+    #: Whether the attack marker syscall executed (attack experiments).
+    win_executed: bool = False
+    #: Per-pass instrumentation statistics.
+    pass_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Peak verifier metadata entries (section 5.4 metric).
+    max_entries: int = 0
+    steps: int = 0
+    #: Violations recorded by in-process runtimes (Clang CFI / CCFI) in
+    #: continue-after-violation mode.
+    runtime_violations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    def total_cycles(self, mode: AccountingMode = AccountingMode.MODEL) -> float:
+        buckets = self.cycles
+        if not buckets:
+            return 0.0
+        if mode is AccountingMode.SIM:
+            return float(buckets["user"]) + float(buckets["ipc"])
+        return (float(buckets["user"]) + float(buckets["ipc"])
+                + float(buckets["syscall"]) + float(buckets["wait"]))
+
+
+def _wire_channel(kind: str, verifier: Verifier, **kwargs) -> Channel:
+    """Create the AppendWrite channel with kernel-style full handling."""
+    channel = create_channel(kind, **kwargs)
+    if isinstance(channel, AppendWriteModel):
+        channel._on_full = lambda ch: verifier.poll()
+    elif isinstance(channel, AppendWriteUArch):
+        def _kernel_amr_handler(ch: AppendWriteUArch) -> None:
+            verifier.poll()
+            ch.reset_registers()
+        channel._on_full = _kernel_amr_handler
+    return channel
+
+
+def run_program(module: ir.Module,
+                design: str = "hq-sfestk",
+                channel: str = "model",
+                entry: str = "main",
+                entry_args: Optional[Sequence[int]] = None,
+                policy_factory: Callable[[], Policy] = HQCFIPolicy,
+                kill_on_violation: bool = True,
+                sync_exempt_syscalls: Optional[Set[int]] = None,
+                max_steps: int = 5_000_000,
+                aslr: bool = True,
+                seed: int = 1,
+                inlined_runtime: bool = True,
+                channel_kwargs: Optional[dict] = None,
+                exec_option_overrides: Optional[dict] = None,
+                pre_run: Optional[Callable[[Image, Interpreter], None]] = None,
+                passes_override: Optional[list] = None,
+                naive_synchronization: bool = False) -> RunResult:
+    """Compile ``module`` under ``design`` and execute it end to end.
+
+    ``module`` is mutated by the instrumentation passes; build a fresh
+    module per run (workload generators do).  For HQ designs,
+    ``channel`` selects the IPC primitive (``model``, ``sim``, ``fpga``,
+    ``mq``, ...); it is ignored for in-process designs.
+    ``kill_on_violation=False`` is the continue-after-violation mode the
+    paper uses for performance runs (section 5).
+
+    ``pre_run`` is invoked with the loaded image and interpreter just
+    before execution; the attack suite uses it to plant attacker input
+    in memory (data that arrives at runtime, opaque to the compiler).
+    """
+    config = get_design(design)
+
+    # 1. Compiler instrumentation.  ``passes_override`` substitutes a
+    # custom pipeline (the optimization-ablation benchmarks use it).
+    passes = passes_override if passes_override is not None \
+        else config.passes()
+    manager = PassManager(passes)
+    try:
+        pass_stats = manager.run(module)
+    except CompilationError as error:
+        return RunResult(design=design, channel=None,
+                         outcome="compile-error", detail=str(error))
+
+    # 2. Process / kernel / verifier wiring (Figure 1).
+    process = Process(name=module.name)
+    verifier: Optional[Verifier] = None
+    hq_channel: Optional[Channel] = None
+    kernel = Kernel()
+    if config.monitored:
+        verifier = Verifier(policy_factory)
+        hq_channel = _wire_channel(channel, verifier, **(channel_kwargs or {}))
+        verifier.attach_channel(hq_channel)
+        hq_module = HQKernelModule(
+            verifier,
+            kill_on_violation=kill_on_violation,
+            sync_exempt_syscalls=sync_exempt_syscalls,
+            force_round_trip=naive_synchronization)
+        kernel.hq = hq_module
+        kernel.attach(process)
+        hq_module.enable(process)
+    else:
+        kernel.attach(process)
+
+    runtime = config.runtime(hq_channel)
+    options = config.exec_options(max_steps=max_steps, aslr=aslr, seed=seed,
+                                  **(exec_option_overrides or {}))
+    if isinstance(runtime, HQRuntime):
+        runtime.inlined = inlined_runtime
+    if hasattr(runtime, "abort_on_violation"):
+        # In-process designs mirror the continue-after-violation mode
+        # the paper uses for correctness/performance runs (section 5).
+        runtime.abort_on_violation = kill_on_violation
+
+    image = Image(module, process)
+    interpreter = Interpreter(
+        image, runtime, options, kernel.syscall,
+        on_step=(verifier.poll if verifier is not None else None))
+
+    # 3. Execute.
+    result = RunResult(design=design,
+                       channel=channel if config.monitored else None,
+                       outcome="ok", pass_stats=pass_stats)
+    try:
+        if pre_run is not None:
+            pre_run(image, interpreter)
+        result.exit_status = interpreter.run(entry, list(entry_args or []))
+    except ProcessKilledError as error:
+        result.outcome = "killed"
+        result.detail = error.reason
+    except PolicyViolationError as error:
+        result.outcome = "violation"
+        result.detail = str(error)
+    except ExecutionLimitExceeded as error:
+        result.outcome = "hang"
+        result.detail = str(error)
+    except (ProgramCrash, SegmentationFault, HeapError) as error:
+        result.outcome = "crash"
+        result.detail = str(error)
+
+    # 4. Final verifier drain: process any messages still in flight.
+    if verifier is not None:
+        verifier.poll()
+        result.violations = verifier.all_violations(process.pid)
+        stats = verifier.stats.get(process.pid)
+        if stats is not None:
+            result.max_entries = stats.max_entries
+    if isinstance(runtime, HQRuntime):
+        result.messages_sent = runtime.messages_sent
+    result.runtime_violations = getattr(runtime, "violations", 0)
+
+    result.cycles = process.cycles.snapshot()
+    result.output = list(kernel.stdout.get(process.pid, []))
+    result.hijacks = len(interpreter.hijacks)
+    result.win_executed = process.pid in kernel.win_executed
+    result.steps = interpreter.steps
+    return result

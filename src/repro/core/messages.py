@@ -1,0 +1,189 @@
+"""HerQules message format and operation codes.
+
+Each AppendWrite message is a fixed-size structure containing a 4-byte
+*operation code* and two 8-byte *operation arguments*; the FPGA
+implementation adds a 4-byte *process identifier* populated from a
+kernel-managed register, and a per-message counter used to detect
+dropped messages (section 3.1).  The semantics of opcodes/arguments are
+policy-dependent; this module defines the opcodes used by the paper's
+control-flow-integrity case study (section 4.1), the memory-safety
+policy sketch (section 4.2), the System-Call synchronization message
+(section 2.2), and a generic event opcode for simple counting policies
+(the toy example of section 2).
+
+Wire format: messages serialize to four 8-byte words (32 bytes, the
+smallest AppendWrite message size):
+
+====  ======================================================
+word  contents
+====  ======================================================
+0     opcode (low 32 bits) | pid (high 32 bits)
+1     argument 0
+2     argument 1
+3     auxiliary argument (block sizes) | counter (high 32 bits)
+====  ======================================================
+
+The paper's struct has exactly two arguments; block operations
+(``Pointer-Block-Copy(src, dst, sz)``) need a third, which the original
+implementation carries in the otherwise-unused space of the
+cacheline-aligned FPGA write.  We model that as the ``aux`` field.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: Size of one serialized message, in 8-byte words.
+MESSAGE_WORDS = 4
+MESSAGE_BYTES = MESSAGE_WORDS * 8
+
+_MASK32 = 0xFFFF_FFFF
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class Op(enum.IntEnum):
+    """Operation codes understood by the verifier."""
+
+    # Control-flow integrity: forward edges (section 4.1.3).
+    POINTER_DEFINE = 0x10
+    POINTER_CHECK = 0x11
+    POINTER_INVALIDATE = 0x12
+    POINTER_BLOCK_COPY = 0x13
+    POINTER_BLOCK_MOVE = 0x14
+    POINTER_BLOCK_INVALIDATE = 0x15
+    # Control-flow integrity: backward edges (section 4.1.5).
+    POINTER_CHECK_INVALIDATE = 0x16
+    # System-call synchronization (section 2.2).
+    SYSCALL = 0x20
+    # Memory-safety policy (section 4.2).
+    ALLOCATION_CREATE = 0x30
+    ALLOCATION_CHECK = 0x31
+    ALLOCATION_CHECK_BASE = 0x32
+    ALLOCATION_EXTEND = 0x33
+    ALLOCATION_DESTROY = 0x34
+    ALLOCATION_DESTROY_ALL = 0x35
+    # Generic policy event (toy counter of section 2, watchdog, etc.).
+    EVENT = 0x40
+    # Process lifecycle, delivered over the privileged kernel channel in
+    # the real system; kept as opcodes so tests can replay full traces.
+    PROCESS_ENABLE = 0x50
+    PROCESS_FORK = 0x51
+    PROCESS_EXIT = 0x52
+
+
+@dataclass(frozen=True)
+class Message:
+    """One HerQules message.
+
+    ``pid`` is filled in by trusted hardware (FPGA PID register) or by
+    the channel on behalf of the kernel; a monitored program cannot forge
+    another process's pid.  ``counter`` is assigned by the transport for
+    drop detection and is not sender-controlled either.
+    """
+
+    op: Op
+    arg0: int = 0
+    arg1: int = 0
+    aux: int = 0
+    pid: int = 0
+    counter: int = 0
+
+    def encode(self) -> List[int]:
+        """Serialize to :data:`MESSAGE_WORDS` 64-bit words."""
+        return [
+            (int(self.op) & _MASK32) | ((self.pid & _MASK32) << 32),
+            self.arg0 & _MASK64,
+            self.arg1 & _MASK64,
+            (self.aux & _MASK32) | ((self.counter & _MASK32) << 32),
+        ]
+
+    @staticmethod
+    def decode(words: List[int]) -> "Message":
+        """Deserialize from :data:`MESSAGE_WORDS` 64-bit words."""
+        if len(words) != MESSAGE_WORDS:
+            raise ValueError(f"expected {MESSAGE_WORDS} words, got {len(words)}")
+        return Message(
+            op=Op(words[0] & _MASK32),
+            pid=(words[0] >> 32) & _MASK32,
+            arg0=words[1],
+            arg1=words[2],
+            aux=words[3] & _MASK32,
+            counter=(words[3] >> 32) & _MASK32,
+        )
+
+    def with_transport(self, pid: int, counter: int) -> "Message":
+        """Return a copy stamped with transport-assigned pid/counter."""
+        return Message(self.op, self.arg0, self.arg1, self.aux, pid, counter)
+
+
+# -- convenience constructors (the compiler runtime uses these) --------------
+
+def pointer_define(address: int, value: int) -> Message:
+    """Initialize the pointer at ``address`` with ``value``."""
+    return Message(Op.POINTER_DEFINE, address, value)
+
+
+def pointer_check(address: int, value: int) -> Message:
+    """Validate the pointer at ``address`` currently holds ``value``."""
+    return Message(Op.POINTER_CHECK, address, value)
+
+
+def pointer_invalidate(address: int) -> Message:
+    """Remove the pointer at ``address``."""
+    return Message(Op.POINTER_INVALIDATE, address)
+
+
+def pointer_check_invalidate(address: int, value: int) -> Message:
+    """Check then (if valid) invalidate — return-pointer epilogues."""
+    return Message(Op.POINTER_CHECK_INVALIDATE, address, value)
+
+
+def pointer_block_copy(src: int, dst: int, size: int) -> Message:
+    """memcpy/memmove semantics over tracked pointers."""
+    return Message(Op.POINTER_BLOCK_COPY, src, dst, size)
+
+
+def pointer_block_move(src: int, dst: int, size: int) -> Message:
+    """realloc optimization: move tracked pointers, ranges disjoint."""
+    return Message(Op.POINTER_BLOCK_MOVE, src, dst, size)
+
+
+def pointer_block_invalidate(address: int, size: int) -> Message:
+    """free semantics: drop all tracked pointers in the range."""
+    return Message(Op.POINTER_BLOCK_INVALIDATE, address, 0, size)
+
+
+def syscall_message(syscall_number: int = 0) -> Message:
+    """System-call synchronization marker (section 2.2)."""
+    return Message(Op.SYSCALL, syscall_number)
+
+
+def event(kind: int, value: int = 1) -> Message:
+    """Generic policy event (e.g. the call-counter toy example)."""
+    return Message(Op.EVENT, kind, value)
+
+
+def allocation_create(address: int, size: int) -> Message:
+    return Message(Op.ALLOCATION_CREATE, address, size)
+
+
+def allocation_check(address: int) -> Message:
+    return Message(Op.ALLOCATION_CHECK, address)
+
+
+def allocation_check_base(a1: int, a2: int) -> Message:
+    return Message(Op.ALLOCATION_CHECK_BASE, a1, a2)
+
+
+def allocation_extend(src: int, dst: int, size: int) -> Message:
+    return Message(Op.ALLOCATION_EXTEND, src, dst, size)
+
+
+def allocation_destroy(address: int) -> Message:
+    return Message(Op.ALLOCATION_DESTROY, address)
+
+
+def allocation_destroy_all(address: int, size: int) -> Message:
+    return Message(Op.ALLOCATION_DESTROY_ALL, address, 0, size)

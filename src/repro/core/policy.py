@@ -1,0 +1,65 @@
+"""Policy interface for the verifier.
+
+A policy is the verifier-side interpretation of message semantics
+(section 4): it maintains per-process context, checks each message, and
+reports violations.  Policies must support copy-on-fork (the verifier
+copies policy contexts when a monitored process clones, section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.messages import Message
+
+
+@dataclass
+class Violation:
+    """One failed policy check."""
+
+    pid: int
+    kind: str
+    detail: str = ""
+    message: Optional[Message] = None
+
+    def __str__(self) -> str:
+        return f"[pid {self.pid}] {self.kind}: {self.detail}"
+
+
+class Policy:
+    """Base class for verifier-side execution policies."""
+
+    name = "null"
+
+    def handle(self, message: Message) -> Optional[Violation]:
+        """Process one message; return a violation if the check failed."""
+        return None
+
+    def clone(self) -> "Policy":
+        """Deep-copy the policy context for a forked child (section 3.4)."""
+        raise NotImplementedError
+
+    def entry_count(self) -> int:
+        """Number of metadata entries held (the section 5.4 metric)."""
+        return 0
+
+
+@dataclass
+class PolicyStats:
+    """Aggregate message statistics the evaluation reports (section 5.4)."""
+
+    messages_processed: int = 0
+    violations: int = 0
+    max_entries: int = 0
+    by_op: dict = field(default_factory=dict)
+
+    def record(self, message: Message, entry_count: int,
+               violated: bool) -> None:
+        self.messages_processed += 1
+        op_name = message.op.name
+        self.by_op[op_name] = self.by_op.get(op_name, 0) + 1
+        if violated:
+            self.violations += 1
+        if entry_count > self.max_entries:
+            self.max_entries = entry_count

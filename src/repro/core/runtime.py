@@ -1,0 +1,185 @@
+"""The HerQules runtime messaging library (section 3.2).
+
+The compiler inserts ``RuntimeCall`` instructions naming ``hq_*`` entry
+points; this runtime translates each into an AppendWrite message on the
+process's channel.  In the real system the runtime is statically linked
+into musl (every rtcall pays a call) or inlined directly into the
+monitored program (lower overhead, larger code); ``inlined`` selects
+between those per-call fixed costs.
+
+At program startup the runtime sends ``Pointer-Define`` messages for
+every writable global slot holding a relocated code pointer — the
+startup initializer of section 4.1.4 that supports position-independent
+or layout-randomized binaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import messages as msg
+from repro.core.messages import Message
+from repro.ipc.base import Channel
+from repro.sim.cpu import Runtime
+from repro.sim.loader import Image
+
+
+class HQRuntime(Runtime):
+    """Sends ``hq_*`` runtime calls as AppendWrite messages."""
+
+    name = "hq"
+
+    #: Fixed per-call overhead in cycles: argument marshalling, extra
+    #: loads, and the optimization barriers the instrumentation imposes
+    #: on surrounding code.  Statically linking the runtime into musl
+    #: pays a full call; inlining it into the program is cheaper
+    #: (section 3.2).
+    LIBRARY_CALL_CYCLES = 50.0
+    INLINED_CALL_CYCLES = 35.0
+
+    def __init__(self, channel: Channel, inlined: bool = True) -> None:
+        self.channel = channel
+        self.inlined = inlined
+        self.messages_sent = 0
+
+    def _send(self, message: Message) -> None:
+        process = self.interpreter.process
+        overhead = (self.INLINED_CALL_CYCLES if self.inlined
+                    else self.LIBRARY_CALL_CYCLES)
+        process.cycles.charge_user(overhead, category="hq-runtime")
+        self.channel.send(process, message)
+        self.messages_sent += 1
+
+    def on_program_start(self, image: Image) -> None:
+        """Send defines for relocated global code pointers (init array)."""
+        for slot, value in image.initialized_code_pointers().items():
+            self._send(msg.pointer_define(slot, value))
+
+    def call(self, name: str, args: List[int]) -> int:
+        if name == "hq_pointer_define":
+            self._send(msg.pointer_define(args[0], args[1]))
+        elif name == "hq_pointer_check":
+            self._send(msg.pointer_check(args[0], args[1]))
+        elif name == "hq_pointer_invalidate":
+            self._send(msg.pointer_invalidate(args[0]))
+        elif name == "hq_pointer_check_invalidate":
+            self._send(msg.pointer_check_invalidate(args[0], args[1]))
+        elif name == "hq_pointer_block_copy":
+            self._send(msg.pointer_block_copy(args[0], args[1], args[2]))
+        elif name == "hq_pointer_block_move":
+            self._send(msg.pointer_block_move(args[0], args[1], args[2]))
+        elif name == "hq_pointer_block_invalidate":
+            self._send(msg.pointer_block_invalidate(args[0], args[1]))
+        elif name == "hq_syscall":
+            self._send(msg.syscall_message(args[0] if args else 0))
+        elif name == "hq_event":
+            self._send(msg.event(args[0], args[1] if len(args) > 1 else 1))
+        elif name == "hq_allocation_create":
+            self._send(msg.allocation_create(args[0], args[1]))
+        elif name == "hq_allocation_check":
+            self._send(msg.allocation_check(args[0]))
+        elif name == "hq_allocation_check_base":
+            self._send(msg.allocation_check_base(args[0], args[1]))
+        elif name == "hq_allocation_extend":
+            self._send(msg.allocation_extend(args[0], args[1], args[2]))
+        elif name == "hq_allocation_destroy":
+            self._send(msg.allocation_destroy(args[0]))
+        elif name == "hq_allocation_destroy_all":
+            self._send(msg.allocation_destroy_all(args[0], args[1]))
+        elif name == "hq_event3":
+            # Three-argument policy event (kind, value, aux) — used by
+            # richer policies like data-flow integrity.
+            self._send(Message(msg.Op.EVENT, args[0], args[1],
+                               args[2] if len(args) > 2 else 0))
+        elif name == "hq_dfi_block_store":
+            # DFI block write: pack (size, def id) into the aux field.
+            address, size, def_id = args[0], args[1], args[2]
+            self._send(Message(msg.Op.EVENT, 21, address,
+                               ((size & 0xFFFF) << 16) | (def_id & 0xFFFF)))
+        elif name == "hq_heartbeat":
+            self._heartbeat_seq = getattr(self, "_heartbeat_seq", 0) + 1
+            self._send(msg.event(2, self._heartbeat_seq))
+        elif name == "hq_free_hook":
+            self._free_hook(args[0])
+        elif name == "hq_realloc_hook":
+            self._realloc_hook(args[0], args[1], args[2])
+        elif name == "hq_setjmp_hook":
+            self._jmp_buf_hook(args[0], define=True)
+        elif name == "hq_longjmp_hook":
+            self._jmp_buf_hook(args[0], define=False)
+        elif name == "hq_retptr_define":
+            self._retptr(define=True)
+        elif name == "hq_retptr_check_invalidate":
+            self._retptr(define=False)
+        elif name == "hq_stlf_guard_enter":
+            return self._guard_enter(args[0])
+        elif name == "hq_stlf_guard_exit":
+            return self._guard_exit(args[0])
+        else:
+            raise KeyError(f"unknown HQ runtime entry point {name!r}")
+        return 0
+
+    # -- heap hooks (block memory operations, section 4.1.3) -----------------
+
+    def _free_hook(self, pointer: int) -> None:
+        """Before ``free``: invalidate tracked pointers in the block."""
+        allocation = self.interpreter.process.heap.live.get(pointer)
+        size = allocation.size if allocation is not None else 0
+        if size:
+            self._send(msg.pointer_block_invalidate(pointer, size))
+
+    def _realloc_hook(self, old: int, new: int, size: int) -> None:
+        """After ``realloc``: move tracked pointers if the block moved."""
+        if old != new:
+            self._send(msg.pointer_block_move(old, new, size))
+
+    # -- jmp_buf hooks (section 4.1.3: the internal setjmp pointer) -----------
+
+    def _jmp_buf_hook(self, buf: int, define: bool) -> None:
+        value = self.interpreter.process.memory.load(buf)
+        if define:
+            self._send(msg.pointer_define(buf, value))
+        else:
+            self._send(msg.pointer_check(buf, value))
+
+    # -- return-pointer messaging (HQ-CFI-RetPtr, section 4.1.6) ---------------
+
+    def _retptr(self, define: bool) -> None:
+        """Define/check-invalidate the current frame's return slot.
+
+        The check reads the slot's *current* memory contents, so a
+        corrupted return address is reported to the verifier before the
+        epilogue transfers control through it.
+        """
+        if not self.interpreter.call_stack:
+            return  # entry function: no return slot
+        slot, _ = self.interpreter.call_stack[-1]
+        value = self.interpreter.process.memory.load(slot)
+        if define:
+            self._send(msg.pointer_define(slot, value))
+        else:
+            self._send(msg.pointer_check_invalidate(slot, value))
+
+    # -- store-to-load-forwarding recursion guards (section 4.1.4) ----------
+
+    _guards: Optional[set] = None
+
+    def _guard_enter(self, guard_id: int) -> int:
+        """Set the global guard; a re-entry means mutual recursion that
+        the optimizer assumed away — terminate, program must be
+        recompiled with the optimization disabled."""
+        if self._guards is None:
+            self._guards = set()
+        if guard_id in self._guards:
+            from repro.sim.cpu import PolicyViolationError
+            raise PolicyViolationError(
+                "hq-stlf-guard",
+                "mutually-recursive call under store-to-load forwarding; "
+                "recompile with the optimization disabled")
+        self._guards.add(guard_id)
+        return 0
+
+    def _guard_exit(self, guard_id: int) -> int:
+        if self._guards is not None:
+            self._guards.discard(guard_id)
+        return 0

@@ -1,0 +1,163 @@
+"""Multi-process HerQules sessions.
+
+:func:`repro.core.framework.run_program` wires a private kernel and
+verifier per run — convenient for experiments, but the deployed system
+has **one** verifier serving **many** monitored programs (Figure 1),
+each with its own per-core AMR (section 2.3.2), with policy contexts
+keyed by pid and copied on fork.  :class:`HQSession` models that
+deployment:
+
+* one :class:`~repro.sim.kernel.Kernel` + HQ kernel module,
+* one :class:`~repro.core.verifier.Verifier` with a policy context per
+  monitored pid,
+* one AppendWrite channel per monitored program, all drained by the
+  single verifier (the one-reader/many-AMRs pattern).
+
+Programs run one at a time (the simulation is single-threaded) but
+share all verifier and kernel state, so cross-process isolation
+properties — a violation in one program never affects another's context
+— are real and tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cfi.designs import get_design
+from repro.cfi.hq_cfi import HQCFIPolicy
+from repro.compiler import ir
+from repro.compiler.passes.base import PassManager
+from repro.core.framework import RunResult, _wire_channel
+from repro.core.policy import Policy
+from repro.core.runtime import HQRuntime
+from repro.core.verifier import Verifier
+from repro.ipc.base import Channel
+from repro.sim.cpu import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    ProcessKilledError,
+    ProgramCrash,
+)
+from repro.sim.kernel import HQKernelModule, Kernel
+from repro.sim.loader import Image
+from repro.sim.memory import SegmentationFault
+from repro.sim.process import HeapError, Process
+
+
+@dataclass
+class MonitoredProgram:
+    """One registered program and its per-process plumbing."""
+
+    name: str
+    process: Process
+    channel: Channel
+    interpreter: Interpreter
+    result: Optional[RunResult] = None
+
+
+class HQSession:
+    """A long-lived verifier + kernel serving multiple programs.
+
+    Typical use::
+
+        session = HQSession(design="hq-sfestk")
+        a = session.register(build_module(profile_a))
+        b = session.register(build_module(profile_b))
+        session.run(a)
+        session.run(b)
+        session.verifier.total_messages()
+    """
+
+    def __init__(self, design: str = "hq-sfestk", channel: str = "model",
+                 policy_factory: Callable[[], Policy] = HQCFIPolicy,
+                 kill_on_violation: bool = True,
+                 channel_kwargs: Optional[dict] = None) -> None:
+        config = get_design(design)
+        if not config.monitored:
+            raise ValueError(
+                f"design {design!r} does not use the verifier; sessions "
+                f"only make sense for monitored (HQ) designs")
+        self.config = config
+        self.channel_kind = channel
+        self.channel_kwargs = channel_kwargs or {}
+        self.verifier = Verifier(policy_factory)
+        self.hq_module = HQKernelModule(
+            self.verifier, kill_on_violation=kill_on_violation)
+        self.kernel = Kernel(self.hq_module)
+        self.programs: Dict[int, MonitoredProgram] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def register(self, module: ir.Module,
+                 name: Optional[str] = None) -> MonitoredProgram:
+        """Compile and register a program; returns its handle.
+
+        Mirrors Figure 1's steps 1a/1b: the program enables HerQules,
+        the kernel registers it with the verifier, and a fresh
+        AppendWrite channel (its per-core AMR) is attached.
+        """
+        PassManager(self.config.passes()).run(module)
+        process = Process(name=name or module.name)
+        channel = _wire_channel(self.channel_kind, self.verifier,
+                                **self.channel_kwargs)
+        self.verifier.attach_channel(channel)
+        self.kernel.attach(process)
+        self.hq_module.enable(process)
+
+        runtime = self.config.runtime(channel)
+        options = self.config.exec_options()
+        image = Image(module, process)
+        interpreter = Interpreter(image, runtime, options,
+                                  self.kernel.syscall,
+                                  on_step=self.verifier.poll)
+        program = MonitoredProgram(process.name, process, channel,
+                                   interpreter)
+        self.programs[process.pid] = program
+        return program
+
+    def run(self, program: MonitoredProgram, entry: str = "main",
+            entry_args: Optional[Sequence[int]] = None) -> RunResult:
+        """Execute one registered program to completion."""
+        result = RunResult(design=self.config.name,
+                           channel=self.channel_kind, outcome="ok")
+        try:
+            result.exit_status = program.interpreter.run(
+                entry, list(entry_args or []))
+        except ProcessKilledError as error:
+            result.outcome = "killed"
+            result.detail = error.reason
+        except ExecutionLimitExceeded as error:
+            result.outcome = "hang"
+            result.detail = str(error)
+        except (ProgramCrash, SegmentationFault, HeapError) as error:
+            result.outcome = "crash"
+            result.detail = str(error)
+        self.verifier.poll()
+        result.violations = self.verifier.all_violations(
+            program.process.pid)
+        runtime = program.interpreter.runtime
+        if isinstance(runtime, HQRuntime):
+            result.messages_sent = runtime.messages_sent
+        result.cycles = program.process.cycles.snapshot()
+        result.output = list(self.kernel.stdout.get(
+            program.process.pid, []))
+        result.win_executed = program.process.pid in \
+            self.kernel.win_executed
+        program.result = result
+        return result
+
+    def run_all(self) -> List[RunResult]:
+        """Run every registered program that has not run yet."""
+        return [self.run(program) for program in self.programs.values()
+                if program.result is None]
+
+    # -- session-level introspection ----------------------------------------------
+
+    def violations_by_pid(self) -> Dict[int, int]:
+        """How many violations each monitored pid accumulated."""
+        return {pid: len(self.verifier.all_violations(pid))
+                for pid in self.programs}
+
+    def total_messages(self) -> int:
+        return self.verifier.total_messages()

@@ -1,0 +1,170 @@
+"""The HerQules verifier process (section 3.4).
+
+A user-space process that receives messages from monitored programs via
+AppendWrite and is notified of process events by the kernel module over
+a privileged channel.  It maintains a policy context per monitored pid,
+dispatches each received message to the right context, records
+violations, and hands syscall-synchronization tokens back to the kernel
+module so paused system calls can resume.
+
+In the real system the verifier runs concurrently on another core; here
+the scheduler is cooperative — :meth:`poll` is the verifier's time
+slice, invoked by the kernel at synchronization points and periodically
+by the framework to model background draining.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.messages import Message, Op
+from repro.core.policy import Policy, PolicyStats, Violation
+from repro.ipc.base import Channel, ChannelIntegrityError
+
+
+class Verifier:
+    """Policy-enforcement verifier.
+
+    ``policy_factory`` creates a fresh policy context when a process
+    registers.  ``kill_callback`` (optional) is invoked with the pid on
+    violation — the default configuration kills monitored programs on
+    violation or unexpected verifier termination (section 3.4); the
+    actual kill is carried out by the kernel module, which polls
+    :meth:`has_violation`.
+    """
+
+    def __init__(self, policy_factory: Callable[[], Policy],
+                 kill_callback: Optional[Callable[[int], None]] = None) -> None:
+        self._policy_factory = policy_factory
+        self._kill_callback = kill_callback
+        self.channels: List[Channel] = []
+        self.contexts: Dict[int, Policy] = {}
+        self.stats: Dict[int, PolicyStats] = {}
+        self.violations: Dict[int, List[Violation]] = {}
+        self._pending_violation: Dict[int, bool] = {}
+        self._syscall_tokens: Dict[int, int] = {}
+        self.integrity_failures: List[str] = []
+        self.terminated = False
+
+    # -- channel plumbing -------------------------------------------------------
+
+    def attach_channel(self, channel: Channel) -> None:
+        """Start reading a monitored program's AppendWrite channel.
+
+        One reader core iterates over all mapped AMRs (section 2.3.2),
+        so a single verifier serves many channels.
+        """
+        self.channels.append(channel)
+
+    # -- process lifecycle (privileged kernel channel) -----------------------------
+
+    def register_process(self, pid: int) -> None:
+        """Kernel notification: a process enabled HerQules (Figure 1, 1b)."""
+        self.contexts[pid] = self._policy_factory()
+        self.stats[pid] = PolicyStats()
+        self.violations[pid] = []
+        self._pending_violation[pid] = False
+        self._syscall_tokens[pid] = 0
+
+    def fork_process(self, parent_pid: int, child_pid: int) -> None:
+        """Kernel notification: copy the parent's policy context."""
+        parent = self.contexts.get(parent_pid)
+        self.contexts[child_pid] = (parent.clone() if parent is not None
+                                    else self._policy_factory())
+        self.stats[child_pid] = PolicyStats()
+        self.violations[child_pid] = []
+        self._pending_violation[child_pid] = False
+        self._syscall_tokens[child_pid] = 0
+
+    def unregister_process(self, pid: int) -> None:
+        """Kernel notification: the process terminated."""
+        self.contexts.pop(pid, None)
+
+    # -- the main loop --------------------------------------------------------------
+
+    def poll(self) -> int:
+        """Drain all channels and process every pending message.
+
+        Returns the number of messages processed.  A transport
+        integrity failure (dropped/tampered messages) is treated as a
+        violation for every process on that channel.
+        """
+        if self.terminated:
+            return 0
+        processed = 0
+        for channel in self.channels:
+            try:
+                messages = channel.receive_all()
+            except ChannelIntegrityError as error:
+                self.integrity_failures.append(str(error))
+                for pid in self.contexts:
+                    self._record_violation(Violation(
+                        pid, "message-integrity", str(error)))
+                continue
+            for message in messages:
+                self._dispatch(message)
+                processed += 1
+        return processed
+
+    def _dispatch(self, message: Message) -> None:
+        pid = message.pid
+        if message.op is Op.SYSCALL:
+            # All outstanding messages from this pid have been processed
+            # (channel ordering): hand the kernel a resume token.
+            self._syscall_tokens[pid] = self._syscall_tokens.get(pid, 0) + 1
+            if pid in self.stats:
+                self.stats[pid].record(message, self._entries(pid), False)
+            return
+        context = self.contexts.get(pid)
+        if context is None:
+            # Message from an unregistered pid: ignore (cannot happen
+            # with kernel-arbitrated channels; kept for robustness).
+            return
+        violation = context.handle(message)
+        self.stats[pid].record(message, self._entries(pid),
+                               violation is not None)
+        if violation is not None:
+            self._record_violation(violation)
+
+    def _entries(self, pid: int) -> int:
+        context = self.contexts.get(pid)
+        return context.entry_count() if context is not None else 0
+
+    def _record_violation(self, violation: Violation) -> None:
+        self.violations.setdefault(violation.pid, []).append(violation)
+        self._pending_violation[violation.pid] = True
+        if self._kill_callback is not None:
+            self._kill_callback(violation.pid)
+
+    # -- kernel-module interface ------------------------------------------------------
+
+    def has_violation(self, pid: int) -> bool:
+        """Whether an unacknowledged violation is pending for ``pid``."""
+        return self._pending_violation.get(pid, False)
+
+    def acknowledge_violation(self, pid: int) -> None:
+        """Clear the pending flag (continue-on-violation mode)."""
+        self._pending_violation[pid] = False
+
+    def consume_syscall_token(self, pid: int) -> bool:
+        """Consume one syscall-synchronization token, if available."""
+        if self._syscall_tokens.get(pid, 0) > 0:
+            self._syscall_tokens[pid] -= 1
+            return True
+        return False
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def all_violations(self, pid: int) -> List[Violation]:
+        return list(self.violations.get(pid, []))
+
+    def total_messages(self) -> int:
+        return sum(stats.messages_processed for stats in self.stats.values())
+
+    def terminate(self) -> None:
+        """Unexpected verifier termination: monitored programs die too
+        (section 3.4's default behaviour), modelled by the kernel seeing
+        ``terminated`` and treating everything as violated."""
+        self.terminated = True
+        for pid in self._pending_violation:
+            self._pending_violation[pid] = True

@@ -1,0 +1,13 @@
+"""IPC primitives: AppendWrite and the Table 2 comparison set."""
+
+from repro.ipc.appendwrite import (
+    AppendWriteFPGA,
+    AppendWriteModel,
+    AppendWriteUArch,
+)
+from repro.ipc.base import Channel, ChannelIntegrityError
+from repro.ipc.registry import available_primitives, create_channel
+
+__all__ = ["AppendWriteFPGA", "AppendWriteModel", "AppendWriteUArch",
+           "Channel", "ChannelIntegrityError", "available_primitives",
+           "create_channel"]

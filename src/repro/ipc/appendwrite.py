@@ -1,0 +1,258 @@
+"""The AppendWrite IPC primitive (paper sections 2.3 and 3.1).
+
+AppendWrite guarantees message *authenticity* (every message carries a
+kernel/hardware-stamped pid) and *integrity* (messages are append-only:
+once sent they cannot be modified or erased by the sender).  Three
+implementations are modelled:
+
+* :class:`AppendWriteFPGA` — the Intel PAC accelerator (section 3.1.1):
+  messages are assembled from word-granularity uncached MMIO writes,
+  stamped with a kernel-managed PID register, given a consecutive
+  per-message counter, and DMA'd into a pinned circular buffer in the
+  verifier.  The AFU has no back-pressure, so a full buffer drops
+  messages, detected by the verifier as a counter gap (an integrity
+  violation that kills the monitored program).  Cost: 102 ns/send.
+
+* :class:`AppendWriteUArch` — the ISA extension (section 2.3.2): two
+  privileged per-core registers (*AppendAddr*, *MaxAppendAddr*) name an
+  appendable memory region (AMR) whose pages the MMU protects from
+  ordinary stores; the ``AppendWrite`` instruction copies a fixed-size
+  message and auto-increments *AppendAddr*, faulting to the kernel when
+  the region is exhausted.  Cost: < 2 ns/send (one store).
+
+* :class:`AppendWriteModel` — the paper's software-only model of the
+  ISA extension (section 5.3.1, the ``-MODEL`` configurations): it
+  "fetches, checks, and increments an AppendAddr variable in shared
+  memory, and waits for the verifier if the message buffer is full."
+  It lacks hardware append-only enforcement (the paper notes it "should
+  not actually be deployed") but gives a lower-bound performance
+  estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.messages import MESSAGE_BYTES, MESSAGE_WORDS, Message
+from repro.ipc.base import Channel, ChannelFullError, ChannelIntegrityError
+from repro.ipc.latency import send_cycles
+from repro.sim.cycles import ns_to_cycles
+from repro.sim.memory import Memory, PROT_AMR, PROT_READ, WORD_SIZE, align_up
+from repro.sim.process import Process
+
+
+class _CounterChecked(Channel):
+    """Shared receive-side logic: verify consecutive message counters.
+
+    "The verifier checks that each message has a consecutive counter
+    value; otherwise, the monitored program must be terminated due to
+    violation of message integrity" (section 3.1.1).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._expected_counter = 1
+
+    def _check_counters(self, messages: List[Message]) -> List[Message]:
+        for message in messages:
+            if message.counter != self._expected_counter:
+                raise ChannelIntegrityError(
+                    f"counter gap: expected {self._expected_counter}, "
+                    f"got {message.counter} (messages dropped or tampered)"
+                )
+            self._expected_counter += 1
+        return messages
+
+
+class AppendWriteFPGA(_CounterChecked):
+    """FPGA accelerator implementation of AppendWrite.
+
+    ``capacity`` is the circular buffer size in messages; the paper uses
+    1 GB so drops never occur in practice, and the default here is
+    similarly generous.  Shrinking it (see the ablation benchmarks)
+    demonstrates drop detection.
+    """
+
+    primitive = "fpga"
+    append_only = True
+    async_validation = True
+    primary_cost = "Mem. Write"
+
+    #: MMIO writes needed per message: operation-specific registers let
+    #: most messages be created with at most two writes (section 3.1.1).
+    MMIO_WRITES_PER_MESSAGE = 2
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        super().__init__(capacity)
+        self._ring: List[Message] = []
+        #: Kernel-managed PID register, updated on context switch; this
+        #: is what makes the pid stamp unforgeable by the sender.
+        self.pid_register: Optional[int] = None
+
+    def context_switch(self, pid: int) -> None:
+        """Kernel hook: update the AFU PID register on a context switch."""
+        self.pid_register = pid
+
+    def send(self, sender: Process, message: Message) -> None:
+        if self.pid_register is None:
+            # The kernel switched this process in before it ran.
+            self.pid_register = sender.pid
+        sender.cycles.charge_ipc(send_cycles(self.primitive))
+        counter = self._next_counter()
+        self.sent_total += 1
+        if len(self._ring) >= self.capacity:
+            # No back-pressure: the message is lost, leaving a counter gap
+            # that the verifier will observe.
+            self.dropped_total += 1
+            return
+        # The AFU, not the sender, stamps pid: a compromised program that
+        # claims another pid in its message payload is overridden here.
+        self._ring.append(message.with_transport(self.pid_register, counter))
+
+    def receive_all(self) -> List[Message]:
+        messages = self._check_counters(list(self._ring))
+        self._ring.clear()
+        return messages
+
+    def pending(self) -> int:
+        return len(self._ring)
+
+
+class AMRFullFault(Exception):
+    """AppendWrite would exceed MaxAppendAddr: fault to the kernel.
+
+    The kernel "can allocate a new buffer or reset address registers, if
+    the AMR has been fully read" (section 2.3.2).
+    """
+
+
+class AppendWriteUArch(_CounterChecked):
+    """Microarchitectural AppendWrite over a real simulated AMR.
+
+    The AMR is a run of pages mapped ``PROT_READ | PROT_AMR`` inside
+    ``memory`` (the verifier's address space, or a standalone region):
+    readable by the verifier, writable *only* through the AppendWrite
+    datapath — ordinary stores fault, which ``tests/test_appendwrite.py``
+    verifies.  ``on_full`` is the kernel's AMR-exhaustion handler; the
+    default drains unread messages into the receive path and resets
+    *AppendAddr*, exactly the recovery section 2.3.2 describes.
+    """
+
+    primitive = "uarch"
+    append_only = True
+    async_validation = True
+    primary_cost = "Mem. Write"
+
+    def __init__(self, capacity: int = 1 << 16,
+                 memory: Optional[Memory] = None,
+                 base: int = 0x4000_0000,
+                 on_full: Optional[Callable[["AppendWriteUArch"], None]] = None) -> None:
+        super().__init__(capacity)
+        self.memory = memory if memory is not None else Memory()
+        size = align_up(capacity * MESSAGE_BYTES)
+        self.memory.map_region(base, size, PROT_READ | PROT_AMR, "amr")
+        self.base = base
+        #: Privileged per-core registers (section 2.3.2).
+        self.append_addr = base
+        self.max_append_addr = base + capacity * MESSAGE_BYTES
+        #: Verifier's read cursor.
+        self.read_addr = base
+        self._on_full = on_full
+        self._staged: List[Message] = []
+        self.faults = 0
+
+    def send(self, sender: Process, message: Message) -> None:
+        sender.cycles.charge_ipc(send_cycles(self.primitive))
+        if self.append_addr + MESSAGE_BYTES > self.max_append_addr:
+            self.faults += 1
+            if self._on_full is not None:
+                self._on_full(self)
+            else:
+                self._drain_to_staging()
+                self.reset_registers()
+            if self.append_addr + MESSAGE_BYTES > self.max_append_addr:
+                raise AMRFullFault("AMR full and kernel handler did not recover")
+        stamped = message.with_transport(sender.pid, self._next_counter())
+        for i, word in enumerate(stamped.encode()):
+            # The AppendWrite datapath store: permitted on AMR pages where
+            # ordinary stores are rejected by the MMU.
+            self.memory.append_store(self.append_addr + i * WORD_SIZE, word)
+        self.append_addr += MESSAGE_BYTES
+        self.sent_total += 1
+
+    def _drain_to_staging(self) -> None:
+        """Kernel-side: move unread AMR contents aside before a reset."""
+        self._staged.extend(self._read_amr())
+
+    def reset_registers(self) -> None:
+        """Kernel-side: rewind AppendAddr once the AMR has been read."""
+        self.append_addr = self.base
+        self.read_addr = self.base
+
+    def _read_amr(self) -> List[Message]:
+        messages = []
+        address = self.read_addr
+        while address < self.append_addr:
+            words = [self.memory.load_physical(address + i * WORD_SIZE)
+                     for i in range(MESSAGE_WORDS)]
+            messages.append(Message.decode(words))
+            address += MESSAGE_BYTES
+        self.read_addr = address
+        return messages
+
+    def receive_all(self) -> List[Message]:
+        messages = self._staged + self._read_amr()
+        self._staged = []
+        return self._check_counters(messages)
+
+    def pending(self) -> int:
+        return len(self._staged) + (self.append_addr - self.read_addr) // MESSAGE_BYTES
+
+
+class AppendWriteModel(_CounterChecked):
+    """Software-only model of AppendWrite-uarch (the ``-MODEL`` runs).
+
+    Per-send cost models the shared-memory fetch/check/increment of an
+    AppendAddr variable plus the message copy.  When the buffer fills,
+    the sender *waits* for the verifier to drain it (charged as stall
+    cycles, which only the MODEL accounting counts — see
+    :class:`repro.sim.cycles.AccountingMode`).  There is no hardware
+    append-only enforcement; deployment would be unsafe, but as a
+    performance model it lower-bounds the real hardware.
+    """
+
+    primitive = "model"
+    append_only = False  # software-only: no hardware enforcement
+    async_validation = True
+    primary_cost = "Mem. Write"
+
+    #: Stall charged when a send finds the buffer full and must wait for
+    #: the verifier to catch up (one drain round trip).
+    FULL_WAIT_NS = 2000.0
+
+    def __init__(self, capacity: int = 1 << 16,
+                 on_full: Optional[Callable[["AppendWriteModel"], None]] = None) -> None:
+        super().__init__(capacity)
+        self._ring: List[Message] = []
+        self._on_full = on_full
+        self.full_waits = 0
+
+    def send(self, sender: Process, message: Message) -> None:
+        sender.cycles.charge_ipc(send_cycles(self.primitive))
+        if len(self._ring) >= self.capacity:
+            self.full_waits += 1
+            sender.cycles.charge_wait(ns_to_cycles(self.FULL_WAIT_NS))
+            if self._on_full is not None:
+                self._on_full(self)
+            if len(self._ring) >= self.capacity:
+                raise ChannelFullError("model buffer full and verifier absent")
+        self._ring.append(message.with_transport(sender.pid, self._next_counter()))
+        self.sent_total += 1
+
+    def receive_all(self) -> List[Message]:
+        messages = self._check_counters(list(self._ring))
+        self._ring.clear()
+        return messages
+
+    def pending(self) -> int:
+        return len(self._ring)

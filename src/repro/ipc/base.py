@@ -1,0 +1,99 @@
+"""Abstract IPC channel interface.
+
+Every primitive from paper Table 2 implements this interface so the
+framework, micro-benchmarks, and security tests can swap transports.
+A channel moves :class:`~repro.core.messages.Message` objects from a
+*monitored program* to the *verifier*, stamping each with the sender's
+pid (authenticity) and a transport counter (drop/integrity detection),
+and charging the sender the primitive's per-send cycle cost.
+
+Two orthogonal properties distinguish the primitives (Table 2):
+
+* ``append_only`` — once sent, a message cannot be modified or erased
+  by the (possibly compromised) sender.  Channels lacking this property
+  expose :meth:`corrupt` / :meth:`erase` so the attack suite can
+  demonstrate the weakness.
+* ``async_validation`` — a send does not block the sender on the
+  receiver; cost stays off the critical path (memory write vs system
+  call / context switch).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.core.messages import Message
+from repro.sim.process import Process
+
+
+class ChannelIntegrityError(Exception):
+    """The receiver observed evidence of message loss or tampering."""
+
+
+class ChannelFullError(Exception):
+    """The channel buffer is full and the primitive cannot block."""
+
+
+class Channel(abc.ABC):
+    """One sender→verifier message channel.
+
+    The kernel arbitrates channel creation in the real system, which is
+    what makes the pid stamp trustworthy; here the channel is constructed
+    bound to a sender pid and stamps it on every message.
+    """
+
+    #: Primitive key into :data:`repro.ipc.latency.SEND_NS`.
+    primitive: str = ""
+    #: Whether sent messages are immutable from the sender's side.
+    append_only: bool = True
+    #: Whether validation is decoupled from the sender's critical path.
+    async_validation: bool = True
+    #: Human-readable primary cost, as in Table 2.
+    primary_cost: str = ""
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity <= 0:
+            raise ValueError("channel capacity must be positive")
+        self.capacity = capacity
+        self._counter = 0
+        self.sent_total = 0
+        self.dropped_total = 0
+
+    def _next_counter(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    @abc.abstractmethod
+    def send(self, sender: Process, message: Message) -> None:
+        """Transmit ``message`` from ``sender``, charging its cycle cost."""
+
+    @abc.abstractmethod
+    def receive_all(self) -> List[Message]:
+        """Drain and return all pending messages, in order.
+
+        Raises :class:`ChannelIntegrityError` if the transport detects a
+        counter gap (dropped or overwritten messages).
+        """
+
+    @abc.abstractmethod
+    def pending(self) -> int:
+        """Number of messages waiting to be received."""
+
+    # -- integrity-attack surface (non-append-only channels only) ----------
+
+    def corrupt(self, index: int, message: Message) -> None:
+        """Overwrite the ``index``-th pending message (attack model).
+
+        Only meaningful for channels without append-only semantics;
+        append-only channels refuse.
+        """
+        raise PermissionError(
+            f"{type(self).__name__} is append-only; sent messages are immutable"
+        )
+
+    def erase(self, count: Optional[int] = None) -> None:
+        """Erase pending messages (attack model); refuse if append-only."""
+        raise PermissionError(
+            f"{type(self).__name__} is append-only; sent messages are immutable"
+        )

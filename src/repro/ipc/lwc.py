@@ -1,0 +1,53 @@
+"""Light-weight contexts (LWC): disjoint-address-space messaging.
+
+Litton et al.'s light-weight contexts [70] provide isolated snapshots
+within one process; switching between them reconfigures the MMU and
+costs ~2010 ns per switch — and message delivery needs a switch *to*
+the verifier context and another one *back* (section 2.3: the cost
+"would be on the critical path, and occur both to and from the verifier
+on each sent message").  Messages handed over during a switch are
+append-only (the sender context cannot touch verifier memory), but the
+send is fully synchronous.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.core.messages import Message
+from repro.ipc.base import Channel, ChannelFullError
+from repro.ipc.latency import send_cycles
+from repro.sim.process import Process
+
+
+class LightWeightContextChannel(Channel):
+    """One message per pair of LWC context switches."""
+
+    primitive = "lwc"
+    append_only = True
+    async_validation = False
+    primary_cost = "System Call"
+
+    #: Switches per message: one into the verifier context, one back.
+    SWITCHES_PER_SEND = 2
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        super().__init__(capacity)
+        self._queue: Deque[Message] = deque()
+
+    def send(self, sender: Process, message: Message) -> None:
+        if len(self._queue) >= self.capacity:
+            raise ChannelFullError("LWC mailbox full")
+        cost = send_cycles(self.primitive) * self.SWITCHES_PER_SEND
+        sender.cycles.charge_syscall(cost)
+        self._queue.append(message.with_transport(sender.pid, self._next_counter()))
+        self.sent_total += 1
+
+    def receive_all(self) -> List[Message]:
+        messages = list(self._queue)
+        self._queue.clear()
+        return messages
+
+    def pending(self) -> int:
+        return len(self._queue)

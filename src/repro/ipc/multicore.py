@@ -1,0 +1,125 @@
+"""Multi-writer AMRs, message ordering, and bidirectional channels.
+
+Section 2.3.2: AppendWrite-uarch configures AMRs through *core-local*
+registers, so cross-core writers are not supported (that would cost
+cache-coherency traffic); instead "each writer core must be assigned a
+unique AMR, although a single reader core can iteratively receive
+messages on all mapped AMRs".  When a policy needs cross-core message
+ordering, "individual messages can include the value of a global
+counter (e.g. processor timestamp counter)".
+
+Section 4.3 adds *bidirectional communication* "between two processor
+cores, e.g., by allocating one buffer for each core, and configuring
+each core to transmit append-only messages to the other buffer".
+
+This module implements all three patterns on top of
+:class:`~repro.ipc.appendwrite.AppendWriteUArch`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import Message
+from repro.ipc.appendwrite import AppendWriteUArch
+from repro.sim.memory import Memory
+from repro.sim.process import Process
+
+
+class TimestampCounter:
+    """A monotonically increasing global counter (the TSC).
+
+    Shared by every core; sampling it is how concurrent writers
+    establish a total order over their messages.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def read(self) -> int:
+        return next(self._counter)
+
+
+class PerCoreAMRs:
+    """One AMR per writer core, drained by a single reader.
+
+    ``send(core, process, message)`` appends to that core's AMR; the
+    reader's :meth:`receive_all` iterates over every mapped AMR.  With
+    ``order_by_timestamp`` each message is stamped from the shared
+    :class:`TimestampCounter` (carried in the ``aux`` field) and the
+    merged stream is sorted by it, restoring a global order that the
+    per-core buffers alone cannot provide.
+    """
+
+    #: AMR virtual-address stride between cores.
+    REGION_STRIDE = 0x0100_0000
+
+    def __init__(self, cores: int, capacity_per_core: int = 1 << 12,
+                 order_by_timestamp: bool = True,
+                 tsc: Optional[TimestampCounter] = None) -> None:
+        if cores <= 0:
+            raise ValueError("need at least one core")
+        self.cores = cores
+        self.order_by_timestamp = order_by_timestamp
+        self.tsc = tsc if tsc is not None else TimestampCounter()
+        memory = Memory()  # the verifier's address space
+        self.channels: List[AppendWriteUArch] = [
+            AppendWriteUArch(capacity=capacity_per_core, memory=memory,
+                             base=0x4000_0000 + core * self.REGION_STRIDE)
+            for core in range(cores)
+        ]
+
+    def send(self, core: int, sender: Process, message: Message) -> None:
+        """Append from ``core``; cross-core sends are a configuration
+        error, exactly as the hardware's core-local registers make them."""
+        if not 0 <= core < self.cores:
+            raise IndexError(f"core {core} has no AMR (have {self.cores})")
+        if self.order_by_timestamp:
+            message = Message(message.op, message.arg0, message.arg1,
+                              self.tsc.read(), message.pid, message.counter)
+        self.channels[core].send(sender, message)
+
+    def receive_all(self) -> List[Message]:
+        """Drain every core's AMR; globally ordered if timestamping."""
+        merged: List[Tuple[int, int, Message]] = []
+        for core, channel in enumerate(self.channels):
+            for message in channel.receive_all():
+                merged.append((message.aux if self.order_by_timestamp else 0,
+                               core, message))
+        merged.sort(key=lambda item: (item[0], item[1]))
+        return [message for _, _, message in merged]
+
+    def pending(self) -> int:
+        return sum(channel.pending() for channel in self.channels)
+
+
+class BidirectionalChannel:
+    """Two cores exchanging append-only messages (section 4.3).
+
+    Each endpoint owns a receive buffer that only the *other* endpoint's
+    AppendWrite datapath may write — both directions retain the
+    append-only integrity guarantee.
+    """
+
+    def __init__(self, capacity: int = 1 << 12) -> None:
+        memory = Memory()
+        self._towards: Dict[int, AppendWriteUArch] = {
+            0: AppendWriteUArch(capacity=capacity, memory=memory,
+                                base=0x5000_0000),
+            1: AppendWriteUArch(capacity=capacity, memory=memory,
+                                base=0x5800_0000),
+        }
+
+    def send(self, from_core: int, sender: Process,
+             message: Message) -> None:
+        """Send from ``from_core`` to the opposite endpoint."""
+        if from_core not in (0, 1):
+            raise IndexError("bidirectional channel has endpoints 0 and 1")
+        self._towards[1 - from_core].send(sender, message)
+
+    def receive(self, at_core: int) -> List[Message]:
+        """Messages addressed to ``at_core``."""
+        if at_core not in (0, 1):
+            raise IndexError("bidirectional channel has endpoints 0 and 1")
+        return self._towards[at_core].receive_all()

@@ -1,0 +1,46 @@
+"""Registry of IPC primitives by the paper's configuration postfixes.
+
+The evaluation names configurations by primitive: ``-MQ`` for POSIX
+message queues, ``-FPGA`` for the accelerator, ``-SIM`` for the
+hardware simulation of AppendWrite-uarch, and ``-MODEL`` for its
+software model (section 5).  This registry maps those names (plus the
+remaining Table 2 primitives) to channel factories.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ipc.appendwrite import AppendWriteFPGA, AppendWriteModel, AppendWriteUArch
+from repro.ipc.base import Channel
+from repro.ipc.lwc import LightWeightContextChannel
+from repro.ipc.posix import MessageQueueChannel, NamedPipeChannel, SocketChannel
+from repro.ipc.shared_memory import SharedMemoryChannel
+
+_FACTORIES: Dict[str, Callable[..., Channel]] = {
+    "mq": MessageQueueChannel,
+    "pipe": NamedPipeChannel,
+    "socket": SocketChannel,
+    "shm": SharedMemoryChannel,
+    "lwc": LightWeightContextChannel,
+    "fpga": AppendWriteFPGA,
+    "sim": AppendWriteUArch,
+    "uarch": AppendWriteUArch,
+    "model": AppendWriteModel,
+}
+
+
+def available_primitives() -> List[str]:
+    """Names accepted by :func:`create_channel`."""
+    return sorted(_FACTORIES)
+
+
+def create_channel(primitive: str, **kwargs) -> Channel:
+    """Instantiate the channel for ``primitive`` (case-insensitive)."""
+    key = primitive.lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown IPC primitive {primitive!r}; "
+            f"choose from {available_primitives()}"
+        )
+    return _FACTORIES[key](**kwargs)

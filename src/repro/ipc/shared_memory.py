@@ -1,0 +1,76 @@
+"""Raw shared-memory ring buffer: fast but lacks message integrity.
+
+A plain shared mapping costs only a memory write per send (12 ns, Table
+2) and keeps validation off the critical path — but the writer retains
+write access to the whole ring, so a compromised program can corrupt or
+erase previously-written messages before the verifier reads them
+(section 2.3: "fast IPC primitives, like shared memory, lack semantic
+access control").  :meth:`corrupt` and :meth:`erase` expose exactly
+that attack surface; ``tests/test_ipc_security.py`` demonstrates the
+resulting evidence destruction, which AppendWrite is designed to
+prevent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.messages import Message
+from repro.ipc.base import Channel, ChannelFullError
+from repro.ipc.latency import send_cycles
+from repro.sim.process import Process
+
+
+class SharedMemoryChannel(Channel):
+    """Writer-shared ring buffer with no append-only enforcement."""
+
+    primitive = "shm"
+    append_only = False
+    async_validation = True
+    primary_cost = "Mem. Write"
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        super().__init__(capacity)
+        self._ring: List[Message] = []
+
+    def send(self, sender: Process, message: Message) -> None:
+        if len(self._ring) >= self.capacity:
+            raise ChannelFullError("shared-memory ring full")
+        sender.cycles.charge_ipc(send_cycles(self.primitive))
+        self._ring.append(message.with_transport(sender.pid, self._next_counter()))
+        self.sent_total += 1
+
+    def receive_all(self) -> List[Message]:
+        messages = list(self._ring)
+        self._ring.clear()
+        return messages
+
+    def pending(self) -> int:
+        return len(self._ring)
+
+    # -- the attack surface --------------------------------------------------
+
+    def corrupt(self, index: int, message: Message) -> None:
+        """Overwrite a pending message in place, preserving its counter.
+
+        Because the writer owns the mapping, the replacement is
+        indistinguishable from a legitimate message: the counter value is
+        reused, so the verifier sees no gap.
+        """
+        original = self._ring[index]
+        self._ring[index] = message.with_transport(original.pid, original.counter)
+
+    def erase(self, count: Optional[int] = None) -> None:
+        """Erase the most recent ``count`` pending messages (all if None).
+
+        Models a compromised writer rewinding the ring's head index; the
+        verifier simply never observes the erased messages.  Counters are
+        rewound too, so no gap is detectable.
+        """
+        if count is None:
+            count = len(self._ring)
+        if count < 0 or count > len(self._ring):
+            raise ValueError("erase count out of range")
+        for _ in range(count):
+            self._ring.pop()
+            self._counter -= 1

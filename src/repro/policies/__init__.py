@@ -1,0 +1,12 @@
+"""Non-CFI execution policies (sections 4.2 and 4.3)."""
+
+from repro.policies.call_counter import CallCounterPass, CallCounterPolicy
+from repro.policies.dfi import DFIPass, DFIPolicy
+from repro.policies.memory_safety import MemorySafetyPolicy
+from repro.policies.redundancy import run_redundant
+from repro.policies.taint import TaintPass, TaintPolicy
+from repro.policies.watchdog import WatchdogPass, WatchdogPolicy
+
+__all__ = ["CallCounterPass", "CallCounterPolicy", "DFIPass", "DFIPolicy",
+           "MemorySafetyPolicy", "TaintPass", "TaintPolicy",
+           "WatchdogPass", "WatchdogPolicy", "run_redundant"]

@@ -1,0 +1,111 @@
+"""Taint-tracking policy (one of the section 4.3 examples).
+
+The verifier maintains the taint state of memory: addresses written
+with attacker-derived data are *tainted*; taint propagates through
+copies; using a tainted value at a *sink* (an indirect-call target, a
+system-call argument) is a violation.  Message semantics:
+
+* ``EVENT(TAINT_SOURCE, address)`` — data from an untrusted source was
+  written at ``address``.
+* ``EVENT(TAINT_PROPAGATE, ...)`` — not needed as a distinct opcode:
+  propagation reuses ``Pointer-Block-Copy`` semantics (a copy carries
+  taint with it), showing how policies can share message vocabulary.
+* ``EVENT(TAINT_SINK, address)`` — the value at ``address`` is about to
+  reach a security-sensitive sink; tainted ⇒ violation.
+* ``EVENT(TAINT_CLEAR, address)`` — the program sanitized the value.
+
+:class:`TaintPass` provides a minimal instrumentation: syscall *read*
+results are sources, indirect-call targets are sinks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.compiler import ir
+from repro.compiler.passes.base import ModulePass
+from repro.core.messages import Message, Op
+from repro.core.policy import Policy, Violation
+
+#: Event kinds carried in ``EVENT`` messages.
+TAINT_SOURCE = 10
+TAINT_SINK = 11
+TAINT_CLEAR = 12
+
+#: Syscall numbers treated as untrusted input sources.
+SOURCE_SYSCALLS = (0,)  # read
+
+
+class TaintPolicy(Policy):
+    """Track tainted addresses; reject tainted values at sinks."""
+
+    name = "taint"
+
+    def __init__(self) -> None:
+        self.tainted: Set[int] = set()
+        self.sink_checks = 0
+
+    def handle(self, message: Message) -> Optional[Violation]:
+        if message.op is Op.POINTER_BLOCK_COPY:
+            # Copies propagate taint (shared message vocabulary).
+            src, dst, size = message.arg0, message.arg1, message.aux
+            carried = [a for a in self.tainted if src <= a < src + size]
+            for address in carried:
+                self.tainted.add(dst + (address - src))
+            return None
+        if message.op is not Op.EVENT:
+            return None
+        kind, address = message.arg0, message.arg1
+        if kind == TAINT_SOURCE:
+            self.tainted.add(address)
+        elif kind == TAINT_CLEAR:
+            self.tainted.discard(address)
+        elif kind == TAINT_SINK:
+            self.sink_checks += 1
+            if address in self.tainted:
+                return Violation(message.pid, "taint",
+                                 f"tainted value at {address:#x} reached "
+                                 f"a security-sensitive sink", message)
+        return None
+
+    def clone(self) -> "TaintPolicy":
+        child = TaintPolicy()
+        child.tainted = set(self.tainted)
+        return child
+
+    def entry_count(self) -> int:
+        return len(self.tainted)
+
+
+class TaintPass(ModulePass):
+    """Minimal taint instrumentation.
+
+    * After each ``read``-class syscall whose buffer argument is
+      statically visible: mark the buffer address as a source.
+    * Before each indirect call whose target was loaded from memory:
+      mark the load address as a sink check.
+    """
+
+    name = "taint"
+
+    def run(self, module: ir.Module) -> None:
+        for function in module.functions.values():
+            if function.is_declaration:
+                continue
+            for block in list(function.blocks):
+                for instruction in list(block.instructions):
+                    if isinstance(instruction, ir.Syscall) and \
+                            instruction.number in SOURCE_SYSCALLS and \
+                            len(instruction.args) >= 2:
+                        block.insert_after(instruction, ir.RuntimeCall(
+                            "hq_event",
+                            [ir.Constant(TAINT_SOURCE),
+                             instruction.args[1]]))
+                        self.bump("sources")
+                    elif isinstance(instruction, ir.ICall) and \
+                            isinstance(instruction.target, ir.Load):
+                        block.insert_before(instruction, ir.RuntimeCall(
+                            "hq_event",
+                            [ir.Constant(TAINT_SINK),
+                             instruction.target.pointer]))
+                        self.bump("sinks")

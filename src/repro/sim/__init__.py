@@ -1,0 +1,10 @@
+"""The simulated machine: memory, processes, kernel, interpreter."""
+
+from repro.sim.cpu import ExecOptions, Interpreter, Runtime
+from repro.sim.kernel import HQKernelModule, Kernel
+from repro.sim.loader import Image
+from repro.sim.memory import Memory
+from repro.sim.process import Process
+
+__all__ = ["ExecOptions", "HQKernelModule", "Image", "Interpreter",
+           "Kernel", "Memory", "Process", "Runtime"]

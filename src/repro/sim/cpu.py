@@ -1,0 +1,712 @@
+"""IR interpreter: the simulated CPU.
+
+Executes :mod:`repro.compiler.ir` programs against a
+:class:`~repro.sim.process.Process`, charging cycle costs per operation
+(:data:`repro.sim.cycles.OP_COSTS`) and — crucially for the security
+experiments — modelling the machine-level mechanics that memory-safety
+attacks abuse:
+
+* **Return addresses live in simulated memory.**  Every call pushes a
+  return-site address onto the simulated stack (or onto a *safe stack*
+  region when that mitigation is enabled); every return reads it back
+  and transfers control to whatever it finds.  A buffer overflow that
+  reaches the slot therefore hijacks control exactly as on real
+  hardware.
+* **Indirect calls go through memory values.**  A corrupted function
+  pointer redirects execution to the attacker's choice of function
+  entry; a garbage value crashes.
+* **Instrumentation runs inline.**  ``RuntimeCall`` instructions
+  dispatch into the policy runtime registered with the interpreter —
+  HerQules' messaging runtime or one of the baseline defenses — which
+  may send messages, charge cycles, or abort the program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.compiler import ir
+from repro.compiler.types import PointerType
+from repro.sim.cycles import OP_COSTS
+from repro.sim.loader import Image
+from repro.sim.memory import (
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    SegmentationFault,
+    WORD_SIZE,
+)
+from repro.sim.process import Process
+
+
+class ProgramCrash(Exception):
+    """The simulated program crashed (segfault, bad jump, heap abuse)."""
+
+
+class ExecutionLimitExceeded(ProgramCrash):
+    """Instruction budget exhausted — a hang (e.g. CPI's infinite loop)."""
+
+
+class PolicyViolationError(Exception):
+    """An *in-process* defense check failed and aborted the program."""
+
+    def __init__(self, policy: str, detail: str = "") -> None:
+        self.policy = policy
+        self.detail = detail
+        super().__init__(f"{policy}: {detail}")
+
+
+class ProcessKilledError(Exception):
+    """The kernel killed the process (verifier-signalled violation)."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+
+@dataclass
+class HijackEvent:
+    """A control-flow transfer to a non-intended target."""
+
+    kind: str          # "return", "icall", "longjmp"
+    target: int        # the attacker-controlled address
+    function: str      # function in which the hijack occurred
+
+
+class _LongjmpUnwind(Exception):
+    """Internal: non-local goto in flight."""
+
+    def __init__(self, token: int, value: int) -> None:
+        self.token = token
+        self.value = value
+
+
+class _ReturnHijack(Exception):
+    """Internal: a return used a corrupted address; unwinds to top."""
+
+    def __init__(self, event: HijackEvent) -> None:
+        self.event = event
+
+
+@dataclass
+class ExecOptions:
+    """Knobs the compiler driver / framework set on the execution."""
+
+    #: Return addresses go to a hidden safe-stack region instead of the
+    #: regular stack (Clang SafeStack / CPI / HQ-CFI-SfeStk).
+    safe_stack: bool = False
+    #: Guard pages around the safe stack (Clang/LLVM CFI adds these).
+    safe_stack_guard: bool = False
+    #: Map the safe stack contiguously above the regular stack (CPI's
+    #: layout, which lacks guard pages — the configuration RIPE's
+    #: "linear overwrite" attacks walk into, section 5.2).
+    safe_stack_adjacent: bool = False
+    #: Program-layout randomization (shifts the safe-stack base).
+    aslr: bool = True
+    #: Instruction budget; exceeding it is treated as a hang.
+    max_steps: int = 5_000_000
+    #: Model of CCFI's x87 register pressure: float arithmetic loses
+    #: precision, corrupting numeric output (section 5.1).
+    fp_precision_loss: bool = False
+    #: Multiplicative slowdown on ordinary computation from reserved
+    #: registers (CCFI keeps its key in eleven XMM registers, forcing
+    #: spills throughout compiled code).
+    register_pressure_factor: float = 1.0
+    #: Extra cycles per call for maintaining a second (safe) stack
+    #: pointer in the function prologue/epilogue.
+    safe_stack_call_cycles: float = 8.0
+    #: Seed for the layout randomization.
+    seed: int = 1
+
+
+class Runtime:
+    """Base policy runtime: receives ``RuntimeCall`` dispatches.
+
+    The default implementation ignores every call (the uninstrumented
+    baseline); policy runtimes override :meth:`call`.
+    """
+
+    name = "baseline"
+
+    def bind(self, interpreter: "Interpreter") -> None:
+        """Called once before execution starts."""
+        self.interpreter = interpreter
+
+    def call(self, name: str, args: List[int]) -> int:
+        """Handle runtime call ``name``; returns an integer result."""
+        return 0
+
+    def on_program_start(self, image: Image) -> None:
+        """Hook: program startup, after relocation."""
+
+
+#: Syscall numbers understood by the default dispatcher.
+SYS_READ = 0
+SYS_WRITE = 1
+SYS_OPEN = 2
+SYS_CLOSE = 3
+SYS_MMAP = 9
+SYS_EXIT = 60
+SYS_EXECVE = 59
+SYS_FORK = 57
+SYS_GETPID = 39
+#: Attack-suite marker: reaching this syscall means the exploit achieved
+#: an externally visible effect (RIPE verifies exploits via syscalls).
+SYS_WIN = 1337
+
+SyscallDispatcher = Callable[[Process, int, List[int]], int]
+
+
+def default_syscall_dispatcher(process: Process, number: int,
+                               args: List[int]) -> int:
+    """Minimal standalone syscall table (no kernel attached)."""
+    if number == SYS_EXIT:
+        process.exited = True
+        process.exit_status = args[0] if args else 0
+        return 0
+    if number == SYS_GETPID:
+        return process.pid
+    if number == SYS_WRITE:
+        return args[2] if len(args) > 2 else 0
+    return 0
+
+
+class Interpreter:
+    """Executes a loaded program image."""
+
+    #: How often the concurrent-verifier hook fires, in executed
+    #: instructions (models the verifier draining on its own core).
+    ON_STEP_INTERVAL = 256
+
+    def __init__(self, image: Image, runtime: Optional[Runtime] = None,
+                 options: Optional[ExecOptions] = None,
+                 syscall_dispatcher: Optional[SyscallDispatcher] = None,
+                 on_step: Optional[Callable[[], None]] = None) -> None:
+        self.image = image
+        self.process = image.process
+        self.runtime = runtime or Runtime()
+        self.options = options or ExecOptions()
+        self.syscall_dispatcher = syscall_dispatcher or default_syscall_dispatcher
+        self._on_step = on_step
+        self.steps = 0
+        self.hijacks: List[HijackEvent] = []
+        #: (ret_slot, return_address) per active call; instrumentation
+        #: runtimes read the top entry to locate the current frame's
+        #: return-address slot (retptr/CCFI/shadow-stack designs).
+        self.call_stack: List[Tuple[int, int]] = []
+        self.output: List[int] = []
+        self._site_ids: Dict[int, int] = {}
+        self._setjmp_points: Dict[int, Tuple[ir.Setjmp, object]] = {}
+        self._rng = random.Random(self.options.seed)
+
+        self.safe_stack_base: Optional[int] = None
+        self.safe_sp: Optional[int] = None
+        if self.options.safe_stack:
+            self._setup_safe_stack()
+
+        self.runtime.bind(self)
+
+    # -- safe stack -------------------------------------------------------------
+
+    def _setup_safe_stack(self) -> None:
+        """Map the hidden safe-stack region (information hiding).
+
+        The base is randomized when ASLR is on; guard pages (PROT_NONE)
+        bracket the region when requested, so *linear* overflows that
+        walk into the region fault before reaching saved return
+        addresses.
+        """
+        size = 1 << 16
+        if self.options.safe_stack_adjacent:
+            # CPI layout: the safe region sits directly above the regular
+            # stack with no guard gap, reachable by a linear overwrite.
+            from repro.sim.process import STACK_TOP
+            self.process.memory.map_region(STACK_TOP, size,
+                                           PROT_READ | PROT_WRITE,
+                                           "safestack-adjacent")
+            self.safe_stack_base = STACK_TOP
+            self.safe_sp = STACK_TOP + size - WORD_SIZE
+            return
+        if self.options.safe_stack_guard:
+            region = self.process.mmap_anonymous(size + 2 * 4096, PROT_NONE,
+                                                 "safestack+guards")
+            base = region + 4096
+            self.process.memory.protect_region(base, size, PROT_READ | PROT_WRITE)
+        else:
+            base = self.process.mmap_anonymous(size, PROT_READ | PROT_WRITE,
+                                               "safestack")
+        if self.options.aslr:
+            # Randomize within the mapping at word granularity, modelling
+            # layout randomization of the hidden region.
+            slack = (size // 2) // WORD_SIZE
+            base += self._rng.randrange(0, slack) * WORD_SIZE
+        self.safe_stack_base = base
+        self.safe_sp = base + (1 << 15)
+
+    # -- entry point ---------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Optional[List[int]] = None) -> int:
+        """Execute ``entry`` to completion; returns its result."""
+        function = self.image.module.functions[entry]
+        self.runtime.on_program_start(self.image)
+        try:
+            return self._exec_function(function, args or [])
+        except _ReturnHijack as unwound:
+            # A hijacked return unwound past the entry point after the
+            # attacker payload ran; treat like program termination.
+            self.process.exited = True
+            return -1
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _charge(self, op: str) -> None:
+        cost = OP_COSTS.get(op, 1.0) * self.options.register_pressure_factor
+        self.process.cycles.charge_user(cost)
+
+    def _step(self) -> None:
+        self.steps += 1
+        if self.steps > self.options.max_steps:
+            raise ExecutionLimitExceeded(
+                f"exceeded {self.options.max_steps} steps (hang?)")
+        if self._on_step is not None and \
+                self.steps % self.ON_STEP_INTERVAL == 0:
+            # The verifier runs concurrently on another core: it drains
+            # channels while the monitored program executes, costing the
+            # program nothing.
+            self._on_step()
+
+    def _site_address(self, caller: ir.Function, call: ir.Instruction) -> int:
+        """Stable per-call-site return address inside the caller's text."""
+        key = id(call)
+        if key not in self._site_ids:
+            self._site_ids[key] = len(self._site_ids) + 1
+        offset = self._site_ids[key] * WORD_SIZE
+        return self.image.function_address[caller.name] + offset
+
+    # -- frame execution -----------------------------------------------------------
+
+    def _exec_function(self, function: ir.Function, args: List[int],
+                       return_address: Optional[int] = None,
+                       ret_slot: Optional[int] = None) -> int:
+        """Run one function body; returns its return value.
+
+        ``return_address``/``ret_slot`` describe the memory slot holding
+        the caller's return address, written by the call sequence; the
+        epilogue reads it back and *uses* it, so corruption hijacks
+        control (raised as :class:`_ReturnHijack`).
+        """
+        if function.is_declaration:
+            raise ProgramCrash(f"call to undefined function {function.name}")
+        frame: Dict[str, int] = {}
+        for param, value in zip(function.params, args):
+            frame[param.name] = value
+        alloca_bytes = 0
+        allocas: List[ir.Alloca] = []
+        for instruction in function.instructions():
+            if isinstance(instruction, ir.Alloca):
+                allocas.append(instruction)
+                alloca_bytes += max(instruction.allocated_type.size(), WORD_SIZE)
+        frame_base = self.process.push_frame(alloca_bytes) if alloca_bytes else None
+        cursor = frame_base or 0
+        for alloca in allocas:
+            frame[alloca.name] = cursor
+            cursor += max(alloca.allocated_type.size(), WORD_SIZE)
+
+        try:
+            result = self._exec_blocks(function, frame)
+        finally:
+            if frame_base is not None:
+                self.process.pop_frame(alloca_bytes)
+
+        # Backward edge: consume the return-address slot.
+        if ret_slot is not None and return_address is not None:
+            self._charge("ret")
+            stored = self.process.memory.load(ret_slot)
+            if stored != return_address:
+                event = HijackEvent("return", stored, function.name)
+                self.hijacks.append(event)
+                self._execute_hijack_target(stored)
+                raise _ReturnHijack(event)
+        return result
+
+    def _exec_blocks(self, function: ir.Function, frame: Dict[str, int]) -> int:
+        block = function.entry
+        previous: Optional[ir.BasicBlock] = None
+        while True:
+            next_block, previous, result = self._exec_block(
+                function, block, previous, frame)
+            if next_block is None:
+                return result
+            block = next_block
+
+    def _exec_block(self, function: ir.Function, block: ir.BasicBlock,
+                    previous: Optional[ir.BasicBlock],
+                    frame: Dict[str, int]):
+        # A longjmp landing in this block resumes just after its setjmp
+        # (see the "setjmp_resume" handling below).
+        resume_after = frame.pop("__resume_after__", None)
+
+        # Phis are evaluated simultaneously on entry (skipped when
+        # resuming mid-block from a longjmp).
+        if resume_after is None:
+            phi_values: Dict[str, int] = {}
+            for instruction in block.instructions:
+                if not isinstance(instruction, ir.Phi):
+                    break
+                for value, pred in instruction.incoming:
+                    if pred is previous:
+                        phi_values[instruction.name] = self._eval(value, frame)
+                        break
+                else:
+                    phi_values[instruction.name] = 0
+            frame.update(phi_values)
+
+        index = 0
+        if resume_after is not None:
+            index = block.instructions.index(resume_after) + 1
+        while index < len(block.instructions):
+            instruction = block.instructions[index]
+            index += 1
+            if isinstance(instruction, ir.Phi):
+                continue
+            self._step()
+            outcome = self._exec_instruction(function, block, instruction, frame)
+            if outcome is not None:
+                kind, payload = outcome
+                if kind == "br":
+                    return payload, block, 0
+                if kind == "ret":
+                    return None, block, payload
+                if kind == "setjmp_resume":
+                    # longjmp landed: resume right after the setjmp,
+                    # which may live in a different (dominating) block.
+                    target_instr, value = payload
+                    frame[target_instr.name] = value
+                    if target_instr.block is block:
+                        index = block.instructions.index(target_instr) + 1
+                    else:
+                        frame["__resume_after__"] = target_instr
+                        return target_instr.block, block, 0
+        raise ProgramCrash(f"block {function.name}:{block.name} fell through")
+
+    # -- single instruction ------------------------------------------------------------
+
+    def _exec_instruction(self, function: ir.Function, block: ir.BasicBlock,
+                          instruction: ir.Instruction, frame: Dict[str, int]):
+        mem = self.process.memory
+        opname = instruction.opname
+
+        if isinstance(instruction, ir.BinOp):
+            self._charge("binop")
+            lhs = self._eval(instruction.lhs, frame)
+            rhs = self._eval(instruction.rhs, frame)
+            frame[instruction.name] = self._binop(instruction.op, lhs, rhs)
+            return None
+        if isinstance(instruction, ir.Cmp):
+            self._charge("cmp")
+            lhs = self._eval(instruction.lhs, frame)
+            rhs = self._eval(instruction.rhs, frame)
+            frame[instruction.name] = int(self._compare(instruction.op, lhs, rhs))
+            return None
+        if isinstance(instruction, ir.Select):
+            self._charge("select")
+            cond = self._eval(instruction.cond, frame)
+            frame[instruction.name] = self._eval(
+                instruction.if_true if cond else instruction.if_false, frame)
+            return None
+        if isinstance(instruction, ir.Cast):
+            self._charge("cast")
+            frame[instruction.name] = self._eval(instruction.value, frame)
+            return None
+        if isinstance(instruction, ir.Alloca):
+            self._charge("alloca")
+            return None  # address assigned at frame setup
+        if isinstance(instruction, ir.Load):
+            self._charge("load")
+            frame[instruction.name] = mem.load(self._eval(instruction.pointer, frame))
+            return None
+        if isinstance(instruction, ir.Store):
+            self._charge("store")
+            mem.store(self._eval(instruction.pointer, frame),
+                      self._eval(instruction.value, frame))
+            return None
+        if isinstance(instruction, ir.Gep):
+            self._charge("gep")
+            base = self._eval(instruction.pointer, frame)
+            frame[instruction.name] = base + self._gep_offset(instruction, frame)
+            return None
+        if isinstance(instruction, ir.Br):
+            self._charge("br")
+            return ("br", instruction.target)
+        if isinstance(instruction, ir.CondBr):
+            self._charge("br")
+            cond = self._eval(instruction.cond, frame)
+            return ("br", instruction.if_true if cond else instruction.if_false)
+        if isinstance(instruction, ir.Ret):
+            value = (self._eval(instruction.value, frame)
+                     if instruction.value is not None else 0)
+            return ("ret", value)
+        if isinstance(instruction, ir.Call):
+            return self._do_call(function, instruction, frame,
+                                 instruction.callee,
+                                 [self._eval(a, frame) for a in instruction.args])
+        if isinstance(instruction, ir.ICall):
+            self._charge("icall")
+            target = self._eval(instruction.target, frame)
+            callee = self.image.function_at.get(target)
+            if callee is None:
+                if self.image.function_of_address(target) is not None:
+                    # Mid-function target: a code-reuse gadget; coarse
+                    # model executes nothing and crashes.
+                    raise ProgramCrash(
+                        f"indirect call into function body at {target:#x}")
+                raise ProgramCrash(f"indirect call to non-code {target:#x}")
+            intended = instruction.meta.get("intended_targets")
+            if intended is not None and callee.name not in intended:
+                self.hijacks.append(
+                    HijackEvent("icall", target, function.name))
+            return self._do_call(function, instruction, frame, callee,
+                                 [self._eval(a, frame) for a in instruction.args])
+        if isinstance(instruction, ir.RuntimeCall):
+            args = [self._eval(a, frame) for a in instruction.args]
+            if instruction.runtime_name == "builtin_ret_slot":
+                # __builtin_return_address-style disclosure: the address
+                # of the current frame's return-address slot (wherever it
+                # lives — regular or safe stack).  RIPE uses this to
+                # emulate disclosure attacks (section 5.2).
+                frame[instruction.name] = (self.call_stack[-1][0]
+                                           if self.call_stack else 0)
+                return None
+            frame[instruction.name] = self.runtime.call(
+                instruction.runtime_name, args)
+            return None
+        if isinstance(instruction, ir.Malloc):
+            self._charge("malloc")
+            frame[instruction.name] = self.process.heap.malloc(
+                self._eval(instruction.size, frame))
+            return None
+        if isinstance(instruction, ir.Free):
+            self._charge("free")
+            self.process.heap.free(self._eval(instruction.pointer, frame))
+            return None
+        if isinstance(instruction, ir.Realloc):
+            self._charge("realloc")
+            old = self._eval(instruction.pointer, frame)
+            size = self._eval(instruction.size, frame)
+            allocation = self.process.heap.live.get(old)
+            old_size = allocation.size if allocation else 0
+            new = self.process.heap.realloc(old, size)
+            if new != old:
+                mem.copy_block(old, new, old_size // WORD_SIZE)
+                self.process.heap.free(old)
+            frame[instruction.name] = new
+            return None
+        if isinstance(instruction, ir.MemCopy):
+            dst = self._eval(instruction.dst, frame)
+            src = self._eval(instruction.src, frame)
+            size = self._eval(instruction.size, frame)
+            words = max(size // WORD_SIZE, 0)
+            self.process.cycles.charge_user(OP_COSTS["memcpy_word"] * words)
+            mem.copy_block(src, dst, words)
+            return None
+        if isinstance(instruction, ir.MemSet):
+            dst = self._eval(instruction.dst, frame)
+            value = self._eval(instruction.value, frame)
+            size = self._eval(instruction.size, frame)
+            words = max(size // WORD_SIZE, 0)
+            self.process.cycles.charge_user(OP_COSTS["memcpy_word"] * words)
+            for i in range(words):
+                mem.store(dst + i * WORD_SIZE, value)
+            return None
+        if isinstance(instruction, ir.Syscall):
+            args = [self._eval(a, frame) for a in instruction.args]
+            self.process.cycles.charge_syscall(OP_COSTS["syscall_base"])
+            frame[instruction.name] = self.syscall_dispatcher(
+                self.process, instruction.number, args)
+            if instruction.number == SYS_WRITE and len(args) >= 2:
+                self.output.append(args[1])
+            return None
+        if isinstance(instruction, ir.Setjmp):
+            self._charge("setjmp")
+            buf = self._eval(instruction.buf, frame)
+            token = self._site_address(function, instruction)
+            mem.store(buf, token)
+            self._setjmp_points[token] = (instruction, None)
+            frame[instruction.name] = 0
+            # Returning 0 now; a longjmp resumes here with its value.
+            try:
+                return None
+            finally:
+                pass
+        if isinstance(instruction, ir.Longjmp):
+            self._charge("longjmp")
+            buf = self._eval(instruction.buf, frame)
+            token = mem.load(buf)
+            value = self._eval(instruction.value, frame)
+            if token not in self._setjmp_points:
+                # Corrupted jmp_buf: control transfers to the attacker's
+                # address if it is a function entry; otherwise crash.
+                event = HijackEvent("longjmp", token, function.name)
+                self.hijacks.append(event)
+                self._execute_hijack_target(token)
+                raise _ReturnHijack(event)
+            raise _LongjmpUnwind(token, value if value else 1)
+        raise ProgramCrash(f"unknown instruction {opname}")
+
+    # -- calls --------------------------------------------------------------------------
+
+    def _do_call(self, caller: ir.Function, call: ir.Instruction,
+                 frame: Dict[str, int], callee: ir.Function,
+                 args: List[int]):
+        self._charge("call")
+        if self.options.safe_stack:
+            self.process.cycles.charge_user(
+                self.options.safe_stack_call_cycles, category="safestack")
+        return_address = self._site_address(caller, call)
+        # Push the return address: to the safe stack when that mitigation
+        # is active, otherwise to the regular stack where stack-buffer
+        # overflows can reach it.
+        if self.options.safe_stack and self.safe_sp is not None:
+            self.safe_sp -= WORD_SIZE
+            ret_slot = self.safe_sp
+        else:
+            ret_slot = self.process.push_frame(WORD_SIZE)
+        try:
+            self.process.memory.store(ret_slot, return_address)
+        except SegmentationFault:
+            # Guarded safe stack exhausted into a guard page.
+            raise ProgramCrash("return-address push faulted (guard page)")
+        self.call_stack.append((ret_slot, return_address))
+        try:
+            result = self._exec_function(callee, args,
+                                         return_address=return_address,
+                                         ret_slot=ret_slot)
+        except _LongjmpUnwind as unwind:
+            if unwind.token in self._setjmp_points:
+                setjmp_instr, _ = self._setjmp_points[unwind.token]
+                if setjmp_instr.block is not None and \
+                        setjmp_instr.block.function is caller:
+                    # Land back at our setjmp.
+                    self._release_ret_slot(ret_slot)
+                    return ("setjmp_resume", (setjmp_instr, unwind.value))
+            self._release_ret_slot(ret_slot)
+            raise
+        finally:
+            self.call_stack.pop()
+        self._release_ret_slot(ret_slot)
+        if isinstance(call, (ir.Call, ir.ICall)):
+            frame[call.name] = result
+        return None
+
+    def _release_ret_slot(self, ret_slot: int) -> None:
+        if self.options.safe_stack and self.safe_sp is not None \
+                and ret_slot == self.safe_sp:
+            self.safe_sp += WORD_SIZE
+        elif ret_slot == self.process.stack_pointer:
+            self.process.pop_frame(WORD_SIZE)
+
+    def _execute_hijack_target(self, address: int) -> None:
+        """Run the attacker's chosen target, as real hardware would."""
+        callee = self.image.function_at.get(address)
+        if callee is None or callee.is_declaration:
+            raise ProgramCrash(f"control transferred to non-code {address:#x}")
+        self._exec_function(callee, [0] * len(callee.params))
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def _eval(self, value: ir.Value, frame: Dict[str, int]) -> int:
+        if isinstance(value, ir.Constant):
+            return value.value
+        if isinstance(value, ir.FunctionRef):
+            return self.image.function_address[value.function.name]
+        if isinstance(value, ir.GlobalVariable):
+            if value.address is None:
+                raise ProgramCrash(f"global {value.name} not loaded")
+            return value.address
+        if isinstance(value, (ir.Argument, ir.Instruction)):
+            if value.name not in frame:
+                raise ProgramCrash(f"use of undefined value {value.name}")
+            return frame[value.name]
+        raise ProgramCrash(f"cannot evaluate {value!r}")
+
+    def _binop(self, op: str, lhs: int, rhs: int) -> int:
+        if op == "add":
+            return lhs + rhs
+        if op == "sub":
+            return lhs - rhs
+        if op == "mul":
+            return lhs * rhs
+        if op in ("div", "sdiv", "udiv"):
+            if rhs == 0:
+                raise ProgramCrash("division by zero")
+            return lhs // rhs
+        if op in ("rem", "srem", "urem"):
+            if rhs == 0:
+                raise ProgramCrash("remainder by zero")
+            return lhs % rhs
+        if op == "and":
+            return lhs & rhs
+        if op == "or":
+            return lhs | rhs
+        if op == "xor":
+            return lhs ^ rhs
+        if op == "shl":
+            return lhs << (rhs & 63)
+        if op in ("shr", "lshr", "ashr"):
+            return lhs >> (rhs & 63)
+        if op in ("fadd", "fsub", "fmul", "fdiv"):
+            return self._float_binop(op, lhs, rhs)
+        raise ProgramCrash(f"unknown binop {op}")
+
+    def _float_binop(self, op: str, lhs: int, rhs: int) -> int:
+        """Fixed-point float model (values scaled by 2^16).
+
+        Under :attr:`ExecOptions.fp_precision_loss` (CCFI's x87 register
+        pressure), low-order bits are truncated, perturbing results the
+        way the paper observed "reduced numerical precision and
+        incorrect benchmark output" (section 5.1).
+        """
+        scale = 1 << 16
+        a, b = lhs, rhs
+        if op == "fadd":
+            result = a + b
+        elif op == "fsub":
+            result = a - b
+        elif op == "fmul":
+            result = (a * b) // scale
+        else:
+            if b == 0:
+                raise ProgramCrash("float division by zero")
+            result = (a * scale) // b
+        if self.options.fp_precision_loss:
+            result &= ~0xFF  # drop low-order precision
+        return result
+
+    def _compare(self, op: str, lhs: int, rhs: int) -> bool:
+        if op == "eq":
+            return lhs == rhs
+        if op == "ne":
+            return lhs != rhs
+        if op == "lt":
+            return lhs < rhs
+        if op == "le":
+            return lhs <= rhs
+        if op == "gt":
+            return lhs > rhs
+        if op == "ge":
+            return lhs >= rhs
+        raise ProgramCrash(f"unknown comparison {op}")
+
+    def _gep_offset(self, gep: ir.Gep, frame: Dict[str, int]) -> int:
+        base_type = gep.pointer.type
+        pointee = base_type.pointee if isinstance(base_type, PointerType) else None
+        if gep.field is not None:
+            if pointee is None or not hasattr(pointee, "field_offset"):
+                raise ProgramCrash("field gep on non-struct pointer")
+            return pointee.field_offset(gep.field)
+        index = self._eval(gep.index, frame)
+        element = getattr(pointee, "element", None)
+        element_size = element.size() if element is not None else WORD_SIZE
+        return index * element_size

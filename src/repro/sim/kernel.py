@@ -1,0 +1,234 @@
+"""Simulated OS kernel and the HerQules kernel module.
+
+The kernel owns processes and the system-call table; the HQ kernel
+module (``hq.ko`` in the artifact) dynamically intercepts system calls
+of monitored processes and implements *bounded asynchronous validation*
+(section 2.2):
+
+1. The monitored program sends a ``SYSCALL`` message over AppendWrite
+   just before each system call (inserted by the compiler), then traps.
+2. The kernel pauses the system call and waits for the verifier to
+   confirm that all outstanding messages have been processed and no
+   policy check failed.  Because the confirmation message was pipelined
+   with the trap, a well-behaved program usually does not wait at all.
+3. If the verifier reports a violation, the process is killed before
+   the system call produces any externally visible effect.  If no
+   synchronization message arrives within a configurable *epoch*, the
+   kernel treats it as a policy violation too (a compromised program
+   cannot simply stop sending messages).
+
+Per-process kernel context is kept in a hash table keyed by pid, copied
+on ``fork``/``clone`` and dropped at exit, as described in section 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.sim.cpu import (
+    ProcessKilledError,
+    SYS_EXECVE,
+    SYS_EXIT,
+    SYS_FORK,
+    SYS_GETPID,
+    SYS_READ,
+    SYS_WIN,
+    SYS_WRITE,
+)
+from repro.sim.cycles import ns_to_cycles
+from repro.sim.process import Process
+
+
+@dataclass
+class HQContext:
+    """Kernel-side state for one monitored process (section 3.3)."""
+
+    pid: int
+    #: Set by the verifier upon processing a SYSCALL message; reset by
+    #: the kernel module when the system call resumes.
+    syscall_ok: bool = False
+    #: Statistics kept by the module.
+    syscalls_intercepted: int = 0
+    syscalls_waited: int = 0
+    killed: bool = False
+
+    def clone_for(self, child_pid: int) -> "HQContext":
+        """Context for a fork/clone child (fresh synchronization state)."""
+        return HQContext(pid=child_pid)
+
+
+class HQKernelModule:
+    """The ``hq.ko`` model: syscall interception + verifier liaison.
+
+    ``verifier`` is duck-typed: it must provide ``poll()`` (drain and
+    process pending messages), ``has_violation(pid)`` and
+    ``consume_syscall_token(pid)`` (true if a SYSCALL message from
+    ``pid`` has been processed since the last consumption).  The
+    kernel↔verifier link is the privileged channel of Figure 1 and is
+    not reachable from monitored programs.
+    """
+
+    #: Verifier polls allowed before the epoch expires and the program
+    #: is presumed compromised (it stopped sending sync messages).
+    DEFAULT_EPOCH_POLLS = 4
+    #: Cost of one kernel↔verifier round trip, charged only when the
+    #: kernel actually had to wait (the message usually arrives first).
+    ROUND_TRIP_NS = 400.0
+    #: Dynamic-interception overhead per monitored system call: the
+    #: kprobe/tracepoint dispatch plus the per-process hash-table lookup
+    #: (section 3.3; eliminating it is listed as future work in 5.3.3).
+    INTERCEPT_NS = 40.0
+
+    def __init__(self, verifier=None, epoch_polls: int = DEFAULT_EPOCH_POLLS,
+                 kill_on_violation: bool = True,
+                 sync_exempt_syscalls: Optional[Set[int]] = None,
+                 force_round_trip: bool = False) -> None:
+        self.verifier = verifier
+        self.epoch_polls = epoch_polls
+        self.kill_on_violation = kill_on_violation
+        #: Ablation: the naive design of section 2.2 — a kernel↔verifier
+        #: round trip on *every* system call, instead of pipelining the
+        #: synchronization message with the syscall itself.
+        self.force_round_trip = force_round_trip
+        #: Syscalls exempt from synchronization (the RIPE experiments
+        #: disable enforcement for execve, section 5.2).
+        self.sync_exempt_syscalls = sync_exempt_syscalls or set()
+        self.contexts: Dict[int, HQContext] = {}
+        self.violations_seen: List[str] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def enable(self, process: Process) -> HQContext:
+        """A process enabled HerQules (step 1a of Figure 1)."""
+        context = HQContext(pid=process.pid)
+        self.contexts[process.pid] = context
+        if self.verifier is not None:
+            self.verifier.register_process(process.pid)
+        return context
+
+    def on_fork(self, parent_pid: int, child_pid: int) -> None:
+        parent = self.contexts.get(parent_pid)
+        if parent is not None:
+            self.contexts[child_pid] = parent.clone_for(child_pid)
+            if self.verifier is not None:
+                self.verifier.fork_process(parent_pid, child_pid)
+
+    def on_exit(self, pid: int) -> None:
+        self.contexts.pop(pid, None)
+        if self.verifier is not None:
+            self.verifier.unregister_process(pid)
+
+    def is_monitored(self, pid: int) -> bool:
+        return pid in self.contexts
+
+    # -- the barrier ------------------------------------------------------------
+
+    def before_syscall(self, process: Process, number: int) -> None:
+        """Pause the system call until the verifier confirms.
+
+        Raises :class:`ProcessKilledError` on a policy violation or an
+        epoch timeout.
+        """
+        context = self.contexts.get(process.pid)
+        if context is None or self.verifier is None:
+            return
+        context.syscalls_intercepted += 1
+        process.cycles.charge_wait(ns_to_cycles(self.INTERCEPT_NS))
+        if self.force_round_trip:
+            # Naive synchronization: ask the verifier and wait for its
+            # answer, on the critical path of every system call.
+            context.syscalls_waited += 1
+            process.cycles.charge_wait(ns_to_cycles(self.ROUND_TRIP_NS))
+
+        exempt = number in self.sync_exempt_syscalls
+        for attempt in range(self.epoch_polls + 1):
+            self.verifier.poll()
+            if self.verifier.has_violation(process.pid):
+                self.violations_seen.append(
+                    f"pid {process.pid}: policy violation at syscall {number}")
+                if self.kill_on_violation:
+                    self._kill(process, context, "policy violation")
+                # Continue-on-violation mode (performance runs): clear
+                # the pending flag so execution proceeds.
+                self.verifier.acknowledge_violation(process.pid)
+            if exempt:
+                return
+            if self.verifier.consume_syscall_token(process.pid):
+                context.syscall_ok = False  # reset upon resumption
+                return
+            # The sync message has not been processed yet: wait one
+            # round trip and poll again.
+            context.syscalls_waited += 1
+            process.cycles.charge_wait(ns_to_cycles(self.ROUND_TRIP_NS))
+        # Epoch expired without a synchronization message.
+        self.violations_seen.append(
+            f"pid {process.pid}: epoch timeout at syscall {number}")
+        self._kill(process, context, "synchronization epoch timeout")
+
+    def _kill(self, process: Process, context: HQContext, reason: str) -> None:
+        context.killed = True
+        process.exited = True
+        process.killed_reason = reason
+        raise ProcessKilledError(reason)
+
+
+class Kernel:
+    """The simulated operating system.
+
+    Provides the system-call dispatcher passed to interpreters, process
+    bookkeeping, and hosting for the HQ kernel module.
+    """
+
+    def __init__(self, hq_module: Optional[HQKernelModule] = None) -> None:
+        self.hq = hq_module
+        self.processes: Dict[int, Process] = {}
+        #: Captured per-pid stdout words (SYS_WRITE payloads).
+        self.stdout: Dict[int, List[int]] = {}
+        #: Pids that executed the attack-marker syscall uninterrupted.
+        self.win_executed: Set[int] = set()
+        self.forks: List[int] = []
+
+    def attach(self, process: Process) -> None:
+        self.processes[process.pid] = process
+        self.stdout.setdefault(process.pid, [])
+
+    def syscall(self, process: Process, number: int, args: List[int]) -> int:
+        """The dispatcher handed to :class:`repro.sim.cpu.Interpreter`."""
+        if self.hq is not None and self.hq.is_monitored(process.pid):
+            self.hq.before_syscall(process, number)
+        return self._do_syscall(process, number, args)
+
+    def _do_syscall(self, process: Process, number: int, args: List[int]) -> int:
+        if number == SYS_EXIT:
+            process.exited = True
+            process.exit_status = args[0] if args else 0
+            if self.hq is not None:
+                self.hq.on_exit(process.pid)
+            return 0
+        if number == SYS_WRITE:
+            if len(args) >= 2:
+                self.stdout.setdefault(process.pid, []).append(args[1])
+            return args[2] if len(args) > 2 else 8
+        if number == SYS_READ:
+            return 0
+        if number == SYS_GETPID:
+            return process.pid
+        if number == SYS_FORK:
+            child = Process(name=f"{process.name}-child")
+            self.attach(child)
+            self.forks.append(child.pid)
+            if self.hq is not None:
+                self.hq.on_fork(process.pid, child.pid)
+            return child.pid
+        if number == SYS_EXECVE:
+            # Program replacement: model as success with no effect.
+            return 0
+        if number == SYS_WIN:
+            # The attack suite's externally visible effect: reaching this
+            # point means no defense stopped the exploit in time.
+            self.win_executed.add(process.pid)
+            return 0
+        # Unknown syscalls succeed silently (ENOSYS would also be fine;
+        # benchmarks only rely on the calls above).
+        return 0

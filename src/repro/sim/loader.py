@@ -1,0 +1,121 @@
+"""Program loader: maps a compiled module into a simulated process.
+
+Mirrors what the ELF loader plus dynamic linker do at startup: assigns
+each function a code address in the text segment, places globals into
+``rodata``/``data``/``bss`` according to const-ness and initialization,
+and applies relocations (function references in initializers become the
+functions' runtime addresses).
+
+Layout randomization (``aslr_offset``) shifts all code addresses by a
+runtime offset — the situation the paper's startup initializer handles
+by re-defining global control-flow pointers after relocation (section
+4.1.4) — and is disabled for the RIPE experiments exactly as in section
+5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.compiler import ir
+from repro.compiler.types import ArrayType, StructType
+from repro.sim.memory import WORD_SIZE
+from repro.sim.process import Process, TEXT_BASE
+
+#: Bytes of text reserved per function; call sites get return addresses
+#: inside this window.
+FUNCTION_STRIDE = 4096
+
+
+class Image:
+    """The loaded program: address maps in both directions."""
+
+    def __init__(self, module: ir.Module, process: Process,
+                 aslr_offset: int = 0) -> None:
+        self.module = module
+        self.process = process
+        self.aslr_offset = aslr_offset
+        self.function_address: Dict[str, int] = {}
+        self.function_at: Dict[int, ir.Function] = {}
+        self.global_address: Dict[str, int] = {}
+        #: Return-address values handed out per (function, call-site) pair.
+        self._site_counters: Dict[str, int] = {}
+        self._load()
+
+    def _load(self) -> None:
+        base = TEXT_BASE + self.aslr_offset
+        for index, function in enumerate(self.module.functions.values()):
+            address = base + index * FUNCTION_STRIDE
+            self.function_address[function.name] = address
+            self.function_at[address] = function
+
+        for variable in self.module.globals.values():
+            self._place_global(variable)
+
+    def _place_global(self, variable: ir.GlobalVariable) -> None:
+        size = max(variable.value_type.size(), WORD_SIZE)
+        if variable.const:
+            segment = "rodata"
+        elif variable.initializer is not None:
+            segment = "data"
+        else:
+            segment = "bss"
+        address = self.process.place_static(segment, size)
+        variable.address = address
+        self.global_address[variable.name] = address
+        if variable.initializer is not None:
+            self._write_initializer(address, variable)
+
+    def _write_initializer(self, address: int, variable: ir.GlobalVariable) -> None:
+        words = []
+        for value in variable.initializer or []:
+            words.append(self.resolve_constant(value))
+        for i, word in enumerate(words):
+            # The loader writes with kernel privilege: rodata is
+            # read-only to the program but writable during loading.
+            self.process.memory.store_physical(address + i * WORD_SIZE, word)
+
+    def resolve_constant(self, value: ir.Value) -> int:
+        """Resolve a constant initializer element to a word."""
+        if isinstance(value, ir.Constant):
+            return value.value
+        if isinstance(value, ir.FunctionRef):
+            return self.function_address[value.function.name]
+        if isinstance(value, ir.GlobalVariable):
+            if value.address is None:
+                self._place_global(value)
+            return value.address  # type: ignore[return-value]
+        raise TypeError(f"unsupported initializer element {value!r}")
+
+    # -- address arithmetic ----------------------------------------------------
+
+    def return_site_address(self, function: ir.Function) -> int:
+        """A fresh, unique return address inside ``function``'s text."""
+        counter = self._site_counters.get(function.name, 0) + 1
+        self._site_counters[function.name] = counter
+        return self.function_address[function.name] + counter * WORD_SIZE
+
+    def function_of_address(self, address: int) -> Optional[ir.Function]:
+        """The function whose text window contains ``address``."""
+        base = address - (address - TEXT_BASE - self.aslr_offset) % FUNCTION_STRIDE
+        return self.function_at.get(base)
+
+    def is_function_entry(self, address: int) -> bool:
+        return address in self.function_at
+
+    def initialized_code_pointers(self) -> Dict[int, int]:
+        """Addresses of *writable* global slots that hold code pointers
+        after relocation, and the pointer values.
+
+        This is what the startup initializer reports to the verifier
+        immediately after program startup (section 4.1.4).
+        """
+        result: Dict[int, int] = {}
+        for variable in self.module.globals.values():
+            if variable.const or variable.initializer is None:
+                continue
+            for i, value in enumerate(variable.initializer):
+                if isinstance(value, ir.FunctionRef):
+                    slot = (variable.address or 0) + i * WORD_SIZE
+                    result[slot] = self.function_address[value.function.name]
+        return result

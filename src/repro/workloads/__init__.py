@@ -1,0 +1,6 @@
+"""Synthetic SPEC CPU2006/2017 + NGINX benchmark workloads."""
+
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import PROFILES, get_profile, spec_profiles
+
+__all__ = ["PROFILES", "build_module", "get_profile", "spec_profiles"]

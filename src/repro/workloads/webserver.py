@@ -1,0 +1,196 @@
+"""A miniature web server as a monitored application.
+
+The paper's NGINX benchmark motivates HerQules on server software:
+long-lived processes, handler dispatch through function-pointer tables,
+request buffers fed by untrusted input.  This module builds exactly
+that shape as a real program for the simulated machine:
+
+* a **handler table** — a writable global array of function pointers,
+  indexed by request method (GET / POST / fallback 404);
+* a **request loop** — each request is read from the (attacker-
+  controllable) input region into a header buffer, parsed, and
+  dispatched through the table;
+* a **response path** — handlers compute a status value which the
+  server writes out (one syscall per request).
+
+The header buffer sits directly below the handler table in the data
+segment, so a request whose declared header length exceeds the buffer
+is the classic server take-over: the copy runs into the table and the
+next dispatch jumps wherever the request said.  :func:`benign_trace`
+and :func:`exploit_trace` build the two inputs;
+``examples/webserver_demo.py`` runs the full story under every design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.types import ArrayType, I64, func, ptr
+from repro.sim.cpu import SYS_WIN
+from repro.sim.loader import Image
+from repro.sim.memory import WORD_SIZE
+
+#: Request methods (indices into the handler table).
+METHOD_GET = 0
+METHOD_POST = 1
+METHOD_OTHER = 2
+HANDLER_SLOTS = 3
+
+#: Header buffer capacity, in words.
+HEADER_WORDS = 4
+
+#: Words per request record in the input region: method, header length,
+#: then ``HEADER_WORDS + 2`` words of header payload capacity.
+REQUEST_STRIDE = 2 + HEADER_WORDS + 2
+
+HANDLER_SIG = func(I64, [I64])
+
+
+def build_server(max_requests: int = 8) -> ir.Module:
+    """Build the server module (process ``max_requests`` then exit)."""
+    module = ir.Module("miniserver")
+
+    get_handler = module.add_function("handle_get", HANDLER_SIG)
+    b = IRBuilder(get_handler.add_block("entry"))
+    b.ret(b.add(b.const(200), b.binop("and", get_handler.params[0],
+                                      b.const(0xF))))
+
+    post_handler = module.add_function("handle_post", HANDLER_SIG)
+    b = IRBuilder(post_handler.add_block("entry"))
+    b.ret(b.add(b.const(201), b.binop("and", post_handler.params[0],
+                                      b.const(0xF))))
+
+    fallback = module.add_function("handle_other", HANDLER_SIG)
+    b = IRBuilder(fallback.add_block("entry"))
+    b.ret(b.const(404))
+
+    # The attacker's prize: a function that performs the marker syscall.
+    spawn_shell = module.add_function("spawn_shell", HANDLER_SIG)
+    b = IRBuilder(spawn_shell.add_block("entry"))
+    b.syscall(SYS_WIN, [])
+    b.ret(b.const(666))
+
+    # Data-segment layout: header buffer immediately below the table.
+    module.add_global("header_buf", ArrayType(I64, HEADER_WORDS),
+                      initializer=[ir.Constant(0)] * HEADER_WORDS)
+    table = module.add_global(
+        "handler_table", ArrayType(ptr(HANDLER_SIG), HANDLER_SLOTS),
+        initializer=[ir.FunctionRef(get_handler),
+                     ir.FunctionRef(post_handler),
+                     ir.FunctionRef(fallback)])
+    requests = module.add_global(
+        "request_input", ArrayType(I64, max_requests * REQUEST_STRIDE),
+        initializer=[ir.Constant(0)] * (max_requests * REQUEST_STRIDE))
+
+    header_buf = module.globals["header_buf"]
+
+    mainf = module.add_function("main", func(I64, []))
+    entry = mainf.add_block("entry")
+    loop = mainf.add_block("loop")
+    done = mainf.add_block("done")
+    b = IRBuilder(entry)
+    status_slot = b.alloca(I64, "status_acc")
+    b.store(b.const(0), status_slot)
+    preheader = b.block
+    b.br(loop)
+
+    b.position_at_end(loop)
+    i = ir.Phi(I64, "req")
+    loop.append(i)
+    i.add_incoming(b.const(0), preheader)
+
+    # Locate this request's record.
+    record = b.mul(i, b.const(REQUEST_STRIDE), "rec_idx")
+    method = b.load(b.gep_index(requests, record, "m_slot"), "method")
+    length = b.load(b.gep_index(requests, b.add(record, b.const(1)),
+                                "l_slot"), "hdr_len")
+    # The vulnerable copy: trusts the declared header length.
+    header_src = b.gep_index(requests, b.add(record, b.const(2)), "h_src")
+    b.memcpy(header_buf, header_src,
+             b.mul(length, b.const(WORD_SIZE)),
+             element_type=ArrayType(I64, HEADER_WORDS))
+
+    # Dispatch: clamp unknown methods to the fallback slot.
+    over = b.cmp("ge", method, b.const(HANDLER_SLOTS), "m_over")
+    slot_index = b.select(over, b.const(METHOD_OTHER), method, "m_idx")
+    handler_slot = b.gep_index(table, slot_index, "h_slot")
+    handler = b.load(handler_slot, "handler")
+    status = b.icall(handler, [method], HANDLER_SIG, "status")
+    # Respond (one write per request) and accumulate.
+    b.syscall(1, [b.const(1), status, b.const(8)], "respond")
+    b.store(b.add(b.load(status_slot, "acc0"), status, "acc1"),
+            status_slot)
+
+    next_i = b.add(i, b.const(1), "req_next")
+    i.add_incoming(next_i, b.block)
+    more = b.cmp("lt", next_i, b.const(max_requests), "more")
+    b.cond_br(more, loop, done)
+
+    b.position_at_end(done)
+    b.ret(b.load(status_slot, "total"))
+
+    module.verify()
+    return module
+
+
+# ---------------------------------------------------------------------------
+# Request traces
+# ---------------------------------------------------------------------------
+
+Request = Tuple[int, List[int]]  # (method, header words)
+
+
+def benign_trace(count: int = 8) -> List[Request]:
+    """A mixed GET/POST/unknown request stream with legal headers."""
+    trace: List[Request] = []
+    for index in range(count):
+        method = (METHOD_GET, METHOD_POST, 7)[index % 3]
+        header = [0x48545450 + index] * min(HEADER_WORDS, 2 + index % 3)
+        trace.append((method, header))
+    return trace
+
+
+def exploit_trace(count: int = 8,
+                  malicious_index: int = 3) -> List[Request]:
+    """A benign stream with one oversized request whose overflowing
+    header words will be patched (at plant time) to the address of
+    ``spawn_shell``, landing on the GET handler's table slot."""
+    trace = benign_trace(count)
+    # Oversized header: fills the buffer and spills one word into the
+    # handler table (slot 0 = GET).
+    trace[malicious_index] = (METHOD_GET,
+                              [0x41] * HEADER_WORDS + [-1])  # -1: patch me
+    return trace
+
+
+def plant_trace(image: Image, trace: List[Request]) -> None:
+    """Write a request trace into the server's input region.
+
+    Words with value ``-1`` are patched to the address of
+    ``spawn_shell`` — the attacker learned it from a leak; the compiler
+    never sees it.
+    """
+    base = image.global_address["request_input"]
+    shell = image.function_address["spawn_shell"]
+    memory = image.process.memory
+    for index, (method, header) in enumerate(trace):
+        record = base + index * REQUEST_STRIDE * WORD_SIZE
+        memory.store_physical(record, method)
+        memory.store_physical(record + WORD_SIZE, len(header))
+        for offset, word in enumerate(header):
+            value = shell if word == -1 else word
+            memory.store_physical(record + (2 + offset) * WORD_SIZE,
+                                  value)
+
+
+def serve(design: str, trace: List[Request], channel: str = "model",
+          kill_on_violation: bool = True):
+    """Build, plant, and run the server under ``design``."""
+    from repro.core.framework import run_program
+    module = build_server(max_requests=len(trace))
+    return run_program(
+        module, design=design, channel=channel,
+        kill_on_violation=kill_on_violation,
+        pre_run=lambda image, interp: plant_trace(image, trace))

@@ -1,0 +1,246 @@
+"""Tests for compiler analyses (repro.compiler.analysis)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.analysis import (
+    EscapeAnalysis,
+    address_taken_functions,
+    always_tail_called,
+    has_stack_allocations,
+    is_function_pointer_value,
+    known_to_return,
+    may_write_memory,
+    needs_return_pointer_protection,
+    pointer_feeds_icall,
+    store_defines_function_pointer,
+    value_recast_to_function_pointer,
+)
+from repro.compiler.builder import IRBuilder
+from repro.compiler.types import I64, func, ptr
+
+SIG = func(I64, [I64])
+
+
+def fresh(params=(I64,)):
+    module = ir.Module()
+    target = module.add_function("target", SIG)
+    tb = IRBuilder(target.add_block("entry"))
+    tb.ret(target.params[0])
+    f = module.add_function("f", func(I64, list(params)))
+    return module, target, f, IRBuilder(f.add_block("entry"))
+
+
+class TestFunctionPointerDetection:
+    def test_direct_function_ref(self):
+        module, target, f, b = fresh()
+        assert is_function_pointer_value(ir.FunctionRef(target))
+
+    def test_through_cast(self):
+        """Rule 1: defined from a fn-ptr value via pointer casts."""
+        module, target, f, b = fresh()
+        laundered = b.cast(ir.FunctionRef(target), ptr(I64))
+        assert is_function_pointer_value(laundered)
+
+    def test_through_phi(self):
+        """Rule 1: ... including via phi-nodes."""
+        module, target, f, b = fresh()
+        phi = ir.Phi(ptr(I64))
+        phi.add_incoming(b.cast(ir.FunctionRef(target), ptr(I64)),
+                         f.entry)
+        assert is_function_pointer_value(phi)
+
+    def test_through_select(self):
+        module, target, f, b = fresh()
+        sel = b.select(f.params[0], ir.FunctionRef(target),
+                       ir.FunctionRef(target))
+        assert is_function_pointer_value(sel)
+
+    def test_plain_int_is_not(self):
+        module, target, f, b = fresh()
+        assert not is_function_pointer_value(b.const(42))
+        assert not is_function_pointer_value(f.params[0])
+
+    def test_recast_rule(self):
+        """Rule 2: other uses of the value are cast to fn-ptr type."""
+        module, target, f, b = fresh()
+        value = b.add(f.params[0], b.const(0))
+        b.cast(value, ptr(SIG))  # some other use recasts it
+        assert value_recast_to_function_pointer(f, value)
+
+    def test_store_defines_function_pointer(self):
+        module, target, f, b = fresh()
+        slot = b.alloca(ptr(SIG))
+        store = ir.Store(ir.FunctionRef(target), slot)
+        f.entry.append(store)
+        assert store_defines_function_pointer(f, store)
+
+    def test_opaque_store_not_detected(self):
+        """An attacker-style write of a plain integer is invisible."""
+        module, target, f, b = fresh()
+        slot = b.alloca(I64)
+        store = ir.Store(f.params[0], slot)
+        f.entry.append(store)
+        assert not store_defines_function_pointer(f, store)
+
+    def test_pointer_feeds_icall_direct(self):
+        module, target, f, b = fresh()
+        slot = b.alloca(ptr(SIG))
+        loaded = b.load(slot)
+        b.icall(loaded, [b.const(1)], SIG)
+        b.ret(b.const(0))
+        assert pointer_feeds_icall(f, loaded)
+
+    def test_pointer_feeds_icall_through_cast(self):
+        module, target, f, b = fresh()
+        slot = b.alloca(I64)
+        loaded = b.load(slot)
+        casted = b.cast(loaded, ptr(SIG))
+        b.icall(casted, [b.const(1)], SIG)
+        b.ret(b.const(0))
+        assert pointer_feeds_icall(f, loaded)
+
+    def test_unrelated_load_does_not_feed(self):
+        module, target, f, b = fresh()
+        slot = b.alloca(I64)
+        loaded = b.load(slot)
+        b.ret(loaded)
+        assert not pointer_feeds_icall(f, loaded)
+
+
+class TestEscapeAnalysis:
+    def test_local_only_slot_does_not_escape(self):
+        module, target, f, b = fresh()
+        slot = b.alloca(I64)
+        b.store(b.const(1), slot)
+        b.ret(b.load(slot))
+        assert not EscapeAnalysis(f).may_escape(slot)
+
+    def test_address_passed_to_call_escapes(self):
+        module, target, f, b = fresh()
+        callee = module.add_function("callee", func(I64, [ptr(I64)]))
+        slot = b.alloca(I64)
+        b.call(callee, [slot])
+        b.ret(b.const(0))
+        assert EscapeAnalysis(f).may_escape(slot)
+
+    def test_address_stored_to_memory_escapes(self):
+        module, target, f, b = fresh()
+        slot = b.alloca(I64)
+        holder = b.alloca(ptr(I64))
+        b.store(slot, holder)
+        b.ret(b.const(0))
+        assert EscapeAnalysis(f).may_escape(slot)
+
+    def test_escape_through_gep_alias(self):
+        from repro.compiler.types import ArrayType
+        module, target, f, b = fresh()
+        arr = b.alloca(ArrayType(I64, 4))
+        element = b.gep_index(arr, b.const(1))
+        callee = module.add_function("callee", func(I64, [ptr(I64)]))
+        b.call(callee, [element])
+        b.ret(b.const(0))
+        assert EscapeAnalysis(f).may_escape(arr)
+
+    def test_memcpy_argument_escapes(self):
+        from repro.compiler.types import ArrayType
+        module, target, f, b = fresh()
+        buf = b.alloca(ArrayType(I64, 4))
+        other = b.alloca(ArrayType(I64, 4))
+        b.memcpy(buf, other, b.const(32))
+        b.ret(b.const(0))
+        analysis = EscapeAnalysis(f)
+        assert analysis.may_escape(buf)
+        assert analysis.may_escape(other)
+
+    def test_returned_address_escapes(self):
+        module, target, f, b = fresh()
+        slot = b.alloca(I64)
+        b.ret(b.cast(slot, I64))
+        assert EscapeAnalysis(f).may_escape(slot)
+
+
+class TestFunctionAttributes:
+    def test_may_write_memory(self):
+        module, target, f, b = fresh()
+        slot = b.alloca(I64)
+        b.store(b.const(1), slot)
+        b.ret(b.const(0))
+        assert may_write_memory(f)
+
+    def test_pure_function_does_not_write(self):
+        module, target, f, b = fresh()
+        b.ret(b.add(f.params[0], b.const(1)))
+        assert not may_write_memory(f)
+
+    def test_has_stack_allocations(self):
+        module, target, f, b = fresh()
+        b.alloca(I64)
+        b.ret(b.const(0))
+        assert has_stack_allocations(f)
+
+    def test_known_to_return(self):
+        module, target, f, b = fresh()
+        b.ret(b.const(0))
+        assert known_to_return(f)
+        f.no_return = True
+        assert not known_to_return(f)
+
+    def test_always_tail_called(self):
+        module, target, f, b = fresh()
+        b.ret(b.const(0))
+        caller = module.add_function("caller", func(I64, []))
+        cb = IRBuilder(caller.add_block("entry"))
+        cb.ret(cb.call(f, [cb.const(1)], tail=True))
+        assert always_tail_called(f)
+
+    def test_mixed_call_sites_not_always_tail(self):
+        module, target, f, b = fresh()
+        b.ret(b.const(0))
+        caller = module.add_function("caller", func(I64, []))
+        cb = IRBuilder(caller.add_block("entry"))
+        cb.call(f, [cb.const(1)], tail=True)
+        cb.call(f, [cb.const(2)])
+        cb.ret(cb.const(0))
+        assert not always_tail_called(f)
+
+    def test_retptr_predicate_requires_all_conditions(self):
+        # Satisfies everything: writes memory, allocates, returns.
+        module, target, f, b = fresh()
+        slot = b.alloca(I64)
+        b.store(b.const(1), slot)
+        b.ret(b.load(slot))
+        assert needs_return_pointer_protection(f)
+        # A pure leaf (no allocas, no writes) does not qualify.
+        g = module.add_function("g", SIG)
+        gb = IRBuilder(g.add_block("entry"))
+        gb.ret(g.params[0])
+        assert not needs_return_pointer_protection(g)
+
+    def test_declarations_never_protected(self):
+        module = ir.Module()
+        decl = module.add_function("decl", SIG)
+        assert not needs_return_pointer_protection(decl)
+
+
+class TestAddressTaken:
+    def test_ref_in_instruction_operand(self):
+        module, target, f, b = fresh()
+        slot = b.alloca(ptr(SIG))
+        b.store(ir.FunctionRef(target), slot)
+        b.ret(b.const(0))
+        assert "target" in address_taken_functions(module)
+        assert "f" not in address_taken_functions(module)
+
+    def test_ref_in_global_initializer(self):
+        module, target, f, b = fresh()
+        b.ret(b.const(0))
+        module.add_global("table", ptr(SIG),
+                          initializer=[ir.FunctionRef(target)])
+        assert "target" in address_taken_functions(module)
+
+    def test_explicit_flag(self):
+        module, target, f, b = fresh()
+        b.ret(b.const(0))
+        f.address_taken = True
+        assert "f" in address_taken_functions(module)

@@ -1,0 +1,181 @@
+"""Tests for dominator / post-dominator analyses (repro.compiler.cfg)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.cfg import (
+    DominatorTree,
+    PostDominatorTree,
+    predecessors,
+    reverse_postorder,
+)
+from repro.compiler.types import I64, func
+
+
+def build_diamond():
+    """entry → (left | right) → join → exit."""
+    module = ir.Module()
+    f = module.add_function("f", func(I64, [I64]))
+    entry = f.add_block("entry")
+    left = f.add_block("left")
+    right = f.add_block("right")
+    join = f.add_block("join")
+    b = IRBuilder(entry)
+    b.cond_br(f.params[0], left, right)
+    IRBuilder(left).br(join)
+    IRBuilder(right).br(join)
+    IRBuilder(join).ret(ir.Constant(0))
+    return f, entry, left, right, join
+
+
+def build_loop():
+    """entry → head ⇄ body; head → exit."""
+    module = ir.Module()
+    f = module.add_function("f", func(I64, [I64]))
+    entry = f.add_block("entry")
+    head = f.add_block("head")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    IRBuilder(entry).br(head)
+    IRBuilder(head).cond_br(f.params[0], body, exit_)
+    IRBuilder(body).br(head)
+    IRBuilder(exit_).ret(ir.Constant(0))
+    return f, entry, head, body, exit_
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        f, entry, left, right, join = build_diamond()
+        dom = DominatorTree(f)
+        for block in (entry, left, right, join):
+            assert dom.dominates(entry, block)
+
+    def test_branches_do_not_dominate_join(self):
+        f, entry, left, right, join = build_diamond()
+        dom = DominatorTree(f)
+        assert not dom.dominates(left, join)
+        assert not dom.dominates(right, join)
+        assert dom.idom[join] is entry
+
+    def test_dominance_is_reflexive(self):
+        f, entry, *_ = build_diamond()
+        assert DominatorTree(f).dominates(entry, entry)
+
+    def test_loop_header_dominates_body(self):
+        f, entry, head, body, exit_ = build_loop()
+        dom = DominatorTree(f)
+        assert dom.dominates(head, body)
+        assert dom.dominates(head, exit_)
+        assert not dom.dominates(body, exit_)
+
+    def test_dominators_of_chain(self):
+        f, entry, head, body, exit_ = build_loop()
+        dom = DominatorTree(f)
+        assert dom.dominators_of(body) == [body, head, entry]
+
+    def test_unreachable_blocks_excluded_from_order(self):
+        f, entry, *_ = build_diamond()
+        dead = f.add_block("dead")
+        IRBuilder(dead).ret(ir.Constant(0))
+        order = reverse_postorder(f)
+        assert dead not in order
+
+    def test_predecessors(self):
+        f, entry, left, right, join = build_diamond()
+        preds = predecessors(f)
+        assert set(preds[join]) == {left, right}
+        assert preds[entry] == []
+
+
+class TestPostDominators:
+    def test_join_post_dominates_branches(self):
+        f, entry, left, right, join = build_diamond()
+        pdom = PostDominatorTree(f)
+        assert pdom.post_dominates(join, left)
+        assert pdom.post_dominates(join, right)
+        assert pdom.post_dominates(join, entry)
+
+    def test_branch_does_not_post_dominate_entry(self):
+        f, entry, left, right, join = build_diamond()
+        pdom = PostDominatorTree(f)
+        assert not pdom.post_dominates(left, entry)
+
+    def test_post_dominance_is_reflexive(self):
+        f, entry, *_ = build_diamond()
+        assert PostDominatorTree(f).post_dominates(entry, entry)
+
+    def test_loop_exit_post_dominates_header(self):
+        f, entry, head, body, exit_ = build_loop()
+        pdom = PostDominatorTree(f)
+        assert pdom.post_dominates(exit_, head)
+        assert pdom.post_dominates(exit_, body)
+        assert pdom.post_dominates(head, body)
+
+
+@st.composite
+def random_cfg(draw):
+    """A random function: N blocks, each branching to later-or-random
+    targets, with the last block returning."""
+    module = ir.Module()
+    f = module.add_function("f", func(I64, [I64]))
+    n = draw(st.integers(min_value=2, max_value=8))
+    blocks = [f.add_block(f"b{i}") for i in range(n)]
+    for i, block in enumerate(blocks[:-1]):
+        builder = IRBuilder(block)
+        kind = draw(st.sampled_from(["br", "condbr", "ret"]))
+        if kind == "ret":
+            builder.ret(ir.Constant(0))
+        elif kind == "br":
+            target = blocks[draw(st.integers(min_value=0, max_value=n - 1))]
+            builder.br(target)
+        else:
+            t1 = blocks[draw(st.integers(min_value=0, max_value=n - 1))]
+            t2 = blocks[draw(st.integers(min_value=0, max_value=n - 1))]
+            builder.cond_br(f.params[0], t1, t2)
+    IRBuilder(blocks[-1]).ret(ir.Constant(0))
+    return f
+
+
+@settings(max_examples=60)
+@given(random_cfg())
+def test_dominator_invariants_on_random_cfgs(f):
+    """Entry dominates every reachable block; idom is a strict
+    dominator; dominance is transitive along the idom chain."""
+    dom = DominatorTree(f)
+    entry = f.entry
+    for block in dom.order:
+        assert dom.dominates(entry, block)
+        idom = dom.idom.get(block)
+        if block is not entry:
+            assert idom is not None
+            assert dom.dominates(idom, block)
+
+
+@settings(max_examples=60)
+@given(random_cfg())
+def test_dominance_agrees_with_path_removal(f):
+    """a dominates b iff removing a disconnects b from the entry —
+    cross-check the fixpoint computation against the definition."""
+    dom = DominatorTree(f)
+    entry = f.entry
+
+    def reachable_without(banned):
+        seen = set()
+        work = [entry]
+        while work:
+            block = work.pop()
+            if block in seen or block is banned:
+                continue
+            seen.add(block)
+            work.extend(block.successors)
+        return seen
+
+    reachable = reachable_without(None)
+    for a in reachable:
+        survivors = reachable_without(a)
+        for b in reachable:
+            if b is a:
+                continue
+            assert dom.dominates(a, b) == (b not in survivors)

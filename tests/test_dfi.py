@@ -1,0 +1,169 @@
+"""Tests for the data-flow-integrity policy (repro.policies.dfi)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.passes.base import PassManager
+from repro.compiler.passes.syscall_sync import SyscallSyncPass
+from repro.compiler.types import ArrayType, I64, func, ptr
+from repro.core.framework import run_program
+from repro.core.messages import Message, Op
+from repro.policies.dfi import (
+    DEF_INITIAL,
+    DFI_BLOCK_STORE,
+    DFI_CHECK,
+    DFI_STORE,
+    DFIPass,
+    DFIPolicy,
+    policy_factory_for,
+)
+
+
+def event3(kind, value, aux=0):
+    return Message(Op.EVENT, kind, value, aux)
+
+
+class TestDFIPolicy:
+    def test_legitimate_writer_passes(self):
+        policy = DFIPolicy({1: frozenset({DEF_INITIAL, 5})})
+        policy.handle(event3(DFI_STORE, 0x100, 5))
+        assert policy.handle(event3(DFI_CHECK, 0x100, 1)) is None
+
+    def test_unlisted_writer_violates(self):
+        policy = DFIPolicy({1: frozenset({DEF_INITIAL, 5})})
+        policy.handle(event3(DFI_STORE, 0x100, 9))  # foreign definition
+        violation = policy.handle(event3(DFI_CHECK, 0x100, 1))
+        assert violation is not None and violation.kind == "dfi"
+
+    def test_never_written_slot_reads_initializer(self):
+        policy = DFIPolicy({1: frozenset({DEF_INITIAL})})
+        assert policy.handle(event3(DFI_CHECK, 0x100, 1)) is None
+
+    def test_initializer_not_allowed_when_absent_from_set(self):
+        policy = DFIPolicy({1: frozenset({5})})
+        violation = policy.handle(event3(DFI_CHECK, 0x100, 1))
+        assert violation is not None
+
+    def test_block_store_covers_whole_range(self):
+        policy = DFIPolicy({1: frozenset({7})})
+        aux = ((24 & 0xFFFF) << 16) | 7  # 24-byte write, def id 7
+        policy.handle(event3(DFI_BLOCK_STORE, 0x100, aux))
+        for offset in (0, 8, 16):
+            assert policy.handle(event3(DFI_CHECK, 0x100 + offset, 1)) \
+                is None
+
+    def test_clone_copies_last_writers(self):
+        policy = DFIPolicy({1: frozenset({5})})
+        policy.handle(event3(DFI_STORE, 0x100, 5))
+        child = policy.clone()
+        child.handle(event3(DFI_STORE, 0x100, 9))
+        assert policy.handle(event3(DFI_CHECK, 0x100, 1)) is None
+
+    def test_entry_count(self):
+        policy = DFIPolicy()
+        policy.handle(event3(DFI_STORE, 0x100, 1))
+        policy.handle(event3(DFI_STORE, 0x108, 1))
+        assert policy.entry_count() == 2
+
+
+class TestDFIPass:
+    def _module(self):
+        module = ir.Module("dfi")
+        counter = module.add_global("counter", I64,
+                                    initializer=[ir.Constant(0)])
+        other = module.add_global("other", I64,
+                                  initializer=[ir.Constant(0)])
+        f = module.add_function("main", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        b.store(b.const(1), counter)
+        b.store(b.const(2), other)
+        value = b.load(counter, "v")
+        b.syscall(1, [b.const(1), value, b.const(8)])
+        b.ret(value)
+        return module, counter, other
+
+    def test_definitions_numbered_and_sets_built(self):
+        module, *_ = self._module()
+        pass_ = DFIPass()
+        pass_.run(module)
+        assert pass_.stats["stores"] == 2
+        assert pass_.stats["checks"] == 1
+        sets = module.dfi_reaching_sets
+        assert len(sets) == 2
+        # Each slot's set: the loader init + its own store.
+        assert all(DEF_INITIAL in s for s in sets.values())
+
+    def test_slots_have_disjoint_definition_ids(self):
+        module, *_ = self._module()
+        DFIPass().run(module)
+        sets = list(module.dfi_reaching_sets.values())
+        own = [s - {DEF_INITIAL} for s in sets]
+        assert own[0].isdisjoint(own[1])
+
+    def test_end_to_end_benign(self):
+        module, *_ = self._module()
+        PassManager([DFIPass(), SyscallSyncPass()]).run(module)
+        result = run_program(module, design="hq-sfestk",
+                             policy_factory=policy_factory_for(module),
+                             passes_override=[], kill_on_violation=False)
+        assert result.ok
+        assert not [v for v in result.violations if v.kind == "dfi"]
+
+
+class TestDFICatchesNonControlDataAttack:
+    """DFI's distinguishing power: it protects plain *data*, not just
+    code pointers — the class of attack CFI cannot see."""
+
+    def _vulnerable_module(self, overflow_words):
+        module = ir.Module("dfi-attack")
+        # Data-segment layout: the buffer sits directly below the
+        # security decision variable (0 = unprivileged), so a linear
+        # overflow of the buffer reaches it.
+        buffer = module.add_global("request_buf", ArrayType(I64, 2),
+                                   initializer=[ir.Constant(0)] * 2)
+        is_admin = module.add_global("is_admin", I64,
+                                     initializer=[ir.Constant(0)])
+        inp = module.add_global("attacker_input", ArrayType(I64, 8),
+                                initializer=[ir.Constant(0)] * 8)
+        f = module.add_function("main", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        # The vulnerable copy: attacker-controlled length.
+        length = b.load(b.gep_index(inp, b.const(0)), "n")
+        b.memcpy(buffer, b.gep_index(inp, b.const(1), "src"),
+                 b.mul(length, b.const(8)))
+        admin = b.load(is_admin, "admin")
+        b.syscall(1, [b.const(1), admin, b.const(8)])
+        b.ret(admin)
+        return module, overflow_words
+
+    def _run(self, overflow_words):
+        module, n = self._vulnerable_module(overflow_words)
+        PassManager([DFIPass(), SyscallSyncPass()]).run(module)
+
+        def plant(image, interpreter):
+            base = image.global_address["attacker_input"]
+            memory = image.process.memory
+            memory.store_physical(base, n)
+            for i in range(1, 8):
+                memory.store_physical(base + i * 8, 1)  # "admin!"
+
+        return run_program(module, design="hq-sfestk",
+                           policy_factory=policy_factory_for(module),
+                           passes_override=[], kill_on_violation=False,
+                           pre_run=plant)
+
+    def test_in_bounds_request_is_clean(self):
+        result = self._run(overflow_words=2)
+        assert result.ok
+        assert not [v for v in result.violations if v.kind == "dfi"]
+        assert result.exit_status == 0  # still unprivileged
+
+    def test_overflow_into_decision_variable_detected(self):
+        """The overflowing memcpy's definition id is not in is_admin's
+        reaching set: DFI flags the privilege escalation that CFI would
+        never see (no control-flow pointer was touched)."""
+        result = self._run(overflow_words=3)
+        assert result.exit_status == 1  # the data attack "worked"...
+        assert any(v.kind == "dfi" for v in result.violations)  # ...but
+        # the verifier saw it before the syscall barrier.

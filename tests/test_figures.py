@@ -1,0 +1,101 @@
+"""Tests for the figure plumbing (repro.bench.figures) and cycle
+accounting (repro.sim.cycles) — fast, subset-based."""
+
+import pytest
+
+from repro.bench.figures import (
+    Figure,
+    FigureSeries,
+    figure3,
+    figure4,
+    figure5,
+    format_figure,
+)
+from repro.bench.harness import PerfPoint
+from repro.sim.cycles import (
+    AccountingMode,
+    CLOCK_GHZ,
+    CycleAccount,
+    ns_to_cycles,
+)
+
+FAST = ["470.lbm", "483.xalancbmk"]
+
+
+def _series(label, values):
+    points = [PerfPoint(benchmark=name, design="x", channel=None,
+                        relative=value)
+              for name, value in values.items()]
+    return FigureSeries(label, points)
+
+
+class TestFigurePlumbing:
+    def test_geomean(self):
+        series = _series("s", {"a": 0.5, "b": 2.0})
+        assert series.geomean == pytest.approx(1.0)
+
+    def test_relative_of(self):
+        series = _series("s", {"a": 0.5})
+        assert series.relative_of("a") == 0.5
+        assert series.relative_of("zz") is None
+
+    def test_benchmarks_sorted_by_sort_series(self):
+        slow_first = _series("key", {"fast": 0.9, "slow": 0.3,
+                                     "mid": 0.6})
+        figure = Figure("f", [slow_first], sort_by="key")
+        assert figure.benchmarks() == ["slow", "mid", "fast"]
+
+    def test_excluded_points_sort_last(self):
+        series = FigureSeries("key", [
+            PerfPoint("a", "x", None, 0.5),
+            PerfPoint("b", "x", None, None, excluded_reason="crash"),
+        ])
+        figure = Figure("f", [series], sort_by="key")
+        assert figure.benchmarks() == ["a", "b"]
+
+    def test_format_marks_exclusions(self):
+        series = FigureSeries("s", [
+            PerfPoint("a", "x", None, None, excluded_reason="crash"),
+            PerfPoint("b", "x", None, 0.5),
+        ])
+        text = format_figure(Figure("f", [series]))
+        assert "excl" in text
+        assert "GEOMEAN" in text
+
+    def test_figure3_subset(self):
+        figure = figure3(benchmarks=FAST)
+        assert len(figure.series) == 3
+        for series in figure.series:
+            assert {p.benchmark for p in series.points} == set(FAST)
+
+    def test_figure4_subset_uses_train(self):
+        figure = figure4(benchmarks=FAST)
+        assert all("Train" in s.label for s in figure.series)
+
+    def test_figure5_subset_has_five_designs(self):
+        figure = figure5(benchmarks=FAST)
+        assert len(figure.series) == 5
+
+
+class TestCycleAccounting:
+    def test_ns_conversion(self):
+        assert ns_to_cycles(10) == 10 * CLOCK_GHZ
+
+    def test_buckets_accumulate(self):
+        account = CycleAccount()
+        account.charge_user(10, category="alu")
+        account.charge_user(5)
+        account.charge_ipc(3)
+        account.charge_syscall(7)
+        account.charge_wait(2)
+        assert account.user == 15
+        assert account.detail == {"alu": 10}
+        assert account.total(AccountingMode.MODEL) == 27
+        assert account.total(AccountingMode.SIM) == 18  # user + ipc only
+
+    def test_snapshot_is_plain_data(self):
+        account = CycleAccount()
+        account.charge_user(1, category="x")
+        snap = account.snapshot()
+        snap["detail"]["x"] = 999
+        assert account.detail["x"] == 1  # copy, not alias

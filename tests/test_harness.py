@@ -1,0 +1,150 @@
+"""Tests for the experiment harness (repro.bench.harness) and the
+table/figure plumbing (repro.bench.*)."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    classify_correctness,
+    compiler_for,
+    geometric_mean,
+    perf_sweep,
+    real_design,
+    relative_performance,
+    run_benchmark,
+    sweep_geomean,
+)
+from repro.bench.metrics import collect_metrics, summarize
+from repro.bench.table2 import TABLE2_ORDER, measure_send_ns, table2
+from repro.bench.table6 import COMPONENT_MODULES, count_source_lines, table6
+from repro.sim.cycles import AccountingMode
+
+FAST = ["470.lbm", "429.mcf", "403.gcc"]
+
+
+class TestHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert geometric_mean([0.5, 2.0]) == pytest.approx(1.0)
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_compiler_selection(self):
+        assert compiler_for("ccfi") == "legacy"
+        assert compiler_for("baseline-cpi") == "legacy"
+        assert compiler_for("hq-sfestk") == "modern"
+
+    def test_baseline_alias_resolution(self):
+        assert real_design("baseline-ccfi") == "baseline"
+        assert real_design("hq-retptr") == "hq-retptr"
+
+
+class TestRelativePerformance:
+    def test_baseline_relative_to_itself_is_one(self):
+        point = relative_performance("470.lbm", "baseline")
+        assert point.relative == pytest.approx(1.0)
+
+    def test_instrumented_run_is_slower(self):
+        point = relative_performance("403.gcc", "hq-sfestk")
+        assert point.relative is not None
+        assert point.relative < 1.0
+        assert point.messages > 0
+
+    def test_crashing_design_excluded_with_reason(self):
+        # gcc has the CCFI float-division hazard.
+        point = relative_performance("403.gcc", "ccfi")
+        assert point.relative is None
+        assert point.excluded_reason == "crash"
+
+    def test_sim_accounting_differs_from_model(self):
+        model = relative_performance("403.gcc", "hq-sfestk",
+                                     accounting=AccountingMode.MODEL)
+        sim = relative_performance("403.gcc", "hq-sfestk", channel="sim",
+                                   accounting=AccountingMode.SIM)
+        assert sim.relative > model.relative
+
+    def test_sweep_and_geomean(self):
+        points = perf_sweep("hq-sfestk", benchmarks=FAST)
+        assert len(points) == 3
+        geo = sweep_geomean(points)
+        assert 0.0 < geo <= 1.01
+
+
+class TestCorrectnessClassification:
+    def test_clean_benchmark_ok_everywhere(self):
+        for design in ("baseline", "hq-sfestk", "clang-cfi"):
+            record = classify_correctness("470.lbm", design)
+            assert record.ok, design
+
+    def test_clang_fp_on_cast_benchmark(self):
+        record = classify_correctness("453.povray", "clang-cfi")
+        assert record.false_positive and not record.error
+
+    def test_ccfi_error_without_invalid_on_startup_crash(self):
+        """The div-hazard crash happens before any output: error only."""
+        record = classify_correctness("453.povray", "ccfi")
+        assert record.error and not record.invalid
+        assert record.false_positive  # the cast FP fired first
+
+    def test_ccfi_invalid_on_float_heavy(self):
+        record = classify_correctness("471.omnetpp", "ccfi")
+        assert record.invalid and not record.error
+
+    def test_cpi_error_and_invalid_on_blockop(self):
+        record = classify_correctness("483.xalancbmk", "cpi")
+        assert record.error and record.invalid
+        assert not record.false_positive
+
+    def test_hq_true_positive_on_omnetpp(self):
+        record = classify_correctness("471.omnetpp", "hq-sfestk")
+        assert record.ok and record.true_positive
+
+    def test_legacy_baseline_fails_only_on_flagged(self):
+        bad = classify_correctness("464.h264ref", "baseline-ccfi")
+        assert bad.error and bad.invalid
+        good = classify_correctness("403.gcc", "baseline-ccfi")
+        assert good.ok
+
+
+class TestTable2Plumbing:
+    def test_all_primitives_measured(self):
+        rows = table2(sends=50)
+        assert [r.primitive for r in rows] == TABLE2_ORDER
+
+    def test_measurement_stable(self):
+        assert measure_send_ns("uarch", 100) == \
+            pytest.approx(measure_send_ns("uarch", 200), rel=0.01)
+
+
+class TestTable6Plumbing:
+    def test_count_source_lines_skips_docs_and_comments(self, tmp_path):
+        source = tmp_path / "sample.py"
+        source.write_text('"""Module doc.\n\nMore doc.\n"""\n'
+                          "# comment\n\n"
+                          "x = 1\n"
+                          "def f():\n"
+                          '    """Doc."""\n'
+                          "    return x\n")
+        assert count_source_lines(str(source)) == 3
+
+    def test_all_components_resolve_to_files(self):
+        counts = table6()
+        assert set(counts) == set(COMPONENT_MODULES)
+        assert all(count > 0 for count in counts.values())
+
+
+class TestMetricsPlumbing:
+    def test_collect_and_summarize_subset(self):
+        metrics = collect_metrics(benchmarks=FAST + ["483.xalancbmk"])
+        summary = summarize(metrics)
+        assert summary.max_total > 0
+        assert summary.max_entries >= 0
+        assert summary.zero_entry_benchmarks >= 1  # lbm
+
+    def test_rates_positive_for_active_benchmarks(self):
+        metrics = collect_metrics(benchmarks=["403.gcc"])
+        assert metrics[0].messages_per_second > 0

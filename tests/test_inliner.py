@@ -1,0 +1,220 @@
+"""Tests for the function inliner (repro.compiler.passes.inliner)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.passes.inliner import InlinerPass
+from repro.compiler.validate import validate_module
+from repro.compiler.types import I64, func, ptr
+from repro.sim.cpu import Interpreter
+from repro.sim.loader import Image
+from repro.sim.process import Process
+
+
+def run_module(module):
+    module.verify()
+    return Interpreter(Image(module, Process())).run("main")
+
+
+def module_with_helper(helper_body, main_body):
+    module = ir.Module()
+    helper = module.add_function("helper", func(I64, [I64, I64]))
+    helper_body(helper, IRBuilder(helper.add_block("entry")))
+    mainf = module.add_function("main", func(I64, []))
+    main_body(module, mainf, IRBuilder(mainf.add_block("entry")), helper)
+    return module
+
+
+class TestInlining:
+    def _simple(self):
+        def helper_body(helper, b):
+            b.ret(b.add(b.mul(helper.params[0], b.const(3)),
+                        helper.params[1]))
+
+        def main_body(module, mainf, b, helper):
+            first = b.call(helper, [b.const(5), b.const(2)], "first")
+            second = b.call(helper, [first, b.const(1)], "second")
+            b.ret(second)
+        return module_with_helper(helper_body, main_body)
+
+    def test_call_replaced_by_body(self):
+        module = self._simple()
+        pass_ = InlinerPass()
+        pass_.run(module)
+        assert pass_.stats["calls-inlined"] == 2
+        mainf = module.functions["main"]
+        assert not any(isinstance(i, ir.Call) for i in mainf.instructions())
+
+    def test_semantics_preserved(self):
+        expected = run_module(self._simple())
+        module = self._simple()
+        InlinerPass().run(module)
+        validate_module(module)
+        assert run_module(module) == expected
+        assert expected == (5 * 3 + 2) * 3 + 1
+
+    def test_void_style_result_unused(self):
+        def helper_body(helper, b):
+            b.ret(b.const(7))
+
+        def main_body(module, mainf, b, helper):
+            b.call(helper, [b.const(1), b.const(2)])
+            b.ret(b.const(0))
+        module = module_with_helper(helper_body, main_body)
+        InlinerPass().run(module)
+        assert run_module(module) == 0
+
+    def test_memory_operations_cloned(self):
+        def helper_body(helper, b):
+            slot = b.alloca(I64)
+            b.store(helper.params[0], slot)
+            b.ret(b.add(b.load(slot), helper.params[1]))
+
+        def main_body(module, mainf, b, helper):
+            b.ret(b.call(helper, [b.const(40), b.const(2)]))
+        module = module_with_helper(helper_body, main_body)
+        InlinerPass().run(module)
+        validate_module(module)
+        assert run_module(module) == 42
+
+    def test_nested_helpers_fully_inlined(self):
+        """Inlining is iterated: inlined bodies containing calls to
+        other inlinable functions get flattened too."""
+        module = ir.Module()
+        inner = module.add_function("inner", func(I64, [I64]))
+        b = IRBuilder(inner.add_block("entry"))
+        b.ret(b.add(inner.params[0], b.const(1)))
+        outer = module.add_function("outer", func(I64, [I64]))
+        b = IRBuilder(outer.add_block("entry"))
+        b.ret(b.call(inner, [outer.params[0]]))
+        mainf = module.add_function("main", func(I64, []))
+        b = IRBuilder(mainf.add_block("entry"))
+        b.ret(b.call(outer, [b.const(10)]))
+        InlinerPass().run(module)
+        mainf = module.functions["main"]
+        assert not any(isinstance(i, ir.Call) for i in mainf.instructions())
+        assert run_module(module) == 11
+
+
+class TestInliningLimits:
+    def test_multi_block_callee_skipped(self):
+        module = ir.Module()
+        branchy = module.add_function("branchy", func(I64, [I64]))
+        entry = branchy.add_block("entry")
+        a = branchy.add_block("a")
+        c = branchy.add_block("c")
+        b = IRBuilder(entry)
+        b.cond_br(branchy.params[0], a, c)
+        IRBuilder(a).ret(ir.Constant(1))
+        IRBuilder(c).ret(ir.Constant(2))
+        mainf = module.add_function("main", func(I64, []))
+        b = IRBuilder(mainf.add_block("entry"))
+        b.ret(b.call(branchy, [b.const(1)]))
+        pass_ = InlinerPass()
+        pass_.run(module)
+        assert pass_.stats.get("calls-inlined", 0) == 0
+
+    def test_recursive_callee_skipped(self):
+        module = ir.Module()
+        rec = module.add_function("rec", func(I64, [I64]))
+        b = IRBuilder(rec.add_block("entry"))
+        b.ret(b.call(rec, [rec.params[0]]))
+        mainf = module.add_function("main", func(I64, []))
+        b = IRBuilder(mainf.add_block("entry"))
+        b.ret(b.call(rec, [b.const(1)]))
+        pass_ = InlinerPass()
+        pass_.run(module)
+        assert pass_.stats.get("calls-inlined", 0) == 0
+
+    def test_threshold_respected(self):
+        def helper_body(helper, b):
+            value = helper.params[0]
+            for _ in range(20):
+                value = b.add(value, b.const(1))
+            b.ret(value)
+
+        def main_body(module, mainf, b, helper):
+            b.ret(b.call(helper, [b.const(0), b.const(0)]))
+        module = module_with_helper(helper_body, main_body)
+        pass_ = InlinerPass(threshold=5)
+        pass_.run(module)
+        assert pass_.stats.get("calls-inlined", 0) == 0
+
+    def test_declarations_skipped(self):
+        module = ir.Module()
+        external = module.add_function("external", func(I64, []))
+        mainf = module.add_function("main", func(I64, []))
+        b = IRBuilder(mainf.add_block("entry"))
+        b.call(external, [])
+        b.ret(b.const(0))
+        pass_ = InlinerPass()
+        pass_.run(module)
+        assert pass_.stats.get("calls-inlined", 0) == 0
+
+
+class TestInliningInteractions:
+    def test_inlining_creates_elision_opportunities(self):
+        """The section 4.1.4 story: after inlining, duplicate
+        invalidates from 'destructor' helpers become visible to the
+        elision pass."""
+        from repro.compiler.passes.elision import MessageElisionPass
+        module = ir.Module()
+        target = module.add_function("target", func(I64, [I64]))
+        b = IRBuilder(target.add_block("entry"))
+        b.ret(target.params[0])
+        g = module.add_global("g", ptr(func(I64, [I64])))
+        dtor = module.add_function("dtor", func(I64, []))
+        b = IRBuilder(dtor.add_block("entry"))
+        b._emit(ir.RuntimeCall("hq_pointer_invalidate", [g]))
+        b.ret(b.const(0))
+        mainf = module.add_function("main", func(I64, []))
+        b = IRBuilder(mainf.add_block("entry"))
+        b.store(ir.FunctionRef(target), g)
+        loaded = b.load(g)
+        result = b.icall(loaded, [b.const(1)], func(I64, [I64]))
+        check = ir.RuntimeCall("hq_pointer_check", [g, loaded])
+        b._emit(check)
+        b.call(dtor, [])
+        b.call(dtor, [])  # double destruction after inlining
+        b.ret(result)
+
+        InlinerPass().run(module)
+        invalidates = [i for i in mainf.instructions()
+                       if isinstance(i, ir.RuntimeCall)
+                       and i.runtime_name == "hq_pointer_invalidate"]
+        assert len(invalidates) == 2  # inlining exposed the duplicates
+        MessageElisionPass().run(module)
+        invalidates = [i for i in mainf.instructions()
+                       if isinstance(i, ir.RuntimeCall)
+                       and i.runtime_name == "hq_pointer_invalidate"]
+        assert len(invalidates) == 1  # elision collapsed them
+
+
+@settings(max_examples=40, deadline=None)
+@given(constants=st.lists(st.integers(min_value=0, max_value=1000),
+                          min_size=1, max_size=6),
+       multiplier=st.integers(min_value=1, max_value=9))
+def test_inlining_preserves_semantics_property(constants, multiplier):
+    """Random call chains through a small helper compute identical
+    results before and after inlining."""
+    def build():
+        module = ir.Module()
+        helper = module.add_function("helper", func(I64, [I64]))
+        b = IRBuilder(helper.add_block("entry"))
+        b.ret(b.mul(helper.params[0], b.const(multiplier)))
+        mainf = module.add_function("main", func(I64, []))
+        b = IRBuilder(mainf.add_block("entry"))
+        total = b.const(0)
+        for constant in constants:
+            total = b.add(total, b.call(helper, [b.const(constant)]))
+        b.ret(total)
+        return module
+
+    expected = run_module(build())
+    module = build()
+    InlinerPass().run(module)
+    validate_module(module)
+    assert run_module(module) == expected
+    assert expected == sum(c * multiplier for c in constants)

@@ -1,0 +1,121 @@
+"""Whole-stack integration tests: benchmarks × designs × channels.
+
+Slower, broader checks than the per-module suites: every design runs a
+sample of real workloads end-to-end; the full (non-deduplicated) RIPE
+matrix is spot-checked against its deduplicated credit-weighting; and a
+multi-tenant session survives a mixed benign/malicious population.
+"""
+
+import pytest
+
+from repro.attacks.ripe import (
+    Attack,
+    FAMILY_COUNTS,
+    attack_matrix,
+    attack_succeeded,
+    run_attack,
+)
+from repro.bench.harness import run_benchmark
+from repro.core.session import HQSession
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import get_profile
+
+SAMPLE = ["470.lbm", "429.mcf", "403.gcc", "483.xalancbmk",
+          "471.omnetpp", "nginx"]
+DESIGNS = ["baseline", "hq-sfestk", "hq-retptr", "clang-cfi", "ccfi",
+           "cpi", "arm-pa"]
+
+
+class TestBenchmarkDesignMatrix:
+    @pytest.mark.parametrize("name", SAMPLE)
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_every_cell_has_an_explained_outcome(self, name, design):
+        """No benchmark/design combination behaves unexpectedly: each
+        run either succeeds or fails for a reason the profile's flags
+        predict."""
+        profile = get_profile(name)
+        result = run_benchmark(name, design)
+        if result.ok:
+            return
+        # Failures must be predicted by the profile's failure taxonomy.
+        legacy = design in ("ccfi", "cpi")
+        predicted = (
+            (design == "ccfi" and profile.has("ccfi_float_div_hazard"))
+            or (design == "cpi" and profile.has("blockop_fnptr_copy"))
+            or (legacy and profile.has("old_clang_bug"))
+        )
+        assert predicted, (name, design, result.outcome, result.detail)
+
+    @pytest.mark.parametrize("channel", ["model", "sim", "fpga", "mq"])
+    def test_channels_agree_on_semantics(self, channel):
+        reference = run_benchmark("403.gcc", "hq-sfestk", channel="model")
+        other = run_benchmark("403.gcc", "hq-sfestk", channel=channel)
+        assert other.ok
+        assert other.output == reference.output
+        assert other.messages_sent == reference.messages_sent
+
+
+class TestFullRipeMatrixSample:
+    """The dedup run credits each representative with its family count;
+    executing every member of a family must agree with the
+    representative (the justification for deduplication)."""
+
+    @pytest.mark.parametrize("family,payload,origin", [
+        ("fp-direct", "sameclass", "heap"),
+        ("fp-indirect", "noclass", "bss"),
+        ("ret-direct", "-", "stack"),
+    ])
+    @pytest.mark.parametrize("design", ["baseline", "clang-cfi",
+                                        "hq-sfestk"])
+    def test_family_members_behave_identically(self, family, payload,
+                                               origin, design):
+        count = min(FAMILY_COUNTS[(family, payload)][origin], 5)
+        outcomes = set()
+        for variant in range(count):
+            attack = Attack(family, payload, origin, variant)
+            outcomes.add(attack_succeeded(run_attack(attack, design)))
+        assert len(outcomes) == 1  # uniform within the family
+
+    def test_full_matrix_enumeration_has_all_variants(self):
+        attacks = attack_matrix(dedup=False)
+        stack_rets = [a for a in attacks if a.family == "ret-direct"]
+        assert len(stack_rets) == 132
+        assert len({a.variant for a in stack_rets}) == 132
+
+
+class TestMultiTenantSession:
+    def test_mixed_population(self):
+        """One verifier, four tenants: two clean SPEC workloads, one
+        with a genuine UAF, one actively exploited.  Each gets exactly
+        the treatment it deserves."""
+        session = HQSession(kill_on_violation=True)
+
+        clean_a = session.register(
+            build_module(get_profile("470.lbm")), name="lbm")
+        clean_b = session.register(
+            build_module(get_profile("429.mcf")), name="mcf")
+        buggy = session.register(
+            build_module(get_profile("471.omnetpp")), name="omnetpp")
+
+        from repro.attacks.ripe import build_victim
+        victim_module, plant = build_victim(
+            Attack("fp-direct", "noclass", "heap"))
+        victim = session.register(victim_module, name="victim")
+        plant(victim.interpreter.image, victim.interpreter)
+
+        results = {
+            "lbm": session.run(clean_a),
+            "mcf": session.run(clean_b),
+            "omnetpp": session.run(buggy),
+            "victim": session.run(victim),
+        }
+        assert results["lbm"].ok
+        assert results["mcf"].ok
+        # omnetpp's real UAF: killed under kill-on-violation.
+        assert results["omnetpp"].outcome == "killed"
+        assert results["victim"].outcome == "killed"
+        assert not results["victim"].win_executed
+        # The clean tenants' contexts show no violations.
+        counts = session.violations_by_pid()
+        assert counts[clean_a.process.pid] == 0
+        assert counts[clean_b.process.pid] == 0

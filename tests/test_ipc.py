@@ -1,0 +1,245 @@
+"""Tests for the IPC channels (repro.ipc.*)."""
+
+import pytest
+
+from repro.core.messages import Message, Op, pointer_check, pointer_define
+from repro.ipc.appendwrite import (
+    AMRFullFault,
+    AppendWriteFPGA,
+    AppendWriteModel,
+    AppendWriteUArch,
+)
+from repro.ipc.base import ChannelFullError, ChannelIntegrityError
+from repro.ipc.latency import SEND_NS, send_cycles
+from repro.ipc.lwc import LightWeightContextChannel
+from repro.ipc.posix import MessageQueueChannel, NamedPipeChannel, SocketChannel
+from repro.ipc.registry import available_primitives, create_channel
+from repro.ipc.shared_memory import SharedMemoryChannel
+from repro.sim.memory import AMRWriteFault, Memory
+from repro.sim.process import Process
+
+ALL_CHANNELS = [MessageQueueChannel, NamedPipeChannel, SocketChannel,
+                SharedMemoryChannel, LightWeightContextChannel,
+                AppendWriteFPGA, AppendWriteUArch, AppendWriteModel]
+
+
+@pytest.fixture
+def process():
+    return Process("sender")
+
+
+@pytest.mark.parametrize("channel_cls", ALL_CHANNELS)
+class TestCommonBehaviour:
+    def test_fifo_order(self, channel_cls, process):
+        channel = channel_cls()
+        for i in range(5):
+            channel.send(process, pointer_define(i, i * 10))
+        received = channel.receive_all()
+        assert [m.arg0 for m in received] == list(range(5))
+
+    def test_pid_stamped_by_transport(self, channel_cls, process):
+        channel = channel_cls()
+        # Sender claims a forged pid in the payload; the transport
+        # overrides it (message authenticity).
+        forged = Message(Op.POINTER_CHECK, 1, 2, pid=99999)
+        channel.send(process, forged)
+        assert channel.receive_all()[0].pid == process.pid
+
+    def test_counters_are_consecutive(self, channel_cls, process):
+        channel = channel_cls()
+        for i in range(4):
+            channel.send(process, pointer_check(i, i))
+        counters = [m.counter for m in channel.receive_all()]
+        assert counters == [1, 2, 3, 4]
+
+    def test_send_charges_cycles(self, channel_cls, process):
+        channel = channel_cls()
+        channel.send(process, pointer_check(1, 2))
+        total = (process.cycles.user + process.cycles.ipc
+                 + process.cycles.syscall + process.cycles.wait)
+        assert total > 0
+
+    def test_pending_then_drained(self, channel_cls, process):
+        channel = channel_cls()
+        channel.send(process, pointer_check(1, 2))
+        assert channel.pending() == 1
+        channel.receive_all()
+        assert channel.pending() == 0
+
+    def test_capacity_must_be_positive(self, channel_cls, process):
+        with pytest.raises(ValueError):
+            channel_cls(capacity=0)
+
+
+class TestCostModel:
+    @pytest.mark.parametrize("primitive", list(SEND_NS))
+    def test_send_cycles_match_table2(self, primitive):
+        assert send_cycles(primitive) == SEND_NS[primitive] * 5.0
+
+    def test_syscall_channels_charge_syscall_time(self, process):
+        MessageQueueChannel().send(process, pointer_check(1, 2))
+        assert process.cycles.syscall >= send_cycles("mq")
+
+    def test_appendwrite_charges_user_side_ipc(self, process):
+        AppendWriteUArch().send(process, pointer_check(1, 2))
+        assert process.cycles.ipc == send_cycles("uarch")
+        assert process.cycles.syscall == 0
+
+    def test_lwc_pays_two_switches(self, process):
+        LightWeightContextChannel().send(process, pointer_check(1, 2))
+        assert process.cycles.syscall == 2 * send_cycles("lwc")
+
+
+class TestAppendOnlyEnforcement:
+    def test_shared_memory_is_corruptible(self, process):
+        channel = SharedMemoryChannel()
+        channel.send(process, pointer_check(0x10, 0xAAAA))
+        channel.corrupt(0, pointer_check(0x10, 0xBBBB))
+        assert channel.receive_all()[0].arg1 == 0xBBBB
+
+    def test_shared_memory_is_erasable_without_trace(self, process):
+        channel = SharedMemoryChannel()
+        channel.send(process, pointer_check(1, 1))
+        channel.send(process, pointer_check(2, 2))
+        channel.erase(1)
+        received = channel.receive_all()
+        assert len(received) == 1
+        # Counter rewound: no gap for the verifier to notice.
+        channel.send(process, pointer_check(3, 3))
+        assert channel.receive_all()[0].counter == 2
+
+    def test_erase_count_validation(self, process):
+        channel = SharedMemoryChannel()
+        channel.send(process, pointer_check(1, 1))
+        with pytest.raises(ValueError):
+            channel.erase(5)
+
+    @pytest.mark.parametrize("channel_cls", [
+        MessageQueueChannel, AppendWriteFPGA, AppendWriteUArch,
+        LightWeightContextChannel])
+    def test_append_only_channels_refuse_corruption(self, channel_cls,
+                                                    process):
+        channel = channel_cls()
+        channel.send(process, pointer_check(1, 1))
+        with pytest.raises(PermissionError):
+            channel.corrupt(0, pointer_check(1, 2))
+        with pytest.raises(PermissionError):
+            channel.erase()
+
+
+class TestFPGA:
+    def test_pid_register_updated_on_context_switch(self, process):
+        channel = AppendWriteFPGA()
+        channel.context_switch(777)
+        channel.send(process, pointer_check(1, 1))
+        assert channel.receive_all()[0].pid == 777
+
+    def test_full_buffer_drops_and_leaves_counter_gap(self, process):
+        channel = AppendWriteFPGA(capacity=2)
+        for i in range(3):
+            channel.send(process, pointer_check(i, i))
+        assert channel.dropped_total == 1
+        # The dropped third message never arrives; counters 1,2 are fine
+        # but the *next* message exposes the gap.
+        channel.receive_all()
+        channel.send(process, pointer_check(9, 9))
+        with pytest.raises(ChannelIntegrityError):
+            channel.receive_all()
+
+    def test_generous_buffer_never_drops(self, process):
+        channel = AppendWriteFPGA()
+        for i in range(100):
+            channel.send(process, pointer_check(i, i))
+        assert channel.dropped_total == 0
+        assert len(channel.receive_all()) == 100
+
+
+class TestUArch:
+    def test_amr_rejects_ordinary_stores(self):
+        memory = Memory()
+        channel = AppendWriteUArch(memory=memory)
+        with pytest.raises(AMRWriteFault):
+            memory.store(channel.base, 0x41414141)
+
+    def test_messages_live_in_amr_memory(self, process):
+        channel = AppendWriteUArch()
+        channel.send(process, pointer_define(0xAB, 0xCD))
+        # The raw words are physically present in the AMR.
+        assert channel.memory.load_physical(channel.base + 8) == 0xAB
+
+    def test_append_addr_advances(self, process):
+        channel = AppendWriteUArch()
+        start = channel.append_addr
+        channel.send(process, pointer_check(1, 1))
+        assert channel.append_addr == start + 32
+
+    def test_full_amr_faults_to_kernel_and_recovers(self, process):
+        channel = AppendWriteUArch(capacity=2)
+        for i in range(5):
+            channel.send(process, pointer_check(i, i))
+        assert channel.faults >= 1
+        received = channel.receive_all()
+        assert [m.arg0 for m in received] == list(range(5))
+
+    def test_custom_full_handler_invoked(self, process):
+        calls = []
+
+        def handler(ch):
+            calls.append(ch.pending())
+            ch._drain_to_staging()
+            ch.reset_registers()
+
+        channel = AppendWriteUArch(capacity=1, on_full=handler)
+        channel.send(process, pointer_check(1, 1))
+        channel.send(process, pointer_check(2, 2))
+        assert calls
+
+    def test_unrecovered_full_raises(self, process):
+        channel = AppendWriteUArch(capacity=1, on_full=lambda ch: None)
+        channel.send(process, pointer_check(1, 1))
+        with pytest.raises(AMRFullFault):
+            channel.send(process, pointer_check(2, 2))
+
+
+class TestModel:
+    def test_full_buffer_waits_for_verifier(self, process):
+        drained = []
+
+        def drain(channel):
+            drained.extend(channel.receive_all())
+
+        channel = AppendWriteModel(capacity=2, on_full=drain)
+        for i in range(5):
+            channel.send(process, pointer_check(i, i))
+        assert channel.full_waits > 0
+        assert process.cycles.wait > 0
+
+    def test_full_without_verifier_raises(self, process):
+        channel = AppendWriteModel(capacity=1)
+        channel.send(process, pointer_check(1, 1))
+        with pytest.raises(ChannelFullError):
+            channel.send(process, pointer_check(2, 2))
+
+    def test_model_lacks_hardware_append_only(self):
+        # Documented caveat: the software model must not be deployed.
+        assert AppendWriteModel.append_only is False
+
+
+class TestRegistry:
+    def test_all_primitives_constructible(self):
+        for name in available_primitives():
+            channel = create_channel(name)
+            assert channel.primitive
+
+    def test_sim_and_uarch_are_same_implementation(self):
+        assert type(create_channel("sim")) is type(create_channel("uarch"))
+
+    def test_case_insensitive(self):
+        assert isinstance(create_channel("FPGA"), AppendWriteFPGA)
+
+    def test_unknown_primitive_raises(self):
+        with pytest.raises(KeyError):
+            create_channel("carrier-pigeon")
+
+    def test_kwargs_forwarded(self):
+        assert create_channel("mq", capacity=7).capacity == 7

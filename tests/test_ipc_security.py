@@ -1,0 +1,158 @@
+"""Security-property tests across IPC primitives: why AppendWrite.
+
+These are the end-to-end demonstrations behind Table 2's security
+columns: with plain shared memory a compromised program can destroy the
+evidence of its own compromise before the verifier reads it; with
+AppendWrite it cannot.  Also covers the multi-core extensions of
+sections 2.3.2 and 4.3.
+"""
+
+import pytest
+
+from repro.cfi.hq_cfi import HQCFIPolicy
+from repro.core import messages as msg
+from repro.core.verifier import Verifier
+from repro.ipc.appendwrite import AppendWriteFPGA, AppendWriteUArch
+from repro.ipc.multicore import (
+    BidirectionalChannel,
+    PerCoreAMRs,
+    TimestampCounter,
+)
+from repro.ipc.shared_memory import SharedMemoryChannel
+from repro.sim.process import Process
+
+
+class TestEvidenceRetraction:
+    """Section 2.2: "even if the program is corrupted immediately after
+    sending a message, it cannot retract previously-sent messages" —
+    true for AppendWrite, false for raw shared memory."""
+
+    def _compromise_flow(self, channel):
+        """A program defines a pointer, gets corrupted, the corruption
+        is reported by an in-flight check, then the attacker gains full
+        control of the process (and the channel mapping)."""
+        verifier = Verifier(HQCFIPolicy)
+        verifier.attach_channel(channel)
+        process = Process()
+        verifier.register_process(process.pid)
+        channel.send(process, msg.pointer_define(0x10, 0x4000))
+        # The check that contains the evidence (value mismatched).
+        channel.send(process, msg.pointer_check(0x10, 0x6666))
+        return verifier, process
+
+    def test_shared_memory_attacker_erases_evidence(self):
+        channel = SharedMemoryChannel()
+        verifier, process = self._compromise_flow(channel)
+        # Attacker (owns the mapping): rewrite the damning check into a
+        # benign one before the verifier's next poll.
+        channel.corrupt(1, msg.pointer_check(0x10, 0x4000))
+        verifier.poll()
+        assert not verifier.has_violation(process.pid)  # evidence gone
+
+    def test_shared_memory_attacker_rewinds_ring(self):
+        channel = SharedMemoryChannel()
+        verifier, process = self._compromise_flow(channel)
+        channel.erase(1)  # pop the check entirely, counter rewound
+        verifier.poll()
+        assert not verifier.has_violation(process.pid)
+
+    @pytest.mark.parametrize("channel_cls",
+                             [AppendWriteUArch, AppendWriteFPGA])
+    def test_appendwrite_evidence_is_irrevocable(self, channel_cls):
+        channel = channel_cls()
+        verifier, process = self._compromise_flow(channel)
+        with pytest.raises(PermissionError):
+            channel.corrupt(1, msg.pointer_check(0x10, 0x4000))
+        with pytest.raises(PermissionError):
+            channel.erase()
+        verifier.poll()
+        assert verifier.has_violation(process.pid)
+
+    def test_uarch_attacker_cannot_write_amr_directly(self):
+        """Even with arbitrary-write in their own mappings, ordinary
+        stores to AMR pages are rejected by the MMU."""
+        from repro.sim.memory import AMRWriteFault
+        channel = AppendWriteUArch()
+        process = Process()
+        channel.send(process, msg.pointer_check(0x10, 0x6666))
+        with pytest.raises(AMRWriteFault):
+            channel.memory.store(channel.base + 16, 0x4000)
+
+
+class TestPerCoreAMRs:
+    def test_each_core_gets_its_own_region(self):
+        amrs = PerCoreAMRs(cores=3)
+        bases = {channel.base for channel in amrs.channels}
+        assert len(bases) == 3
+
+    def test_cross_core_send_rejected(self):
+        amrs = PerCoreAMRs(cores=2)
+        with pytest.raises(IndexError):
+            amrs.send(2, Process(), msg.event(1))
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            PerCoreAMRs(cores=0)
+
+    def test_single_reader_drains_all_cores(self):
+        amrs = PerCoreAMRs(cores=2)
+        p1, p2 = Process(), Process()
+        amrs.send(0, p1, msg.event(1, 10))
+        amrs.send(1, p2, msg.event(1, 20))
+        received = amrs.receive_all()
+        assert {m.arg1 for m in received} == {10, 20}
+        assert amrs.pending() == 0
+
+    def test_timestamp_ordering_restores_global_order(self):
+        amrs = PerCoreAMRs(cores=2, order_by_timestamp=True)
+        p1, p2 = Process(), Process()
+        # Interleave sends across cores; the TSC records the true order.
+        amrs.send(0, p1, msg.event(1, 1))
+        amrs.send(1, p2, msg.event(1, 2))
+        amrs.send(0, p1, msg.event(1, 3))
+        amrs.send(1, p2, msg.event(1, 4))
+        received = amrs.receive_all()
+        assert [m.arg1 for m in received] == [1, 2, 3, 4]
+
+    def test_without_timestamps_order_is_per_core_only(self):
+        amrs = PerCoreAMRs(cores=2, order_by_timestamp=False)
+        p1, p2 = Process(), Process()
+        amrs.send(1, p2, msg.event(1, 9))
+        amrs.send(0, p1, msg.event(1, 1))
+        received = amrs.receive_all()
+        # Core 0's stream comes out first regardless of send time.
+        assert [m.arg1 for m in received] == [1, 9]
+
+    def test_shared_tsc_across_channel_groups(self):
+        tsc = TimestampCounter()
+        a = PerCoreAMRs(cores=1, tsc=tsc)
+        b = PerCoreAMRs(cores=1, tsc=tsc)
+        p = Process()
+        a.send(0, p, msg.event(1, 1))
+        b.send(0, p, msg.event(1, 2))
+        assert a.receive_all()[0].aux < b.receive_all()[0].aux
+
+
+class TestBidirectional:
+    def test_round_trip(self):
+        link = BidirectionalChannel()
+        p0, p1 = Process(), Process()
+        link.send(0, p0, msg.event(1, 111))
+        link.send(1, p1, msg.event(1, 222))
+        assert [m.arg1 for m in link.receive(1)] == [111]
+        assert [m.arg1 for m in link.receive(0)] == [222]
+
+    def test_endpoints_validated(self):
+        link = BidirectionalChannel()
+        with pytest.raises(IndexError):
+            link.send(2, Process(), msg.event(1))
+        with pytest.raises(IndexError):
+            link.receive(5)
+
+    def test_both_directions_append_only(self):
+        link = BidirectionalChannel()
+        p0 = Process()
+        link.send(0, p0, msg.event(1, 1))
+        for direction in link._towards.values():
+            with pytest.raises(PermissionError):
+                direction.erase()

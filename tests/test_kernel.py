@@ -1,0 +1,162 @@
+"""Tests for the kernel and the HQ kernel module (repro.sim.kernel)."""
+
+import pytest
+
+from repro.cfi.hq_cfi import HQCFIPolicy
+from repro.core import messages as msg
+from repro.core.verifier import Verifier
+from repro.ipc.appendwrite import AppendWriteUArch
+from repro.sim.cpu import (
+    ProcessKilledError,
+    SYS_EXECVE,
+    SYS_EXIT,
+    SYS_FORK,
+    SYS_GETPID,
+    SYS_WIN,
+    SYS_WRITE,
+)
+from repro.sim.kernel import HQKernelModule, Kernel
+from repro.sim.process import Process
+
+
+@pytest.fixture
+def stack():
+    verifier = Verifier(HQCFIPolicy)
+    channel = AppendWriteUArch()
+    verifier.attach_channel(channel)
+    hq = HQKernelModule(verifier)
+    kernel = Kernel(hq)
+    process = Process()
+    kernel.attach(process)
+    hq.enable(process)
+    return kernel, hq, verifier, channel, process
+
+
+class TestSyscallTable:
+    def test_exit_terminates(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        channel.send(process, msg.syscall_message(SYS_EXIT))
+        kernel.syscall(process, SYS_EXIT, [3])
+        assert process.exited and process.exit_status == 3
+
+    def test_write_captured(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        channel.send(process, msg.syscall_message(SYS_WRITE))
+        kernel.syscall(process, SYS_WRITE, [1, 0xCAFE, 8])
+        assert kernel.stdout[process.pid] == [0xCAFE]
+
+    def test_getpid(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        channel.send(process, msg.syscall_message(SYS_GETPID))
+        assert kernel.syscall(process, SYS_GETPID, []) == process.pid
+
+    def test_fork_creates_monitored_child(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        channel.send(process, msg.syscall_message(SYS_FORK))
+        child_pid = kernel.syscall(process, SYS_FORK, [])
+        assert child_pid in kernel.processes
+        assert hq.is_monitored(child_pid)
+        assert child_pid in verifier.contexts
+
+    def test_win_marker_recorded(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        channel.send(process, msg.syscall_message(SYS_WIN))
+        kernel.syscall(process, SYS_WIN, [])
+        assert process.pid in kernel.win_executed
+
+    def test_unmonitored_process_skips_barrier(self):
+        kernel = Kernel(HQKernelModule(Verifier(HQCFIPolicy)))
+        process = Process()
+        kernel.attach(process)
+        # No enable(): syscalls run without any synchronization.
+        assert kernel.syscall(process, SYS_GETPID, []) == process.pid
+
+
+class TestBoundedAsynchronousValidation:
+    def test_pipelined_sync_message_avoids_wait(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        channel.send(process, msg.syscall_message(SYS_WRITE))
+        kernel.syscall(process, SYS_WRITE, [1, 1, 8])
+        context = hq.contexts[process.pid]
+        assert context.syscalls_intercepted == 1
+        assert context.syscalls_waited == 0
+
+    def test_missing_sync_message_times_out_and_kills(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        with pytest.raises(ProcessKilledError):
+            kernel.syscall(process, SYS_WRITE, [1, 1, 8])
+        assert process.killed_reason == "synchronization epoch timeout"
+        assert hq.contexts[process.pid].syscalls_waited > 0
+
+    def test_violation_kills_before_side_effect(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        # Evidence of corruption precedes the syscall in the stream.
+        channel.send(process, msg.pointer_check(0x10, 0x666))
+        channel.send(process, msg.syscall_message(SYS_WIN))
+        with pytest.raises(ProcessKilledError):
+            kernel.syscall(process, SYS_WIN, [])
+        assert process.pid not in kernel.win_executed
+
+    def test_forged_sync_message_cannot_hide_evidence(self, stack):
+        """The forgery is transmitted *after* the violation evidence,
+        so it has no effect (section 2.2)."""
+        kernel, hq, verifier, channel, process = stack
+        channel.send(process, msg.pointer_check(0x10, 0x666))
+        channel.send(process, msg.syscall_message(SYS_WIN))  # forged
+        channel.send(process, msg.syscall_message(SYS_WIN))  # forged again
+        with pytest.raises(ProcessKilledError):
+            kernel.syscall(process, SYS_WIN, [])
+
+    def test_continue_mode_proceeds_past_violation(self):
+        verifier = Verifier(HQCFIPolicy)
+        channel = AppendWriteUArch()
+        verifier.attach_channel(channel)
+        hq = HQKernelModule(verifier, kill_on_violation=False)
+        kernel = Kernel(hq)
+        process = Process()
+        kernel.attach(process)
+        hq.enable(process)
+        channel.send(process, msg.pointer_check(0x10, 0x666))
+        channel.send(process, msg.syscall_message(SYS_WRITE))
+        kernel.syscall(process, SYS_WRITE, [1, 5, 8])  # not killed
+        assert kernel.stdout[process.pid] == [5]
+        assert hq.violations_seen
+
+    def test_exempt_syscall_skips_token_requirement(self):
+        """RIPE runs exempt execve from synchronization (section 5.2)."""
+        verifier = Verifier(HQCFIPolicy)
+        channel = AppendWriteUArch()
+        verifier.attach_channel(channel)
+        hq = HQKernelModule(verifier, sync_exempt_syscalls={SYS_EXECVE})
+        kernel = Kernel(hq)
+        process = Process()
+        kernel.attach(process)
+        hq.enable(process)
+        # No sync message sent: execve proceeds anyway.
+        kernel.syscall(process, SYS_EXECVE, [])
+
+    def test_exempt_syscall_still_enforces_violations(self):
+        verifier = Verifier(HQCFIPolicy)
+        channel = AppendWriteUArch()
+        verifier.attach_channel(channel)
+        hq = HQKernelModule(verifier, sync_exempt_syscalls={SYS_EXECVE})
+        kernel = Kernel(hq)
+        process = Process()
+        kernel.attach(process)
+        hq.enable(process)
+        channel.send(process, msg.pointer_check(0x10, 0x666))
+        with pytest.raises(ProcessKilledError):
+            kernel.syscall(process, SYS_EXECVE, [])
+
+    def test_exit_unregisters_from_module_and_verifier(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        channel.send(process, msg.syscall_message(SYS_EXIT))
+        kernel.syscall(process, SYS_EXIT, [0])
+        assert not hq.is_monitored(process.pid)
+        assert process.pid not in verifier.contexts
+
+    def test_interception_cost_charged(self, stack):
+        kernel, hq, verifier, channel, process = stack
+        channel.send(process, msg.syscall_message(SYS_WRITE))
+        kernel.syscall(process, SYS_WRITE, [1, 1, 8])
+        assert process.cycles.wait > 0  # kprobe dispatch cost

@@ -1,0 +1,148 @@
+"""Tests for the program loader (repro.sim.loader)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.types import ArrayType, I64, func, ptr
+from repro.sim.loader import FUNCTION_STRIDE, Image
+from repro.sim.memory import WORD_SIZE
+from repro.sim.process import Process, TEXT_BASE
+
+SIG = func(I64, [I64])
+
+
+def sample_module():
+    module = ir.Module()
+    first = module.add_function("first", SIG)
+    IRBuilder(first.add_block("entry")).ret(first.params[0])
+    second = module.add_function("second", SIG)
+    IRBuilder(second.add_block("entry")).ret(second.params[0])
+    return module, first, second
+
+
+class TestCodeLayout:
+    def test_functions_get_distinct_strided_addresses(self):
+        module, first, second = sample_module()
+        image = Image(module, Process())
+        a = image.function_address["first"]
+        b = image.function_address["second"]
+        assert a == TEXT_BASE
+        assert b == a + FUNCTION_STRIDE
+
+    def test_function_at_reverse_map(self):
+        module, first, second = sample_module()
+        image = Image(module, Process())
+        assert image.function_at[image.function_address["second"]] is second
+
+    def test_function_of_address_mid_body(self):
+        module, first, second = sample_module()
+        image = Image(module, Process())
+        mid = image.function_address["first"] + 24
+        assert image.function_of_address(mid) is first
+
+    def test_is_function_entry(self):
+        module, first, _ = sample_module()
+        image = Image(module, Process())
+        entry = image.function_address["first"]
+        assert image.is_function_entry(entry)
+        assert not image.is_function_entry(entry + 8)
+
+    def test_aslr_offset_shifts_code(self):
+        module, *_ = sample_module()
+        plain = Image(module, Process())
+        module2, *_ = sample_module()
+        shifted = Image(module2, Process(), aslr_offset=0x1000)
+        assert shifted.function_address["first"] == \
+            plain.function_address["first"] + 0x1000
+
+    def test_return_site_addresses_stay_in_function_window(self):
+        module, first, _ = sample_module()
+        image = Image(module, Process())
+        base = image.function_address["first"]
+        for _ in range(10):
+            site = image.return_site_address(first)
+            assert base < site < base + FUNCTION_STRIDE
+
+
+class TestGlobalPlacement:
+    def test_const_goes_to_rodata(self):
+        module, *_ = sample_module()
+        module.add_global("k", I64, const=True,
+                          initializer=[ir.Constant(5)])
+        process = Process()
+        image = Image(module, process)
+        assert process.region_of(image.global_address["k"]) == "rodata"
+
+    def test_initialized_goes_to_data(self):
+        module, *_ = sample_module()
+        module.add_global("d", I64, initializer=[ir.Constant(5)])
+        process = Process()
+        image = Image(module, process)
+        assert process.region_of(image.global_address["d"]) == "data"
+
+    def test_uninitialized_goes_to_bss(self):
+        module, *_ = sample_module()
+        module.add_global("z", I64)
+        process = Process()
+        image = Image(module, process)
+        assert process.region_of(image.global_address["z"]) == "bss"
+
+    def test_initializer_words_written(self):
+        module, *_ = sample_module()
+        module.add_global("arr", ArrayType(I64, 3),
+                          initializer=[ir.Constant(1), ir.Constant(2),
+                                       ir.Constant(3)])
+        process = Process()
+        image = Image(module, process)
+        base = image.global_address["arr"]
+        values = [process.memory.load_physical(base + i * WORD_SIZE)
+                  for i in range(3)]
+        assert values == [1, 2, 3]
+
+    def test_function_ref_initializer_relocated(self):
+        module, first, _ = sample_module()
+        module.add_global("fp", ptr(SIG),
+                          initializer=[ir.FunctionRef(first)])
+        process = Process()
+        image = Image(module, process)
+        stored = process.memory.load_physical(image.global_address["fp"])
+        assert stored == image.function_address["first"]
+
+    def test_unsupported_initializer_rejected(self):
+        module, first, _ = sample_module()
+        g = module.add_global("bad", I64)
+        g.initializer = [object()]  # type: ignore[list-item]
+        with pytest.raises(TypeError):
+            Image(module, Process())
+
+
+class TestStartupInventory:
+    def test_writable_code_pointers_reported(self):
+        module, first, _ = sample_module()
+        module.add_global("fp", ptr(SIG),
+                          initializer=[ir.FunctionRef(first)])
+        image = Image(module, Process())
+        inventory = image.initialized_code_pointers()
+        slot = image.global_address["fp"]
+        assert inventory == {slot: image.function_address["first"]}
+
+    def test_const_and_data_pointers_excluded(self):
+        module, first, _ = sample_module()
+        module.add_global("ro", ptr(SIG), const=True,
+                          initializer=[ir.FunctionRef(first)])
+        module.add_global("plain", I64, initializer=[ir.Constant(9)])
+        module.add_global("zero", ptr(SIG))
+        image = Image(module, Process())
+        assert image.initialized_code_pointers() == {}
+
+    def test_mixed_initializer_reports_only_code_slots(self):
+        module, first, _ = sample_module()
+        module.add_global("mixed", ArrayType(I64, 3),
+                          initializer=[ir.Constant(1),
+                                       ir.FunctionRef(first),
+                                       ir.Constant(2)])
+        image = Image(module, Process())
+        inventory = image.initialized_code_pointers()
+        base = image.global_address["mixed"]
+        assert list(inventory) == [base + WORD_SIZE]

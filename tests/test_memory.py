@@ -1,0 +1,213 @@
+"""Tests for the simulated paged memory (repro.sim.memory)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.memory import (
+    AMRWriteFault,
+    Memory,
+    PAGE_SIZE,
+    PROT_AMR,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    SegmentationFault,
+    WORD_SIZE,
+    align_up,
+    align_word,
+    page_of,
+)
+
+RW = PROT_READ | PROT_WRITE
+BASE = 0x10000
+
+
+@pytest.fixture
+def memory():
+    mem = Memory()
+    mem.map_region(BASE, PAGE_SIZE * 4, RW, "test")
+    return mem
+
+
+class TestMapping:
+    def test_map_and_classify(self, memory):
+        mapping = memory.mapping_at(BASE + 100)
+        assert mapping is not None and mapping.name == "test"
+
+    def test_unmapped_address_has_no_mapping(self, memory):
+        assert memory.mapping_at(0x9999_0000) is None
+
+    def test_map_requires_page_alignment(self):
+        with pytest.raises(ValueError):
+            Memory().map_region(BASE + 1, PAGE_SIZE, RW)
+
+    def test_map_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Memory().map_region(BASE, 0, RW)
+
+    def test_map_rejects_overlap(self, memory):
+        with pytest.raises(ValueError):
+            memory.map_region(BASE + PAGE_SIZE, PAGE_SIZE, RW, "overlap")
+
+    def test_size_rounds_up_to_pages(self):
+        mem = Memory()
+        mapping = mem.map_region(BASE, 100, RW)
+        assert mapping.size == PAGE_SIZE
+
+    def test_unmap_clears_pages_and_contents(self, memory):
+        memory.store(BASE, 42)
+        memory.unmap_region(BASE)
+        with pytest.raises(SegmentationFault):
+            memory.load(BASE)
+
+    def test_unmap_unknown_start_raises(self, memory):
+        with pytest.raises(ValueError):
+            memory.unmap_region(BASE + PAGE_SIZE)
+
+    def test_protect_region_changes_permissions(self, memory):
+        memory.protect_region(BASE, PAGE_SIZE, PROT_READ)
+        assert memory.load(BASE) == 0
+        with pytest.raises(SegmentationFault):
+            memory.store(BASE, 1)
+
+    def test_protect_unmapped_raises(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.protect_region(0x900_0000, PAGE_SIZE, RW)
+
+
+class TestAccess:
+    def test_store_load_roundtrip(self, memory):
+        memory.store(BASE + 8, 0xDEAD)
+        assert memory.load(BASE + 8) == 0xDEAD
+
+    def test_fresh_memory_reads_zero(self, memory):
+        assert memory.load(BASE + 64) == 0
+
+    def test_unaligned_access_uses_containing_word(self, memory):
+        memory.store(BASE + 3, 7)
+        assert memory.load(BASE) == 7
+
+    def test_read_requires_read_permission(self):
+        mem = Memory()
+        mem.map_region(BASE, PAGE_SIZE, PROT_NONE)
+        with pytest.raises(SegmentationFault):
+            mem.load(BASE)
+
+    def test_write_requires_write_permission(self):
+        mem = Memory()
+        mem.map_region(BASE, PAGE_SIZE, PROT_READ)
+        with pytest.raises(SegmentationFault):
+            mem.store(BASE, 1)
+
+    def test_unmapped_read_faults(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.load(0x5000_0000)
+
+    def test_fetch_requires_exec(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.fetch(BASE)
+
+    def test_fetch_from_exec_page(self):
+        mem = Memory()
+        mem.map_region(BASE, PAGE_SIZE, PROT_READ | PROT_EXEC)
+        assert mem.fetch(BASE) == 0
+
+    def test_physical_access_bypasses_protections(self):
+        mem = Memory()
+        mem.map_region(BASE, PAGE_SIZE, PROT_NONE)
+        mem.store_physical(BASE, 99)
+        assert mem.load_physical(BASE) == 99
+
+
+class TestAMR:
+    """The appendable-memory-region protection (section 2.3.2)."""
+
+    @pytest.fixture
+    def amr(self):
+        mem = Memory()
+        mem.map_region(BASE, PAGE_SIZE, PROT_READ | PROT_AMR, "amr")
+        return mem
+
+    def test_ordinary_store_to_amr_rejected_by_mmu(self, amr):
+        with pytest.raises(AMRWriteFault):
+            amr.store(BASE, 1)
+
+    def test_append_store_allowed_on_amr(self, amr):
+        amr.append_store(BASE, 1234)
+        assert amr.load(BASE) == 1234
+
+    def test_append_store_rejected_on_ordinary_pages(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.append_store(BASE, 1)
+
+    def test_amr_pages_remain_readable(self, amr):
+        amr.append_store(BASE + 8, 5)
+        assert amr.load(BASE + 8) == 5
+
+
+class TestBlockOps:
+    def test_store_load_block(self, memory):
+        memory.store_block(BASE, [1, 2, 3])
+        assert memory.load_block(BASE, 3) == [1, 2, 3]
+
+    def test_copy_block_disjoint(self, memory):
+        memory.store_block(BASE, [10, 20, 30])
+        memory.copy_block(BASE, BASE + 64, 3)
+        assert memory.load_block(BASE + 64, 3) == [10, 20, 30]
+
+    def test_copy_block_overlapping_memmove_semantics(self, memory):
+        memory.store_block(BASE, [1, 2, 3, 4])
+        memory.copy_block(BASE, BASE + WORD_SIZE, 4)
+        assert memory.load_block(BASE + WORD_SIZE, 4) == [1, 2, 3, 4]
+
+    def test_zero_block(self, memory):
+        memory.store_block(BASE, [9, 9, 9])
+        memory.zero_block(BASE, 3)
+        assert memory.load_block(BASE, 3) == [0, 0, 0]
+
+
+class TestHelpers:
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_SIZE) == 1
+        assert page_of(PAGE_SIZE - 1) == 0
+
+    def test_align_up(self):
+        assert align_up(1) == PAGE_SIZE
+        assert align_up(PAGE_SIZE) == PAGE_SIZE
+        assert align_up(0) == 0
+        assert align_up(13, 8) == 16
+
+    def test_align_word(self):
+        assert align_word(13) == 8
+        assert align_word(8) == 8
+
+
+@settings(max_examples=60)
+@given(values=st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                       min_size=1, max_size=32),
+       shift=st.integers(min_value=-16, max_value=16))
+def test_copy_block_matches_python_semantics(values, shift):
+    """memmove semantics hold for any overlap direction and distance."""
+    mem = Memory()
+    mem.map_region(0x20000, PAGE_SIZE * 2, RW)
+    src = 0x20000 + 64 * WORD_SIZE
+    dst = src + shift * WORD_SIZE
+    mem.store_block(src, values)
+    expected_src_view = list(values)
+    mem.copy_block(src, dst, len(values))
+    assert mem.load_block(dst, len(values)) == expected_src_view
+
+
+@settings(max_examples=60)
+@given(words=st.dictionaries(st.integers(min_value=0, max_value=255),
+                             st.integers(min_value=0, max_value=2**64 - 1),
+                             max_size=24))
+def test_independent_words_do_not_interfere(words):
+    mem = Memory()
+    mem.map_region(0x30000, PAGE_SIZE, RW)
+    for offset, value in words.items():
+        mem.store(0x30000 + offset * WORD_SIZE, value)
+    for offset, value in words.items():
+        assert mem.load(0x30000 + offset * WORD_SIZE) == value

@@ -1,0 +1,100 @@
+"""Tests for the HerQules message format (repro.core.messages)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import messages as msg
+from repro.core.messages import MESSAGE_WORDS, Message, Op
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self):
+        original = Message(Op.POINTER_DEFINE, 0x1000, 0x2000, 0, pid=42,
+                           counter=7)
+        assert Message.decode(original.encode()) == original
+
+    def test_encode_width(self):
+        assert len(Message(Op.SYSCALL).encode()) == MESSAGE_WORDS
+
+    def test_decode_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            Message.decode([1, 2, 3])
+
+    def test_aux_field_carries_block_size(self):
+        message = msg.pointer_block_copy(0x10, 0x20, 64)
+        decoded = Message.decode(message.encode())
+        assert decoded.aux == 64
+
+    def test_with_transport_stamps_pid_and_counter(self):
+        stamped = msg.pointer_check(1, 2).with_transport(pid=9, counter=3)
+        assert (stamped.pid, stamped.counter) == (9, 3)
+        assert (stamped.arg0, stamped.arg1) == (1, 2)
+
+    def test_messages_are_immutable(self):
+        message = msg.syscall_message(1)
+        with pytest.raises(AttributeError):
+            message.arg0 = 5  # type: ignore[misc]
+
+
+class TestConstructors:
+    def test_pointer_define(self):
+        m = msg.pointer_define(0xA, 0xB)
+        assert (m.op, m.arg0, m.arg1) == (Op.POINTER_DEFINE, 0xA, 0xB)
+
+    def test_pointer_check(self):
+        m = msg.pointer_check(0xA, 0xB)
+        assert m.op is Op.POINTER_CHECK
+
+    def test_pointer_invalidate(self):
+        m = msg.pointer_invalidate(0xA)
+        assert (m.op, m.arg0) == (Op.POINTER_INVALIDATE, 0xA)
+
+    def test_check_invalidate(self):
+        assert msg.pointer_check_invalidate(1, 2).op is \
+            Op.POINTER_CHECK_INVALIDATE
+
+    def test_block_move_args(self):
+        m = msg.pointer_block_move(0x100, 0x200, 48)
+        assert (m.arg0, m.arg1, m.aux) == (0x100, 0x200, 48)
+
+    def test_block_invalidate_args(self):
+        m = msg.pointer_block_invalidate(0x100, 48)
+        assert (m.arg0, m.aux) == (0x100, 48)
+
+    def test_syscall_message_carries_number(self):
+        assert msg.syscall_message(59).arg0 == 59
+
+    def test_event(self):
+        m = msg.event(3, 11)
+        assert (m.op, m.arg0, m.arg1) == (Op.EVENT, 3, 11)
+
+    def test_allocation_constructors(self):
+        assert msg.allocation_create(1, 2).op is Op.ALLOCATION_CREATE
+        assert msg.allocation_check(1).op is Op.ALLOCATION_CHECK
+        assert msg.allocation_check_base(1, 2).op is Op.ALLOCATION_CHECK_BASE
+        assert msg.allocation_extend(1, 2, 3).op is Op.ALLOCATION_EXTEND
+        assert msg.allocation_destroy(1).op is Op.ALLOCATION_DESTROY
+        assert msg.allocation_destroy_all(1, 2).op is \
+            Op.ALLOCATION_DESTROY_ALL
+        assert msg.allocation_destroy_all(1, 2).aux == 2
+
+
+@settings(max_examples=120)
+@given(op=st.sampled_from(list(Op)),
+       arg0=st.integers(min_value=0, max_value=2**64 - 1),
+       arg1=st.integers(min_value=0, max_value=2**64 - 1),
+       aux=st.integers(min_value=0, max_value=2**32 - 1),
+       pid=st.integers(min_value=0, max_value=2**32 - 1),
+       counter=st.integers(min_value=0, max_value=2**32 - 1))
+def test_encode_decode_roundtrip_exhaustive(op, arg0, arg1, aux, pid, counter):
+    """The 32-byte wire format is lossless for every field."""
+    original = Message(op, arg0, arg1, aux, pid, counter)
+    assert Message.decode(original.encode()) == original
+
+
+@settings(max_examples=40)
+@given(op=st.sampled_from(list(Op)))
+def test_all_words_fit_64_bits(op):
+    for word in Message(op, 2**64 - 1, 2**64 - 1, 2**32 - 1,
+                        2**32 - 1, 2**32 - 1).encode():
+        assert 0 <= word < 2**64

@@ -1,0 +1,337 @@
+"""Tests for the HQ-CFI instrumentation passes (initial/final lowering,
+return pointers, syscall synchronization)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.passes.cfi_finalize import CFIFinalLoweringPass
+from repro.compiler.passes.cfi_initial import CFIInitialLoweringPass
+from repro.compiler.passes.retptr import ReturnPointerPass
+from repro.compiler.passes.syscall_sync import SyscallSyncPass
+from repro.compiler.types import ArrayType, I64, StructType, func, ptr
+
+SIG = func(I64, [I64])
+
+
+def rtcalls(function, name=None):
+    return [i for i in function.instructions()
+            if isinstance(i, ir.RuntimeCall)
+            and (name is None or i.runtime_name == name)]
+
+
+def base_module():
+    module = ir.Module()
+    target = module.add_function("target", SIG)
+    tb = IRBuilder(target.add_block("entry"))
+    tb.ret(target.params[0])
+    return module, target
+
+
+class TestInitialLowering:
+    def test_define_inserted_after_fnptr_store(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(ptr(SIG))
+        b.store(ir.FunctionRef(target), slot)
+        b.ret(b.const(0))
+        CFIInitialLoweringPass().run(module)
+        defines = rtcalls(f, "hq_pointer_define")
+        assert len(defines) == 1
+        assert defines[0].args[0] is slot
+
+    def test_plain_int_store_not_instrumented(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, [I64]))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64)
+        b.store(f.params[0], slot)
+        b.ret(b.const(0))
+        CFIInitialLoweringPass().run(module)
+        assert not rtcalls(f, "hq_pointer_define")
+
+    def test_check_inserted_after_fnptr_load(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(ptr(SIG))
+        b.store(ir.FunctionRef(target), slot)
+        loaded = b.load(slot)
+        b.ret(b.icall(loaded, [b.const(1)], SIG))
+        CFIInitialLoweringPass().run(module)
+        checks = rtcalls(f, "hq_pointer_check")
+        assert len(checks) == 1
+        # The check carries (address, loaded value).
+        assert checks[0].args == [slot, loaded]
+
+    def test_check_precedes_icall(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(ptr(SIG))
+        b.store(ir.FunctionRef(target), slot)
+        loaded = b.load(slot)
+        b.ret(b.icall(loaded, [b.const(1)], SIG))
+        CFIInitialLoweringPass().run(module)
+        instructions = f.entry.instructions
+        check_index = next(i for i, x in enumerate(instructions)
+                           if isinstance(x, ir.RuntimeCall)
+                           and x.runtime_name == "hq_pointer_check")
+        icall_index = next(i for i, x in enumerate(instructions)
+                           if isinstance(x, ir.ICall))
+        assert check_index < icall_index
+
+    def test_laundered_store_detected_through_cast(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64)
+        laundered = b.cast(ir.FunctionRef(target), I64)
+        b.store(laundered, slot)
+        b.ret(b.const(0))
+        CFIInitialLoweringPass().run(module)
+        assert rtcalls(f, "hq_pointer_define")
+
+    def test_stack_slot_invalidated_at_exits(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, [I64]))
+        entry = f.add_block("entry")
+        r1 = f.add_block("r1")
+        r2 = f.add_block("r2")
+        b = IRBuilder(entry)
+        slot = b.alloca(ptr(SIG))
+        b.store(ir.FunctionRef(target), slot)
+        b.cond_br(f.params[0], r1, r2)
+        IRBuilder(r1).ret(ir.Constant(1))
+        IRBuilder(r2).ret(ir.Constant(2))
+        CFIInitialLoweringPass().run(module)
+        invalidates = rtcalls(f, "hq_pointer_block_invalidate")
+        assert len(invalidates) == 2  # one per return
+
+    def test_setjmp_longjmp_hooks(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        buf = b.alloca(ArrayType(I64, 2))
+        b.setjmp(buf)
+        b.longjmp(buf, b.const(1))
+        CFIInitialLoweringPass().run(module)
+        assert rtcalls(f, "hq_setjmp_hook")
+        assert rtcalls(f, "hq_longjmp_hook")
+
+
+class TestFinalLowering:
+    RECORD = StructType("Rec", [("fp", ptr(SIG)), ("d", I64)])
+    CLEAN = StructType("Clean", [("a", I64), ("b", I64)])
+
+    def _memcpy_module(self, element_type, decayed=False, allowlist=False):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, [ptr(I64), ptr(I64)]))
+        b = IRBuilder(f.add_block("entry"))
+        b.memcpy(f.params[0], f.params[1], b.const(16),
+                 element_type=element_type, decayed=decayed)
+        b.ret(b.const(0))
+        if allowlist:
+            module.block_op_allowlist.add("f")
+        return module, f
+
+    def test_pointer_bearing_copy_instrumented(self):
+        module, f = self._memcpy_module(self.RECORD)
+        CFIFinalLoweringPass().run(module)
+        assert rtcalls(f, "hq_pointer_block_copy")
+
+    def test_clean_copy_elided_by_subtype_check(self):
+        module, f = self._memcpy_module(self.CLEAN)
+        pass_ = CFIFinalLoweringPass()
+        pass_.run(module)
+        assert not rtcalls(f, "hq_pointer_block_copy")
+        assert pass_.stats["block-ops-elided"] == 1
+
+    def test_unknown_type_conservatively_instrumented(self):
+        module, f = self._memcpy_module(None)
+        CFIFinalLoweringPass().run(module)
+        assert rtcalls(f, "hq_pointer_block_copy")
+
+    def test_decayed_copy_slips_through_strict_checking(self):
+        """The four-benchmark failure mode: a decayed composite's static
+        type looks clean, so strict checking skips it."""
+        module, f = self._memcpy_module(ArrayType(I64, 2), decayed=True)
+        CFIFinalLoweringPass().run(module)
+        assert not rtcalls(f, "hq_pointer_block_copy")
+
+    def test_allowlist_recovers_decayed_copy(self):
+        module, f = self._memcpy_module(ArrayType(I64, 2), decayed=True,
+                                        allowlist=True)
+        CFIFinalLoweringPass().run(module)
+        assert rtcalls(f, "hq_pointer_block_copy")
+
+    def test_disabling_strict_checking_instruments_everything(self):
+        module, f = self._memcpy_module(self.CLEAN)
+        CFIFinalLoweringPass(strict_subtype_checking=False).run(module)
+        assert rtcalls(f, "hq_pointer_block_copy")
+
+    def test_free_hook_inserted_before_free(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        block = b.malloc(b.const(32))
+        b.free(block)
+        b.ret(b.const(0))
+        CFIFinalLoweringPass().run(module)
+        instructions = f.entry.instructions
+        hook_index = next(i for i, x in enumerate(instructions)
+                          if isinstance(x, ir.RuntimeCall)
+                          and x.runtime_name == "hq_free_hook")
+        free_index = next(i for i, x in enumerate(instructions)
+                          if isinstance(x, ir.Free))
+        assert hook_index < free_index
+
+    def test_realloc_hook_inserted_after_realloc(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        block = b.malloc(b.const(32))
+        b.realloc(block, b.const(64))
+        b.ret(b.const(0))
+        CFIFinalLoweringPass().run(module)
+        assert rtcalls(f, "hq_realloc_hook")
+
+    def test_memset_invalidates_range(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, [ptr(I64)]))
+        b = IRBuilder(f.add_block("entry"))
+        b.memset(f.params[0], b.const(0), b.const(64))
+        b.ret(b.const(0))
+        CFIFinalLoweringPass().run(module)
+        assert rtcalls(f, "hq_pointer_block_invalidate")
+
+
+class TestReturnPointerPass:
+    def _protected_function(self, module):
+        f = module.add_function("vuln", func(I64, [I64]))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64)
+        b.store(f.params[0], slot)
+        b.ret(b.load(slot))
+        return f
+
+    def test_prologue_define_and_epilogue_check(self):
+        module, _ = base_module()
+        f = self._protected_function(module)
+        ReturnPointerPass().run(module)
+        assert isinstance(f.entry.instructions[0], ir.RuntimeCall)
+        assert f.entry.instructions[0].runtime_name == "hq_retptr_define"
+        ret_block = f.blocks[-1]
+        before_ret = ret_block.instructions[-2]
+        assert isinstance(before_ret, ir.RuntimeCall)
+        assert before_ret.runtime_name == "hq_retptr_check_invalidate"
+
+    def test_leaf_functions_skipped(self):
+        module, target = base_module()  # target is a pure leaf
+        ReturnPointerPass().run(module)
+        assert not rtcalls(target)
+
+    def test_every_return_gets_a_check(self):
+        module, _ = base_module()
+        f = module.add_function("multi", func(I64, [I64]))
+        entry = f.add_block("entry")
+        a = f.add_block("a")
+        c = f.add_block("c")
+        b = IRBuilder(entry)
+        slot = b.alloca(I64)
+        b.store(f.params[0], slot)
+        b.cond_br(f.params[0], a, c)
+        IRBuilder(a).ret(ir.Constant(1))
+        IRBuilder(c).ret(ir.Constant(2))
+        ReturnPointerPass().run(module)
+        assert len(rtcalls(f, "hq_retptr_check_invalidate")) == 2
+
+
+class TestSyscallSync:
+    def test_sync_message_inserted_before_syscall(self):
+        module, _ = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        b.syscall(1, [b.const(1)])
+        b.ret(b.const(0))
+        SyscallSyncPass().run(module)
+        instructions = f.entry.instructions
+        sync_index = next(i for i, x in enumerate(instructions)
+                          if isinstance(x, ir.RuntimeCall)
+                          and x.runtime_name == "hq_syscall")
+        syscall_index = next(i for i, x in enumerate(instructions)
+                             if isinstance(x, ir.Syscall))
+        assert sync_index < syscall_index
+
+    def test_sync_placed_after_preceding_call(self):
+        """Condition 3: the message must not precede a call that also
+        dominates the syscall (the callee may send messages)."""
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        b.add(b.const(1), b.const(2))
+        b.call(target, [b.const(1)])
+        b.add(b.const(3), b.const(4))
+        b.syscall(1, [])
+        b.ret(b.const(0))
+        SyscallSyncPass().run(module)
+        instructions = f.entry.instructions
+        call_index = next(i for i, x in enumerate(instructions)
+                          if isinstance(x, ir.Call))
+        sync_index = next(i for i, x in enumerate(instructions)
+                          if isinstance(x, ir.RuntimeCall)
+                          and x.runtime_name == "hq_syscall")
+        assert sync_index == call_index + 1  # pipelined as early as legal
+
+    def test_sync_not_hoisted_into_loop(self):
+        """Regression: hoisting the message into a loop header would
+        send it once per iteration."""
+        module, _ = base_module()
+        f = module.add_function("f", func(I64, [I64]))
+        entry = f.add_block("entry")
+        loop = f.add_block("loop")
+        done = f.add_block("done")
+        b = IRBuilder(entry)
+        b.br(loop)
+        b.position_at_end(loop)
+        i = ir.Phi(I64, "i"); loop.append(i)
+        i.add_incoming(b.const(0), entry)
+        i2 = b.add(i, b.const(1))
+        i.add_incoming(i2, loop)
+        b.cond_br(b.cmp("lt", i2, f.params[0]), loop, done)
+        b.position_at_end(done)
+        b.syscall(1, [])
+        b.ret(b.const(0))
+        SyscallSyncPass().run(module)
+        assert not any(isinstance(x, ir.RuntimeCall) for x in
+                       loop.instructions)
+        assert any(isinstance(x, ir.RuntimeCall)
+                   and x.runtime_name == "hq_syscall"
+                   for x in done.instructions)
+
+    def test_sync_hoisted_through_straightline_dominator(self):
+        module, _ = base_module()
+        f = module.add_function("f", func(I64, []))
+        first = f.add_block("first")
+        second = f.add_block("second")
+        b = IRBuilder(first)
+        b.add(b.const(1), b.const(2))
+        b.br(second)
+        b.position_at_end(second)
+        b.syscall(1, [])
+        b.ret(b.const(0))
+        pass_ = SyscallSyncPass()
+        pass_.run(module)
+        assert pass_.stats.get("sync-messages-hoisted", 0) == 1
+        assert any(isinstance(x, ir.RuntimeCall) for x in first.instructions)
+
+    def test_one_message_per_syscall(self):
+        module, _ = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        b.syscall(1, [])
+        b.syscall(2, [])
+        b.ret(b.const(0))
+        SyscallSyncPass().run(module)
+        assert len(rtcalls(f, "hq_syscall")) == 2

@@ -1,0 +1,333 @@
+"""Tests for the optimization passes: store-to-load forwarding, message
+elision, and devirtualization (section 4.1.4)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.passes.base import ModulePass, PassManager
+from repro.compiler.passes.cfi_initial import CFIInitialLoweringPass
+from repro.compiler.passes.devirtualize import DevirtualizationPass
+from repro.compiler.passes.elision import MessageElisionPass
+from repro.compiler.passes.stlf import StoreToLoadForwardingPass
+from repro.compiler.types import I64, func, ptr
+
+SIG = func(I64, [I64])
+
+
+def rtcalls(function, name=None):
+    return [i for i in function.instructions()
+            if isinstance(i, ir.RuntimeCall)
+            and (name is None or i.runtime_name == name)]
+
+
+def base_module():
+    module = ir.Module()
+    target = module.add_function("target", SIG)
+    tb = IRBuilder(target.add_block("entry"))
+    tb.ret(target.params[0])
+    return module, target
+
+
+def lowered(build_body):
+    """Build f with ``build_body``, run initial lowering, return (m, f)."""
+    module, target = base_module()
+    f = module.add_function("f", func(I64, [I64]))
+    b = IRBuilder(f.add_block("entry"))
+    build_body(module, target, f, b)
+    CFIInitialLoweringPass().run(module)
+    return module, f
+
+
+class TestStoreToLoadForwarding:
+    def test_forwardable_check_removed(self):
+        def body(module, target, f, b):
+            slot = b.alloca(ptr(SIG))
+            b.store(ir.FunctionRef(target), slot)
+            loaded = b.load(slot)
+            b.ret(b.icall(loaded, [b.const(1)], SIG))
+        module, f = lowered(body)
+        assert rtcalls(f, "hq_pointer_check")
+        StoreToLoadForwardingPass().run(module)
+        assert not rtcalls(f, "hq_pointer_check")
+
+    def test_intervening_call_blocks_forwarding(self):
+        def body(module, target, f, b):
+            slot = b.alloca(ptr(SIG))
+            b.store(ir.FunctionRef(target), slot)
+            b.call(target, [b.const(1)])  # may clobber through aliases
+            loaded = b.load(slot)
+            b.ret(b.icall(loaded, [b.const(1)], SIG))
+        module, f = lowered(body)
+        StoreToLoadForwardingPass().run(module)
+        assert rtcalls(f, "hq_pointer_check")
+
+    def test_intervening_memcpy_blocks_forwarding(self):
+        def body(module, target, f, b):
+            slot = b.alloca(ptr(SIG))
+            other = b.alloca(I64)
+            b.store(ir.FunctionRef(target), slot)
+            b.memcpy(other, other, b.const(8))
+            loaded = b.load(slot)
+            b.ret(b.icall(loaded, [b.const(1)], SIG))
+        module, f = lowered(body)
+        StoreToLoadForwardingPass().run(module)
+        assert rtcalls(f, "hq_pointer_check")
+
+    def test_escaping_slot_not_forwarded(self):
+        def body(module, target, f, b):
+            helper = module.add_function("helper",
+                                         func(I64, [ptr(ptr(SIG))]))
+            slot = b.alloca(ptr(SIG))
+            b.store(ir.FunctionRef(target), slot)
+            loaded = b.load(slot)
+            result = b.icall(loaded, [b.const(1)], SIG)
+            b.call(helper, [slot])  # address escapes
+            b.ret(result)
+        module, f = lowered(body)
+        StoreToLoadForwardingPass().run(module)
+        assert rtcalls(f, "hq_pointer_check")
+
+    def test_volatile_load_not_forwarded(self):
+        def body(module, target, f, b):
+            slot = b.alloca(ptr(SIG))
+            b.store(ir.FunctionRef(target), slot)
+            loaded = b.load(slot, volatile=True)
+            b.ret(b.icall(loaded, [b.const(1)], SIG))
+        module, f = lowered(body)
+        StoreToLoadForwardingPass().run(module)
+        assert rtcalls(f, "hq_pointer_check")
+
+    def test_returns_twice_function_skipped(self):
+        def body(module, target, f, b):
+            slot = b.alloca(ptr(SIG))
+            b.store(ir.FunctionRef(target), slot)
+            loaded = b.load(slot)
+            b.ret(b.icall(loaded, [b.const(1)], SIG))
+        module, f = lowered(body)
+        f.returns_twice = True
+        StoreToLoadForwardingPass().run(module)
+        assert rtcalls(f, "hq_pointer_check")
+
+    def test_cross_block_forwarding_with_domination(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, [I64]))
+        entry = f.add_block("entry")
+        use = f.add_block("use")
+        b = IRBuilder(entry)
+        slot = b.alloca(ptr(SIG))
+        b.store(ir.FunctionRef(target), slot)
+        b.br(use)
+        b.position_at_end(use)
+        loaded = b.load(slot)
+        b.ret(b.icall(loaded, [b.const(1)], SIG))
+        CFIInitialLoweringPass().run(module)
+        StoreToLoadForwardingPass().run(module)
+        assert not rtcalls(f, "hq_pointer_check")
+
+
+class TestMessageElision:
+    def test_unchecked_local_slot_messages_removed(self):
+        """A never-checked, non-escaping slot needs no defines."""
+        def body(module, target, f, b):
+            slot = b.alloca(ptr(SIG))
+            b.store(ir.FunctionRef(target), slot)  # define, never checked
+            b.ret(b.const(0))
+        module, f = lowered(body)
+        assert rtcalls(f, "hq_pointer_define")
+        MessageElisionPass().run(module)
+        assert not rtcalls(f, "hq_pointer_define")
+        # The lifetime invalidates for that slot go too.
+        assert not rtcalls(f, "hq_pointer_block_invalidate")
+
+    def test_checked_slot_messages_kept(self):
+        def body(module, target, f, b):
+            slot = b.alloca(ptr(SIG))
+            b.store(ir.FunctionRef(target), slot)
+            loaded = b.load(slot)
+            b.ret(b.icall(loaded, [b.const(1)], SIG))
+        module, f = lowered(body)
+        MessageElisionPass().run(module)
+        assert rtcalls(f, "hq_pointer_define")
+
+    def test_global_slot_messages_kept(self):
+        """Globals may be checked in other functions: keep defines."""
+        module, target = base_module()
+        g = module.add_global("g", ptr(SIG))
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        b.store(ir.FunctionRef(target), g)
+        b.ret(b.const(0))
+        CFIInitialLoweringPass().run(module)
+        MessageElisionPass().run(module)
+        assert rtcalls(f, "hq_pointer_define")
+
+    def test_dead_intermediate_define_removed(self):
+        """Two defines with no check between: the first is dead."""
+        module, target = base_module()
+        g = module.add_global("g", ptr(SIG))
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        b.store(ir.FunctionRef(target), g)
+        b.store(ir.FunctionRef(target), g)
+        loaded = b.load(g)
+        b.ret(b.icall(loaded, [b.const(1)], SIG))
+        CFIInitialLoweringPass().run(module)
+        assert len(rtcalls(f, "hq_pointer_define")) == 2
+        MessageElisionPass().run(module)
+        assert len(rtcalls(f, "hq_pointer_define")) == 1
+
+    def test_intermediate_define_kept_when_call_between(self):
+        module, target = base_module()
+        g = module.add_global("g", ptr(SIG))
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        b.store(ir.FunctionRef(target), g)
+        b.call(target, [b.const(1)])  # callee may observe the define
+        b.store(ir.FunctionRef(target), g)
+        loaded = b.load(g)
+        b.ret(b.icall(loaded, [b.const(1)], SIG))
+        CFIInitialLoweringPass().run(module)
+        MessageElisionPass().run(module)
+        assert len(rtcalls(f, "hq_pointer_define")) == 2
+
+    def test_duplicate_invalidates_collapse(self):
+        """Inlined C++ destructors can leave duplicate invalidates."""
+        module, target = base_module()
+        g = module.add_global("g", ptr(SIG))
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        # Hand-build the duplicated pattern plus a check that keeps the
+        # slot alive.
+        b.store(ir.FunctionRef(target), g)
+        loaded = b.load(g)
+        result = b.icall(loaded, [b.const(1)], SIG)
+        b._emit(ir.RuntimeCall("hq_pointer_invalidate", [g]))
+        b._emit(ir.RuntimeCall("hq_pointer_invalidate", [g]))
+        b.ret(result)
+        CFIInitialLoweringPass().run(module)
+        pass_ = MessageElisionPass()
+        pass_.run(module)
+        assert len(rtcalls(f, "hq_pointer_invalidate")) == 1
+
+
+class TestDevirtualization:
+    def test_statically_unique_icall_becomes_direct(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        pointer = b.cast(ir.FunctionRef(target), ptr(SIG))
+        result = b.icall(pointer, [b.const(1)], SIG)
+        b.ret(result)
+        DevirtualizationPass().run(module)
+        assert not any(isinstance(i, ir.ICall) for i in f.instructions())
+        calls = [i for i in f.instructions() if isinstance(i, ir.Call)]
+        assert calls and calls[0].callee is target
+
+    def test_result_uses_rewritten(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        pointer = b.cast(ir.FunctionRef(target), ptr(SIG))
+        result = b.icall(pointer, [b.const(1)], SIG)
+        total = b.add(result, b.const(1))
+        b.ret(total)
+        DevirtualizationPass().run(module)
+        call = next(i for i in f.instructions() if isinstance(i, ir.Call))
+        assert total.lhs is call
+
+    def test_load_from_const_global_devirtualized(self):
+        module, target = base_module()
+        table = module.add_global("vt", ptr(SIG), const=True,
+                                  initializer=[ir.FunctionRef(target)])
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        loaded = b.load(table)
+        b.ret(b.icall(loaded, [b.const(1)], SIG))
+        DevirtualizationPass().run(module)
+        assert not any(isinstance(i, ir.ICall) for i in f.instructions())
+
+    def test_writable_global_not_devirtualized(self):
+        module, target = base_module()
+        table = module.add_global("vt", ptr(SIG),
+                                  initializer=[ir.FunctionRef(target)])
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        loaded = b.load(table)
+        b.ret(b.icall(loaded, [b.const(1)], SIG))
+        DevirtualizationPass().run(module)
+        assert any(isinstance(i, ir.ICall) for i in f.instructions())
+
+    def test_phi_with_multiple_targets_not_devirtualized(self):
+        module, target = base_module()
+        other = module.add_function("other", SIG)
+        ob = IRBuilder(other.add_block("entry"))
+        ob.ret(other.params[0])
+        f = module.add_function("f", func(I64, [I64]))
+        entry = f.add_block("entry")
+        a = f.add_block("a")
+        c = f.add_block("c")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        b.cond_br(f.params[0], a, c)
+        IRBuilder(a).br(join)
+        IRBuilder(c).br(join)
+        b.position_at_end(join)
+        phi = ir.Phi(ptr(SIG)); join.instructions.insert(0, phi)
+        phi.block = join
+        phi.add_incoming(ir.FunctionRef(target), a)
+        phi.add_incoming(ir.FunctionRef(other), c)
+        b.ret(b.icall(phi, [b.const(1)], SIG))
+        DevirtualizationPass().run(module)
+        assert any(isinstance(i, ir.ICall) for i in f.instructions())
+
+    def test_unique_target_metadata_honoured(self):
+        """Whole-program analysis results arrive as metadata."""
+        module, target = base_module()
+        f = module.add_function("f", func(I64, [I64]))
+        b = IRBuilder(f.add_block("entry"))
+        opaque = b.cast(f.params[0], ptr(SIG))
+        icall = b.icall(opaque, [b.const(1)], SIG)
+        icall.meta["unique_target"] = "target"
+        b.ret(icall)
+        pass_ = DevirtualizationPass()
+        pass_.run(module)
+        assert pass_.stats.get("calls-devirtualized") == 1
+
+    def test_devirtualized_call_needs_no_check(self):
+        """Pipeline property: devirtualization before lowering removes
+        the corresponding define/check traffic."""
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        pointer = b.cast(ir.FunctionRef(target), ptr(SIG))
+        b.ret(b.icall(pointer, [b.const(1)], SIG))
+        PassManager([DevirtualizationPass(),
+                     CFIInitialLoweringPass()]).run(module)
+        assert not rtcalls(f, "hq_pointer_check")
+
+
+class TestPassManager:
+    def test_stats_collected_per_pass(self):
+        module, target = base_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(ptr(SIG))
+        b.store(ir.FunctionRef(target), slot)
+        b.ret(b.const(0))
+        manager = PassManager([CFIInitialLoweringPass()])
+        stats = manager.run(module)
+        assert stats["cfi-initial"]["defines"] == 1
+
+    def test_module_verified_after_each_pass(self):
+        class BreakingPass(ModulePass):
+            name = "breaker"
+
+            def run(self, module):
+                for function in module.functions.values():
+                    if not function.is_declaration:
+                        function.entry.instructions.clear()
+
+        module, target = base_module()
+        with pytest.raises(ValueError):
+            PassManager([BreakingPass()]).run(module)

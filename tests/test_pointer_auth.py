@@ -1,0 +1,168 @@
+"""Tests for the ARM pointer-authentication extension
+(repro.cfi.pointer_auth) — section 6.2's discussed-but-weaker design."""
+
+import pytest
+
+from repro.cfi.ccfi import CCFIPass, CCFIRuntime
+from repro.cfi.pointer_auth import (
+    PointerAuthPass,
+    PointerAuthRuntime,
+    ZERO_DISCRIMINATOR,
+)
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.types import I64, func, ptr
+from repro.core.framework import run_program
+from repro.sim.cpu import Interpreter, PolicyViolationError, SYS_WIN
+from repro.sim.loader import Image
+from repro.sim.memory import WORD_SIZE
+from repro.sim.process import Process
+
+SIG = func(I64, [I64])
+
+
+class _FakeCycles:
+    @staticmethod
+    def charge_user(x, category=""):
+        pass
+
+
+class _FakeInterp:
+    class process:
+        cycles = _FakeCycles()
+
+
+def bound_runtime(**kwargs):
+    runtime = PointerAuthRuntime(**kwargs)
+    runtime.interpreter = _FakeInterp()
+    return runtime
+
+
+class TestRuntime:
+    def test_sign_then_auth_passes(self):
+        runtime = bound_runtime()
+        runtime.call("pa_sign", [0x100, 0x4000, ZERO_DISCRIMINATOR])
+        runtime.call("pa_auth", [0x100, 0x4000, ZERO_DISCRIMINATOR])
+
+    def test_unsigned_value_rejected(self):
+        runtime = bound_runtime()
+        with pytest.raises(PolicyViolationError):
+            runtime.call("pa_auth", [0x100, 0x6666, ZERO_DISCRIMINATOR])
+
+    def test_replay_attack_succeeds(self):
+        """The paper's criticism: the address is not bound, so a signed
+        pointer read from ONE slot authenticates in ANY other slot."""
+        runtime = bound_runtime()
+        runtime.call("pa_sign", [0x100, 0x4000, ZERO_DISCRIMINATOR])
+        # Attacker copies the signed value into a different slot:
+        runtime.call("pa_auth", [0x999, 0x4000, ZERO_DISCRIMINATOR])
+        assert runtime.violations == 0  # replay went undetected
+
+    def test_ccfi_blocks_the_same_replay(self):
+        """CCFI binds the address, so the identical replay fails."""
+        from repro.cfi.ccfi import _type_id
+        runtime = CCFIRuntime()
+        runtime.interpreter = _FakeInterp()
+        tid = _type_id(ptr(SIG))
+        runtime.call("ccfi_mac_store", [0x100, 0x4000, tid])
+        with pytest.raises(PolicyViolationError):
+            runtime.call("ccfi_mac_check", [0x999, 0x4000, tid])
+
+    def test_distinct_discriminators_do_separate(self):
+        """With a real (non-zero) discriminator the replay would fail —
+        but Apple's design uses zero for function pointers."""
+        runtime = bound_runtime()
+        runtime.call("pa_sign", [0x100, 0x4000, 7])
+        with pytest.raises(PolicyViolationError):
+            runtime.call("pa_auth", [0x100, 0x4000, 8])
+
+    def test_no_uaf_detection(self):
+        """Signatures are never revoked (hash-revocation difficulty)."""
+        runtime = bound_runtime()
+        runtime.call("pa_sign", [0x100, 0x4000, ZERO_DISCRIMINATOR])
+        # free() happens; nothing to revoke with.
+        runtime.call("pa_auth", [0x100, 0x4000, ZERO_DISCRIMINATOR])
+        assert runtime.violations == 0
+
+    def test_continue_mode_counts(self):
+        runtime = bound_runtime(abort_on_violation=False)
+        runtime.call("pa_auth", [0x100, 0x6666, ZERO_DISCRIMINATOR])
+        assert runtime.violations == 1
+
+
+class TestEndToEnd:
+    def _program(self):
+        module = ir.Module("pa-demo")
+        handler = module.add_function("handler", SIG)
+        b = IRBuilder(handler.add_block("entry"))
+        b.ret(b.mul(handler.params[0], b.const(2)))
+        work = module.add_function("work", func(I64, []))
+        b = IRBuilder(work.add_block("entry"))
+        b.ret(b.const(0))
+        mainf = module.add_function("main", func(I64, []))
+        b = IRBuilder(mainf.add_block("entry"))
+        slot = b.alloca(ptr(SIG))
+        b.store(ir.FunctionRef(handler), slot)
+        b.call(work, [])
+        b.ret(b.icall(b.load(slot), [b.const(21)], SIG))
+        return module
+
+    def test_benign_program_runs(self):
+        result = run_program(self._program(), design="arm-pa")
+        assert result.ok and result.exit_status == 42
+
+    def test_pass_inserts_signs_and_auths(self):
+        module = self._program()
+        pass_ = PointerAuthPass()
+        pass_.run(module)
+        assert pass_.stats["signs"] == 1
+        assert pass_.stats["auths"] == 1
+
+    def test_garbage_corruption_still_caught(self):
+        """PA does catch plain corruption — only replay defeats it."""
+        def corrupt(image, interpreter):
+            from repro.sim.process import STACK_TOP
+            slot = STACK_TOP - WORD_SIZE
+            original = interpreter.process.memory.store
+
+            def hook(address, value):
+                original(address, value)
+                if address == slot and value != 0xBAD0:
+                    original(address, 0xBAD0)
+            interpreter.process.memory.store = hook
+
+        result = run_program(self._program(), design="arm-pa",
+                             pre_run=corrupt, kill_on_violation=True)
+        assert result.outcome in ("violation", "crash")
+
+    def test_replay_corruption_not_caught(self):
+        """End to end: redirecting the pointer to another *signed*
+        function of the same discriminator is invisible to PA."""
+        module = self._program()
+        # A second handler whose address also gets signed at startup
+        # (a writable global holding it).
+        other = module.add_function("other_handler", SIG)
+        b = IRBuilder(other.add_block("entry"))
+        b.syscall(SYS_WIN, [])
+        b.ret(b.const(99))
+        module.add_global("other_slot", ptr(SIG),
+                          initializer=[ir.FunctionRef(other)])
+
+        def replay(image, interpreter):
+            from repro.sim.process import STACK_TOP
+            slot = STACK_TOP - WORD_SIZE
+            target = image.function_address["other_handler"]
+            original = interpreter.process.memory.store
+
+            def hook(address, value):
+                original(address, value)
+                if address == slot and value != target:
+                    original(address, target)  # replay the signed value
+            interpreter.process.memory.store = hook
+
+        result = run_program(module, design="arm-pa", pre_run=replay,
+                             kill_on_violation=True)
+        # The hijack succeeds: PA authenticated the replayed pointer.
+        assert result.ok
+        assert result.exit_status == 99
+        assert result.win_executed

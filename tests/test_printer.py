@@ -1,0 +1,142 @@
+"""Tests for the IR printer (repro.compiler.printer)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.printer import (
+    format_function,
+    format_instruction,
+    format_module,
+    format_value,
+)
+from repro.compiler.types import ArrayType, I64, StructType, func, ptr
+
+SIG = func(I64, [I64])
+
+
+def sample_module():
+    module = ir.Module("sample")
+    target = module.add_function("target", SIG)
+    tb = IRBuilder(target.add_block("entry"))
+    tb.ret(target.params[0])
+    module.add_global("slot", ptr(SIG), initializer=[ir.FunctionRef(target)])
+    module.add_global("table", I64, const=True,
+                      initializer=[ir.Constant(7)])
+    module.add_global("zeroed", I64)
+    return module, target
+
+
+class TestValues:
+    def test_constant(self):
+        assert format_value(ir.Constant(42)) == "const 42"
+
+    def test_function_ref(self):
+        module, target = sample_module()
+        assert format_value(ir.FunctionRef(target)) == "@target"
+
+    def test_global(self):
+        module, _ = sample_module()
+        assert format_value(module.globals["slot"]) == "@slot"
+
+    def test_argument_and_instruction(self):
+        module, target = sample_module()
+        assert format_value(target.params[0]) == "%arg0"
+        inst = ir.BinOp("add", ir.Constant(1), ir.Constant(2), "x")
+        assert format_value(inst) == "%x"
+
+
+class TestInstructions:
+    def test_store_and_load(self):
+        module, target = sample_module()
+        f = module.add_function("f", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64, "s")
+        store = ir.Store(b.const(1), slot)
+        assert format_instruction(store) == "store const 1, %s"
+        load = ir.Load(slot, "v", volatile=True)
+        assert format_instruction(load) == "load %s !volatile".join(
+            ["%v = ", ""])
+
+    def test_gep_field_and_index(self):
+        record = StructType("R", [("a", I64)])
+        module, _ = sample_module()
+        f = module.add_function("f", func(I64, [ptr(record),
+                                                ptr(ArrayType(I64, 2))]))
+        field = ir.Gep(f.params[0], field="a", name="g1")
+        assert format_instruction(field) == "%g1 = gep %arg0.a"
+        index = ir.Gep(f.params[1], index=ir.Constant(1), name="g2")
+        assert format_instruction(index) == "%g2 = gep %arg1[const 1]"
+
+    def test_control_flow(self):
+        module, _ = sample_module()
+        f = module.add_function("f", func(I64, [I64]))
+        a = f.add_block("a")
+        c = f.add_block("c")
+        d = f.add_block("d")
+        br = ir.Br(c)
+        assert format_instruction(br) == "br c"
+        condbr = ir.CondBr(f.params[0], c, d)
+        assert format_instruction(condbr) == "br %arg0 ? c : d"
+        assert format_instruction(ir.Ret()) == "ret"
+        assert format_instruction(ir.Ret(ir.Constant(3))) == "ret const 3"
+
+    def test_calls(self):
+        module, target = sample_module()
+        call = ir.Call(target, [ir.Constant(1)], "r")
+        assert format_instruction(call) == "%r = call @target(const 1)"
+        tail = ir.Call(target, [], "t", tail=True)
+        assert "tail call" in format_instruction(tail)
+        rtcall = ir.RuntimeCall("hq_pointer_check",
+                                [ir.Constant(1), ir.Constant(2)], name="c")
+        assert format_instruction(rtcall) == \
+            "%c = rt.hq_pointer_check(const 1, const 2)"
+
+    def test_memcopy_flags(self):
+        op = ir.MemCopy(ir.Constant(1), ir.Constant(2), ir.Constant(8),
+                        move=True, decayed=True)
+        text = format_instruction(op)
+        assert text.startswith("memmove") and "!decayed" in text
+
+    def test_phi(self):
+        module, _ = sample_module()
+        f = module.add_function("f", func(I64, []))
+        a = f.add_block("a")
+        phi = ir.Phi(I64, "p")
+        phi.add_incoming(ir.Constant(1), a)
+        assert format_instruction(phi) == "%p = phi [const 1, a]"
+
+
+class TestWholeModule:
+    def test_function_rendering(self):
+        module, target = sample_module()
+        text = format_function(target)
+        assert text.splitlines()[0] == "define i64 @target(%arg0: i64) {"
+        assert "entry:" in text
+        assert text.splitlines()[-1] == "}"
+
+    def test_declaration_rendering(self):
+        module, _ = sample_module()
+        decl = module.add_function("external", SIG)
+        assert format_function(decl).startswith("declare")
+
+    def test_module_rendering_contains_globals(self):
+        module, _ = sample_module()
+        text = format_module(module)
+        assert "@slot = global" in text
+        assert "@table = constant" in text
+        assert "zeroinitializer" in text
+        assert "; module sample" in text
+
+    def test_instrumented_module_renders(self):
+        """A fully-instrumented benchmark module prints without error
+        and shows the runtime calls."""
+        from repro.cfi.designs import get_design
+        from repro.compiler.passes.base import PassManager
+        from repro.workloads.generator import build_module
+        from repro.workloads.profiles import get_profile
+        module = build_module(get_profile("403.gcc"))
+        PassManager(get_design("hq-sfestk").passes()).run(module)
+        text = format_module(module)
+        assert "rt.hq_pointer_define" in text
+        assert "rt.hq_syscall" in text

@@ -1,0 +1,170 @@
+"""Tests for processes, heaps, and stacks (repro.sim.process)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.memory import PROT_READ, PROT_WRITE, SegmentationFault
+from repro.sim.process import (
+    HEAP_BASE,
+    Heap,
+    HeapError,
+    Process,
+    STACK_LIMIT,
+    STACK_TOP,
+)
+
+
+class TestHeap:
+    @pytest.fixture
+    def heap(self):
+        return Heap(HEAP_BASE, 1 << 20)
+
+    def test_malloc_returns_distinct_adjacent_blocks(self, heap):
+        a = heap.malloc(32)
+        b = heap.malloc(16)
+        assert a == HEAP_BASE
+        assert b == a + 32  # bump allocation: adjacency
+
+    def test_malloc_word_aligns_sizes(self, heap):
+        a = heap.malloc(5)
+        b = heap.malloc(8)
+        assert b == a + 8
+
+    def test_malloc_rejects_nonpositive(self, heap):
+        with pytest.raises(HeapError):
+            heap.malloc(0)
+
+    def test_malloc_exhaustion(self):
+        heap = Heap(HEAP_BASE, 64)
+        heap.malloc(64)
+        with pytest.raises(HeapError):
+            heap.malloc(8)
+
+    def test_free_removes_allocation(self, heap):
+        a = heap.malloc(32)
+        heap.free(a)
+        assert heap.allocation_of(a) is None
+
+    def test_double_free_raises(self, heap):
+        a = heap.malloc(32)
+        heap.free(a)
+        with pytest.raises(HeapError):
+            heap.free(a)
+
+    def test_free_of_wild_pointer_raises(self, heap):
+        with pytest.raises(HeapError):
+            heap.free(0x1234)
+
+    def test_allocation_of_interior_pointer(self, heap):
+        a = heap.malloc(32)
+        allocation = heap.allocation_of(a + 16)
+        assert allocation is not None and allocation.address == a
+
+    def test_no_recycling_by_default(self, heap):
+        a = heap.malloc(32)
+        heap.free(a)
+        b = heap.malloc(32)
+        assert b != a  # deterministic UAF semantics
+
+    def test_recycling_reuses_freed_block(self):
+        heap = Heap(HEAP_BASE, 1 << 20, recycle=True)
+        a = heap.malloc(32)
+        heap.free(a)
+        assert heap.malloc(32) == a
+
+    def test_realloc_shrink_in_place(self, heap):
+        a = heap.malloc(64)
+        assert heap.realloc(a, 32) == a
+
+    def test_realloc_growth_moves(self, heap):
+        a = heap.malloc(32)
+        b = heap.realloc(a, 128)
+        assert b != a
+
+    def test_realloc_wild_pointer_raises(self, heap):
+        with pytest.raises(HeapError):
+            heap.realloc(0x42, 64)
+
+
+class TestProcess:
+    def test_segments_are_mapped(self):
+        process = Process()
+        for region, prot in [("text", PROT_READ), ("data", PROT_WRITE),
+                             ("bss", PROT_WRITE), ("heap", PROT_WRITE),
+                             ("stack", PROT_WRITE)]:
+            mapping = next(m for m in process.memory.mappings()
+                           if m.name == region)
+            assert mapping.prot & prot
+
+    def test_rodata_is_readonly(self):
+        process = Process()
+        rodata = next(m for m in process.memory.mappings()
+                      if m.name == "rodata")
+        with pytest.raises(SegmentationFault):
+            process.memory.store(rodata.start, 1)
+
+    def test_pids_are_unique(self):
+        assert Process().pid != Process().pid
+
+    def test_push_pop_frame(self):
+        process = Process()
+        top = process.stack_pointer
+        base = process.push_frame(64)
+        assert base == top - 64
+        process.pop_frame(64)
+        assert process.stack_pointer == top
+
+    def test_stack_overflow_detected(self):
+        process = Process()
+        with pytest.raises(SegmentationFault):
+            process.push_frame(STACK_TOP - STACK_LIMIT + 8)
+
+    def test_stack_underflow_detected(self):
+        process = Process()
+        with pytest.raises(SegmentationFault):
+            process.pop_frame(64)
+
+    def test_region_classification(self):
+        process = Process()
+        assert process.region_of(process.heap.malloc(16)) == "heap"
+        assert process.region_of(process.stack_pointer - 8) == "stack"
+        assert process.region_of(0x6666_6666_0000) == "unmapped"
+
+    def test_place_static_advances_cursor(self):
+        process = Process()
+        a = process.place_static("bss", 16)
+        b = process.place_static("bss", 16)
+        assert b == a + 16
+
+    def test_mmap_anonymous_with_guard_gap(self):
+        process = Process()
+        a = process.mmap_anonymous(4096, PROT_READ | PROT_WRITE)
+        b = process.mmap_anonymous(4096, PROT_READ | PROT_WRITE)
+        assert b >= a + 4096 + 4096  # guard gap between mappings
+
+    def test_stack_writes_work(self):
+        process = Process()
+        base = process.push_frame(16)
+        process.memory.store(base, 77)
+        assert process.memory.load(base) == 77
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.sampled_from(["malloc", "free"]),
+                          st.integers(min_value=1, max_value=256)),
+                max_size=40))
+def test_heap_live_set_invariants(operations):
+    """Live allocations never overlap and free tracks malloc exactly."""
+    heap = Heap(HEAP_BASE, 1 << 22)
+    live = []
+    for op, size in operations:
+        if op == "malloc":
+            address = heap.malloc(size)
+            live.append(address)
+        elif live:
+            heap.free(live.pop())
+    intervals = sorted((a.address, a.address + a.size)
+                       for a in heap.live.values())
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2, "live allocations overlap"
+    assert len(heap.live) == len(live)

@@ -1,0 +1,134 @@
+"""Cross-cutting property-based tests.
+
+The flagship property: **instrumentation soundness** — compiling a
+randomly-shaped benign workload with the full HQ-CFI pipeline (or any
+subset of its optimizations) never changes program output and never
+produces a violation; and cycle accounting is internally consistent.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.framework import run_program
+from repro.sim.cycles import AccountingMode
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import BenchmarkProfile
+
+
+@st.composite
+def random_profile(draw):
+    """A random benign workload profile (no Table 4 failure flags)."""
+    return BenchmarkProfile(
+        name="random",
+        suite="CPU2017",
+        language=draw(st.sampled_from(["C", "C++"])),
+        iterations=draw(st.integers(min_value=8, max_value=40)),
+        compute_ops=draw(st.integers(min_value=1, max_value=30)),
+        float_ops=draw(st.integers(min_value=0, max_value=8)),
+        icalls_per_k=draw(st.integers(min_value=0, max_value=1500)),
+        fnptr_writes_per_k=draw(st.integers(min_value=0, max_value=1200)),
+        protected_calls_per_k=draw(st.integers(min_value=0, max_value=1500)),
+        block_ops_per_k=draw(st.integers(min_value=0, max_value=200)),
+        heap_ops_per_k=draw(st.integers(min_value=0, max_value=200)),
+        syscalls_per_k=draw(st.integers(min_value=0, max_value=400)),
+        flags=draw(st.sampled_from([(), ("blockop_fnptr_copy",),
+                                    ("blockop_fnptr_copy",
+                                     "decayed_blockop")])),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(profile=random_profile(),
+       design=st.sampled_from(["hq-sfestk", "hq-retptr"]))
+def test_instrumentation_soundness(profile, design):
+    """HQ instrumentation never changes output or flags benign code."""
+    baseline = run_program(build_module(profile), design="baseline")
+    instrumented = run_program(build_module(profile), design=design,
+                               kill_on_violation=True)
+    assert baseline.ok
+    assert instrumented.ok, instrumented.detail
+    assert instrumented.output == baseline.output
+    assert instrumented.violations == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(profile=random_profile())
+def test_clang_and_cpi_sound_on_cast_free_code(profile):
+    """Without cast/decay patterns, the in-process baselines are benign
+    too (their failures come only from the specific Table 4 patterns)."""
+    if "blockop_fnptr_copy" in profile.flags:
+        profile = dataclasses.replace(profile, flags=())
+    clang = run_program(build_module(profile), design="clang-cfi",
+                        kill_on_violation=True)
+    assert clang.ok, clang.detail
+    assert clang.runtime_violations == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(profile=random_profile())
+def test_cycle_accounting_consistency(profile):
+    """SIM total ≤ MODEL total, buckets are non-negative, and the
+    instrumented run never undercuts the baseline's user cycles."""
+    result = run_program(build_module(profile), design="hq-sfestk",
+                         kill_on_violation=False)
+    assert result.ok
+    buckets = result.cycles
+    for key in ("user", "ipc", "syscall", "wait"):
+        assert buckets[key] >= 0
+    assert result.total_cycles(AccountingMode.SIM) <= \
+        result.total_cycles(AccountingMode.MODEL)
+
+
+@settings(max_examples=15, deadline=None)
+@given(profile=random_profile(),
+       channel=st.sampled_from(["model", "sim", "fpga", "mq"]))
+def test_output_invariant_across_channels(profile, channel):
+    """The IPC primitive affects cost, never program semantics."""
+    reference = run_program(build_module(profile), design="hq-sfestk",
+                            channel="model")
+    other = run_program(build_module(profile), design="hq-sfestk",
+                        channel=channel)
+    assert other.ok
+    assert other.output == reference.output
+    assert other.messages_sent == reference.messages_sent
+
+
+@settings(max_examples=20, deadline=None)
+@given(profile=random_profile())
+def test_message_stream_is_verifier_complete(profile):
+    """Every message the runtime sends is processed by the verifier by
+    the end of the run: nothing is lost in any buffer."""
+    result = run_program(build_module(profile), design="hq-sfestk",
+                         kill_on_violation=False)
+    assert result.ok
+    # messages_sent counts runtime sends; the verifier's stats are
+    # surfaced via max_entries/violations — cross-check through a
+    # dedicated run with a counting policy.
+    from repro.core.policy import Policy
+
+    class CountingPolicy(Policy):
+        instances = []
+
+        def __init__(self):
+            self.seen = 0
+            CountingPolicy.instances.append(self)
+
+        def handle(self, message):
+            self.seen += 1
+            return None
+
+        def clone(self):
+            return CountingPolicy()
+
+    CountingPolicy.instances = []
+    result = run_program(build_module(profile), design="hq-sfestk",
+                         policy_factory=CountingPolicy,
+                         kill_on_violation=False)
+    assert result.ok
+    seen = sum(p.seen for p in CountingPolicy.instances)
+    # SYSCALL messages are consumed by the verifier itself (tokens),
+    # not dispatched to the policy; everything else must arrive.
+    assert seen <= result.messages_sent
+    assert seen >= result.messages_sent - result.pass_stats.get(
+        "syscall-sync", {}).get("sync-messages", 0) * profile.iterations

@@ -1,0 +1,202 @@
+"""Tests for the HQ runtime messaging library (repro.core.runtime)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.types import I64, func, ptr
+from repro.core.messages import Op
+from repro.core.runtime import HQRuntime
+from repro.ipc.appendwrite import AppendWriteUArch
+from repro.sim.cpu import Interpreter, PolicyViolationError
+from repro.sim.loader import Image
+from repro.sim.process import Process
+
+
+@pytest.fixture
+def harness():
+    """A bound runtime with a minimal program context."""
+    module = ir.Module()
+    mainf = module.add_function("main", func(I64, []))
+    IRBuilder(mainf.add_block("entry")).ret(ir.Constant(0))
+    process = Process()
+    image = Image(module, process)
+    channel = AppendWriteUArch()
+    runtime = HQRuntime(channel)
+    interpreter = Interpreter(image, runtime)
+    return runtime, channel, process, interpreter
+
+
+def sent_ops(channel):
+    return [m.op for m in channel.receive_all()]
+
+
+class TestMessageMapping:
+    @pytest.mark.parametrize("name,args,op", [
+        ("hq_pointer_define", [1, 2], Op.POINTER_DEFINE),
+        ("hq_pointer_check", [1, 2], Op.POINTER_CHECK),
+        ("hq_pointer_invalidate", [1], Op.POINTER_INVALIDATE),
+        ("hq_pointer_check_invalidate", [1, 2], Op.POINTER_CHECK_INVALIDATE),
+        ("hq_pointer_block_copy", [1, 2, 16], Op.POINTER_BLOCK_COPY),
+        ("hq_pointer_block_move", [1, 2, 16], Op.POINTER_BLOCK_MOVE),
+        ("hq_pointer_block_invalidate", [1, 16],
+         Op.POINTER_BLOCK_INVALIDATE),
+        ("hq_syscall", [1], Op.SYSCALL),
+        ("hq_event", [1, 2], Op.EVENT),
+        ("hq_allocation_create", [1, 8], Op.ALLOCATION_CREATE),
+        ("hq_allocation_check", [1], Op.ALLOCATION_CHECK),
+        ("hq_allocation_check_base", [1, 2], Op.ALLOCATION_CHECK_BASE),
+        ("hq_allocation_extend", [1, 2, 8], Op.ALLOCATION_EXTEND),
+        ("hq_allocation_destroy", [1], Op.ALLOCATION_DESTROY),
+        ("hq_allocation_destroy_all", [1, 8], Op.ALLOCATION_DESTROY_ALL),
+    ])
+    def test_entry_points(self, harness, name, args, op):
+        runtime, channel, _, _ = harness
+        runtime.call(name, args)
+        assert sent_ops(channel) == [op]
+
+    def test_unknown_entry_point_raises(self, harness):
+        runtime, _, _, _ = harness
+        with pytest.raises(KeyError):
+            runtime.call("hq_bogus", [])
+
+    def test_messages_counted(self, harness):
+        runtime, _, _, _ = harness
+        runtime.call("hq_pointer_define", [1, 2])
+        runtime.call("hq_pointer_check", [1, 2])
+        assert runtime.messages_sent == 2
+
+    def test_inlined_vs_library_overhead(self, harness):
+        runtime, _, process, _ = harness
+        runtime.inlined = True
+        runtime.call("hq_pointer_check", [1, 2])
+        inlined_cost = process.cycles.detail["hq-runtime"]
+        runtime.inlined = False
+        runtime.call("hq_pointer_check", [1, 2])
+        library_cost = process.cycles.detail["hq-runtime"] - inlined_cost
+        assert library_cost > inlined_cost
+
+
+class TestHeapHooks:
+    def test_free_hook_invalidate_covers_allocation(self, harness):
+        runtime, channel, process, _ = harness
+        block = process.heap.malloc(48)
+        runtime.call("hq_free_hook", [block])
+        message = channel.receive_all()[0]
+        assert message.op is Op.POINTER_BLOCK_INVALIDATE
+        assert (message.arg0, message.aux) == (block, 48)
+
+    def test_free_hook_on_wild_pointer_sends_nothing(self, harness):
+        runtime, channel, _, _ = harness
+        runtime.call("hq_free_hook", [0xBAD])
+        assert channel.receive_all() == []
+
+    def test_realloc_hook_moved(self, harness):
+        runtime, channel, _, _ = harness
+        runtime.call("hq_realloc_hook", [0x100, 0x200, 32])
+        message = channel.receive_all()[0]
+        assert message.op is Op.POINTER_BLOCK_MOVE
+        assert (message.arg0, message.arg1, message.aux) == (0x100, 0x200, 32)
+
+    def test_realloc_hook_in_place_sends_nothing(self, harness):
+        runtime, channel, _, _ = harness
+        runtime.call("hq_realloc_hook", [0x100, 0x100, 32])
+        assert channel.receive_all() == []
+
+
+class TestJmpBufHooks:
+    def test_setjmp_hook_defines_current_contents(self, harness):
+        runtime, channel, process, _ = harness
+        slot = process.heap.malloc(16)
+        process.memory.store(slot, 0x1234)
+        runtime.call("hq_setjmp_hook", [slot])
+        message = channel.receive_all()[0]
+        assert message.op is Op.POINTER_DEFINE
+        assert (message.arg0, message.arg1) == (slot, 0x1234)
+
+    def test_longjmp_hook_checks_current_contents(self, harness):
+        runtime, channel, process, _ = harness
+        slot = process.heap.malloc(16)
+        process.memory.store(slot, 0x1234)
+        runtime.call("hq_longjmp_hook", [slot])
+        assert channel.receive_all()[0].op is Op.POINTER_CHECK
+
+
+class TestRetPtr:
+    def test_retptr_noop_at_entry_function(self, harness):
+        runtime, channel, _, _ = harness
+        runtime.call("hq_retptr_define", [])
+        assert channel.receive_all() == []
+
+    def test_retptr_reads_current_slot(self, harness):
+        runtime, channel, process, interpreter = harness
+        slot = process.heap.malloc(8)
+        process.memory.store(slot, 0x400123)
+        interpreter.call_stack.append((slot, 0x400123))
+        runtime.call("hq_retptr_define", [])
+        message = channel.receive_all()[0]
+        assert (message.op, message.arg0, message.arg1) == \
+            (Op.POINTER_DEFINE, slot, 0x400123)
+        runtime.call("hq_retptr_check_invalidate", [])
+        assert channel.receive_all()[0].op is Op.POINTER_CHECK_INVALIDATE
+
+    def test_retptr_check_reports_corrupted_contents(self, harness):
+        """The check reads memory, so corruption reaches the verifier."""
+        runtime, channel, process, interpreter = harness
+        slot = process.heap.malloc(8)
+        process.memory.store(slot, 0x666)  # corrupted
+        interpreter.call_stack.append((slot, 0x400123))
+        runtime.call("hq_retptr_check_invalidate", [])
+        assert channel.receive_all()[0].arg1 == 0x666
+
+
+class TestSTLFGuards:
+    def test_guard_enter_exit_balanced(self, harness):
+        runtime, _, _, _ = harness
+        runtime.call("hq_stlf_guard_enter", [1])
+        runtime.call("hq_stlf_guard_exit", [1])
+        runtime.call("hq_stlf_guard_enter", [1])  # fine again
+
+    def test_reentrant_guard_terminates(self, harness):
+        runtime, _, _, _ = harness
+        runtime.call("hq_stlf_guard_enter", [7])
+        with pytest.raises(PolicyViolationError):
+            runtime.call("hq_stlf_guard_enter", [7])
+
+
+class TestStartupInitializer:
+    def test_global_code_pointers_defined_at_startup(self):
+        module = ir.Module()
+        sig = func(I64, [I64])
+        target = module.add_function("target", sig)
+        IRBuilder(target.add_block("entry")).ret(target.params[0])
+        module.add_global("slot", ptr(sig),
+                          initializer=[ir.FunctionRef(target)])
+        mainf = module.add_function("main", func(I64, []))
+        IRBuilder(mainf.add_block("entry")).ret(ir.Constant(0))
+        process = Process()
+        image = Image(module, process)
+        channel = AppendWriteUArch()
+        runtime = HQRuntime(channel)
+        interpreter = Interpreter(image, runtime)
+        interpreter.run("main")
+        messages = channel.receive_all()
+        assert messages and messages[0].op is Op.POINTER_DEFINE
+        assert messages[0].arg0 == image.global_address["slot"]
+        assert messages[0].arg1 == image.function_address["target"]
+
+    def test_const_globals_not_reported(self):
+        module = ir.Module()
+        sig = func(I64, [I64])
+        target = module.add_function("target", sig)
+        IRBuilder(target.add_block("entry")).ret(target.params[0])
+        module.add_global("table", ptr(sig), const=True,
+                          initializer=[ir.FunctionRef(target)])
+        mainf = module.add_function("main", func(I64, []))
+        IRBuilder(mainf.add_block("entry")).ret(ir.Constant(0))
+        process = Process()
+        image = Image(module, process)
+        channel = AppendWriteUArch()
+        runtime = HQRuntime(channel)
+        Interpreter(image, runtime).run("main")
+        assert channel.receive_all() == []

@@ -1,0 +1,107 @@
+"""Tests for the taint-tracking policy (repro.policies.taint)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.passes.base import PassManager
+from repro.compiler.passes.syscall_sync import SyscallSyncPass
+from repro.compiler.types import I64, func, ptr
+from repro.core import messages as msg
+from repro.core.framework import run_program
+from repro.policies.taint import (
+    TAINT_CLEAR,
+    TAINT_SINK,
+    TAINT_SOURCE,
+    TaintPass,
+    TaintPolicy,
+)
+
+
+class TestTaintPolicy:
+    def test_untainted_sink_passes(self):
+        policy = TaintPolicy()
+        assert policy.handle(msg.event(TAINT_SINK, 0x100)) is None
+        assert policy.sink_checks == 1
+
+    def test_tainted_sink_violates(self):
+        policy = TaintPolicy()
+        policy.handle(msg.event(TAINT_SOURCE, 0x100))
+        violation = policy.handle(msg.event(TAINT_SINK, 0x100))
+        assert violation is not None and violation.kind == "taint"
+
+    def test_clear_sanitizes(self):
+        policy = TaintPolicy()
+        policy.handle(msg.event(TAINT_SOURCE, 0x100))
+        policy.handle(msg.event(TAINT_CLEAR, 0x100))
+        assert policy.handle(msg.event(TAINT_SINK, 0x100)) is None
+
+    def test_block_copy_propagates_taint(self):
+        policy = TaintPolicy()
+        policy.handle(msg.event(TAINT_SOURCE, 0x108))
+        policy.handle(msg.pointer_block_copy(0x100, 0x200, 16))
+        assert policy.handle(msg.event(TAINT_SINK, 0x208)) is not None
+
+    def test_copy_outside_tainted_range_does_not_propagate(self):
+        policy = TaintPolicy()
+        policy.handle(msg.event(TAINT_SOURCE, 0x300))
+        policy.handle(msg.pointer_block_copy(0x100, 0x200, 16))
+        assert policy.handle(msg.event(TAINT_SINK, 0x200)) is None
+
+    def test_clone_is_independent(self):
+        policy = TaintPolicy()
+        policy.handle(msg.event(TAINT_SOURCE, 0x100))
+        child = policy.clone()
+        child.handle(msg.event(TAINT_CLEAR, 0x100))
+        assert policy.handle(msg.event(TAINT_SINK, 0x100)) is not None
+
+    def test_entry_count(self):
+        policy = TaintPolicy()
+        policy.handle(msg.event(TAINT_SOURCE, 0x100))
+        policy.handle(msg.event(TAINT_SOURCE, 0x108))
+        assert policy.entry_count() == 2
+
+
+class TestTaintPass:
+    def _program(self, call_through_input: bool):
+        """read() into a buffer; optionally call through its contents."""
+        module = ir.Module("taint-demo")
+        sig = func(I64, [I64])
+        handler = module.add_function("handler", sig)
+        hb = IRBuilder(handler.add_block("entry"))
+        hb.ret(handler.params[0])
+        mainf = module.add_function("main", func(I64, []))
+        b = IRBuilder(mainf.add_block("entry"))
+        buf = b.alloca(ptr(sig), "buf")
+        b.store(ir.FunctionRef(handler), buf)
+        if call_through_input:
+            # Untrusted input lands in the very buffer the call uses.
+            b.syscall(0, [b.const(0), buf, b.const(8)])  # read(fd, buf, n)
+        target = b.load(buf, "target")
+        b.ret(b.icall(target, [b.const(1)], sig))
+        return module
+
+    def test_pass_marks_sources_and_sinks(self):
+        module = self._program(call_through_input=True)
+        pass_ = TaintPass()
+        pass_.run(module)
+        assert pass_.stats["sources"] == 1
+        assert pass_.stats["sinks"] == 1
+
+    def test_end_to_end_tainted_call_detected(self):
+        module = self._program(call_through_input=True)
+        PassManager([TaintPass(), SyscallSyncPass()]).run(module)
+        result = run_program(module, design="hq-sfestk", channel="model",
+                             policy_factory=TaintPolicy,
+                             kill_on_violation=False)
+        assert result.ok
+        assert any(v.kind == "taint" for v in result.violations)
+
+    def test_end_to_end_clean_call_passes(self):
+        module = self._program(call_through_input=False)
+        PassManager([TaintPass(), SyscallSyncPass()]).run(module)
+        result = run_program(module, design="hq-sfestk", channel="model",
+                             policy_factory=TaintPolicy,
+                             kill_on_violation=False)
+        assert result.ok
+        assert not [v for v in result.violations if v.kind == "taint"]

@@ -1,0 +1,157 @@
+"""Tests for the SSA/CFG validator (repro.compiler.validate)."""
+
+import pytest
+
+from repro.cfi.designs import get_design
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.passes.base import PassManager
+from repro.compiler.types import I64, func, ptr
+from repro.compiler.validate import (
+    ValidationError,
+    validate_function,
+    validate_module,
+)
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import PROFILES, get_profile
+
+SIG = func(I64, [I64])
+
+
+def valid_diamond():
+    module = ir.Module()
+    f = module.add_function("f", func(I64, [I64]))
+    entry = f.add_block("entry")
+    left = f.add_block("left")
+    right = f.add_block("right")
+    join = f.add_block("join")
+    b = IRBuilder(entry)
+    x = b.add(f.params[0], b.const(1), "x")
+    b.cond_br(f.params[0], left, right)
+    b.position_at_end(left)
+    lv = b.mul(x, b.const(2), "lv")
+    b.br(join)
+    b.position_at_end(right)
+    rv = b.mul(x, b.const(3), "rv")
+    b.br(join)
+    b.position_at_end(join)
+    phi = ir.Phi(I64, "merged")
+    join.instructions.insert(0, phi)
+    phi.block = join
+    phi.add_incoming(lv, left)
+    phi.add_incoming(rv, right)
+    b.ret(phi)
+    return module, f, (entry, left, right, join), (x, lv, rv, phi)
+
+
+class TestValidPrograms:
+    def test_diamond_validates(self):
+        module, *_ = valid_diamond()
+        validate_module(module)
+
+    def test_declarations_skipped(self):
+        module = ir.Module()
+        module.add_function("external", SIG)
+        validate_module(module)
+
+    @pytest.mark.parametrize("name", ["403.gcc", "483.xalancbmk",
+                                      "471.omnetpp", "nginx"])
+    def test_generated_workloads_validate(self, name):
+        validate_module(build_module(get_profile(name)))
+
+    @pytest.mark.parametrize("design", ["hq-sfestk", "hq-retptr",
+                                        "clang-cfi", "cpi"])
+    def test_instrumented_workloads_validate(self, design):
+        """Every pass pipeline preserves SSA well-formedness."""
+        module = build_module(get_profile("483.xalancbmk"))
+        PassManager(get_design(design).passes()).run(module)
+        validate_module(module)
+
+
+class TestViolations:
+    def test_use_before_definition_in_block(self):
+        module = ir.Module()
+        f = module.add_function("f", func(I64, []))
+        block = f.add_block("entry")
+        late = ir.BinOp("add", ir.Constant(1), ir.Constant(2), "late")
+        early_use = ir.BinOp("add", late, ir.Constant(3), "use")
+        block.append(early_use)
+        block.append(late)
+        block.append(ir.Ret(ir.Constant(0)))
+        with pytest.raises(ValidationError, match="does not dominate"):
+            validate_function(f)
+
+    def test_use_of_non_dominating_definition(self):
+        module, f, blocks, values = valid_diamond()
+        entry, left, right, join = blocks
+        x, lv, rv, phi = values
+        # Use left's value in right: left does not dominate right.
+        bad = ir.BinOp("add", lv, ir.Constant(1), "bad")
+        right.insert(0, bad)
+        with pytest.raises(ValidationError, match="does not dominate"):
+            validate_function(f)
+
+    def test_phi_after_non_phi_rejected(self):
+        module, f, blocks, values = valid_diamond()
+        entry, left, right, join = blocks
+        filler = ir.BinOp("add", ir.Constant(1), ir.Constant(2), "filler")
+        join.insert(1, filler)  # a non-phi between the phi and...
+        stray = ir.Phi(I64, "stray")
+        stray.add_incoming(ir.Constant(1), left)
+        stray.add_incoming(ir.Constant(2), right)
+        join.insert(2, stray)  # ...this misplaced phi
+        with pytest.raises(ValidationError, match="phi after non-phi"):
+            validate_function(f)
+
+    def test_phi_missing_predecessor(self):
+        module, f, blocks, values = valid_diamond()
+        entry, left, right, join = blocks
+        x, lv, rv, phi = values
+        phi.incoming = [(lv, left)]  # right edge unaccounted
+        with pytest.raises(ValidationError, match="no incoming value"):
+            validate_function(f)
+
+    def test_phi_incoming_must_dominate_predecessor(self):
+        module, f, blocks, values = valid_diamond()
+        entry, left, right, join = blocks
+        x, lv, rv, phi = values
+        phi.incoming = [(rv, left), (rv, right)]  # rv not valid via left
+        with pytest.raises(ValidationError, match="does not dominate"):
+            validate_function(f)
+
+    def test_cross_function_branch_rejected(self):
+        module = ir.Module()
+        f = module.add_function("f", func(I64, []))
+        g = module.add_function("g", func(I64, []))
+        g_block = g.add_block("gb")
+        IRBuilder(g_block).ret(ir.Constant(0))
+        IRBuilder(f.add_block("entry")).br(g_block)
+        with pytest.raises(ValidationError, match="another function"):
+            validate_function(f)
+
+    def test_inconsistent_block_backreference(self):
+        module, f, blocks, values = valid_diamond()
+        entry, left, right, join = blocks
+        left.instructions[0].block = right
+        with pytest.raises(ValidationError, match="back-reference"):
+            validate_function(f)
+
+    def test_instruction_in_two_blocks(self):
+        module, f, blocks, values = valid_diamond()
+        entry, left, right, join = blocks
+        shared = left.instructions[0]
+        right.instructions.insert(0, shared)
+        with pytest.raises(ValidationError):
+            validate_function(f)
+
+    def test_cross_function_operand_rejected(self):
+        module = ir.Module()
+        g = module.add_function("g", func(I64, []))
+        gb = IRBuilder(g.add_block("entry"))
+        foreign = gb.add(gb.const(1), gb.const(2), "foreign")
+        gb.ret(foreign)
+        f = module.add_function("f", func(I64, []))
+        fb = IRBuilder(f.add_block("entry"))
+        fb.ret(fb.add(foreign, fb.const(1)))
+        with pytest.raises(ValidationError):
+            validate_function(f)

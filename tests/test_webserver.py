@@ -1,0 +1,113 @@
+"""Tests for the miniature web server workload
+(repro.workloads.webserver)."""
+
+import pytest
+
+from repro.workloads.webserver import (
+    HEADER_WORDS,
+    METHOD_GET,
+    METHOD_POST,
+    benign_trace,
+    build_server,
+    exploit_trace,
+    plant_trace,
+    serve,
+)
+
+
+class TestServerSemantics:
+    def test_module_builds_and_verifies(self):
+        from repro.compiler.validate import validate_module
+        module = build_server()
+        validate_module(module)
+
+    def test_benign_trace_serves_all_requests(self):
+        trace = benign_trace(6)
+        result = serve("baseline", trace)
+        assert result.ok
+        assert len(result.output) == 6  # one response per request
+
+    def test_status_codes_match_methods(self):
+        trace = [(METHOD_GET, [1]), (METHOD_POST, [2]), (9, [3])]
+        result = serve("baseline", trace)
+        assert result.output[0] == 200 + (METHOD_GET & 0xF)
+        assert result.output[1] == 201 + (METHOD_POST & 0xF)
+        assert result.output[2] == 404  # unknown method -> fallback
+
+    def test_output_identical_across_designs(self):
+        trace = benign_trace(5)
+        reference = serve("baseline", trace)
+        for design in ("hq-sfestk", "clang-cfi", "ccfi", "cpi", "arm-pa"):
+            result = serve(design, trace)
+            assert result.ok, (design, result.detail)
+            assert result.output == reference.output, design
+
+    def test_exploit_trace_marks_one_request(self):
+        trace = exploit_trace(8, malicious_index=3)
+        oversized = [header for _, header in trace
+                     if len(header) > HEADER_WORDS]
+        assert len(oversized) == 1
+
+
+class TestServerTakeover:
+    def test_baseline_is_taken_over(self):
+        result = serve("baseline", exploit_trace())
+        assert result.win_executed
+        assert 666 in result.output  # the shell's "status code"
+
+    def test_hq_kills_before_the_shell_syscall(self):
+        result = serve("hq-sfestk", exploit_trace())
+        assert result.outcome == "killed"
+        assert not result.win_executed
+        # Responses before the malicious request went out normally;
+        # nothing after it did.
+        assert len(result.output) == 3
+
+    def test_hq_flags_the_table_slot(self):
+        result = serve("hq-sfestk", exploit_trace(),
+                       kill_on_violation=False)
+        assert any("mismatch" in v.detail for v in result.violations)
+
+    def test_in_process_designs_block_inline(self):
+        for design in ("clang-cfi", "ccfi", "arm-pa"):
+            result = serve(design, exploit_trace())
+            assert result.outcome == "violation", design
+            assert not result.win_executed
+
+    def test_cpi_neutralizes_silently(self):
+        result = serve("cpi", exploit_trace())
+        assert result.ok
+        assert not result.win_executed
+        # The hijacked request was served by the *legitimate* handler:
+        # CPI's safe store ignored the corrupted table slot.
+        assert 666 not in result.output
+
+    def test_same_class_target_defeats_clang_but_not_hq(self):
+        """Redirecting to the address-taken, same-signature POST handler
+        is within Clang CFI's equivalence class — but it is still a
+        pointer-integrity violation for HerQules."""
+        from repro.core.framework import run_program
+        from repro.sim.memory import WORD_SIZE
+
+        trace = exploit_trace()
+
+        def plant_same_class(image, interpreter):
+            plant_trace(image, trace)
+            # Re-patch the overflow word to the POST handler.
+            base = image.global_address["request_input"]
+            from repro.workloads.webserver import REQUEST_STRIDE
+            record = base + 3 * REQUEST_STRIDE * WORD_SIZE
+            overflow_word = record + (2 + HEADER_WORDS) * WORD_SIZE
+            image.process.memory.store_physical(
+                overflow_word, image.function_address["handle_post"])
+
+        module = build_server(max_requests=len(trace))
+        clang = run_program(module, design="clang-cfi",
+                            pre_run=plant_same_class)
+        assert clang.ok  # GETs now served by the POST handler, silently
+        assert 201 in clang.output
+
+        module = build_server(max_requests=len(trace))
+        hq = run_program(module, design="hq-sfestk",
+                         pre_run=plant_same_class)
+        assert hq.outcome == "killed"  # value-precise: any change trips

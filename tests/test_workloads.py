@@ -1,0 +1,147 @@
+"""Tests for benchmark profiles and the workload generator."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.core.framework import run_program
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import (
+    PROFILES,
+    TRAIN_FRACTION,
+    get_profile,
+    spec_profiles,
+)
+
+
+class TestProfileTable:
+    def test_48_benchmarks(self):
+        assert len(PROFILES) == 48
+
+    def test_suite_composition(self):
+        suites = {}
+        for profile in PROFILES:
+            suites[profile.suite] = suites.get(profile.suite, 0) + 1
+        assert suites == {"CPU2006": 19, "CPU2017": 28, "NGINX": 1}
+
+    def test_names_unique(self):
+        assert len({p.name for p in PROFILES}) == 48
+
+    def test_flag_counts_match_table4_arithmetic(self):
+        """The Table 4 category counts follow from these flag sets."""
+        def flagged(flag):
+            return {p.name for p in PROFILES if p.has(flag)}
+
+        cast = flagged("fnptr_type_cast")
+        blockop = flagged("blockop_fnptr_copy")
+        roundtrip = flagged("fnptr_int_roundtrip")
+        old = flagged("old_clang_bug")
+        hazard = flagged("ccfi_float_div_hazard")
+        floaty = flagged("float_heavy")
+        uaf = flagged("static_init_uaf")
+        decayed = flagged("decayed_blockop")
+
+        assert len(cast) == 15          # Clang CFI false positives
+        assert len(blockop) == 12       # CPI crashes / CCFI FPs
+        assert len(roundtrip) == 2      # CCFI-only FPs
+        assert len(cast | blockop | roundtrip) == 29  # CCFI FPs
+        assert len(old) == 2            # legacy-baseline failures
+        assert len(hazard) == 10        # CCFI runtime crashes
+        assert len(hazard | old) == 12  # CCFI errors
+        assert len(floaty) == 9         # CCFI invalid output
+        assert len(blockop | old) == 14  # CPI errors
+        assert len(uaf) == 2            # HQ's discovered real bugs
+        assert len(decayed) == 4        # the block-op allowlist cases
+        # Structural relations the classification depends on.
+        assert old <= cast              # FPs observed before the crash
+        assert old <= floaty            # crashes truncate real output
+        assert hazard <= cast | blockop
+        assert not (old & blockop)      # CPI's 14 = 12 + 2 disjoint
+        assert not (old & hazard)
+
+    def test_zero_pointer_benchmarks(self):
+        """Section 5.4: 14 benchmarks hold zero verifier entries."""
+        clean = [p for p in PROFILES
+                 if not p.icalls_per_k and not p.fnptr_writes_per_k]
+        assert len(clean) == 14
+
+    def test_spec_profiles_excludes_nginx(self):
+        assert len(spec_profiles()) == 47
+
+    def test_get_profile(self):
+        assert get_profile("470.lbm").language == "C"
+        with pytest.raises(KeyError):
+            get_profile("999.nonesuch")
+
+    def test_omnetpp_variants_carry_the_uaf(self):
+        assert get_profile("471.omnetpp").has("static_init_uaf")
+        assert get_profile("520.omnetpp_r").has("static_init_uaf")
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("name", [p.name for p in PROFILES])
+    def test_every_benchmark_builds_and_verifies(self, name):
+        module = build_module(get_profile(name))
+        module.verify()
+        assert "main" in module.functions
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            build_module(PROFILES[0], dataset="huge")
+
+    def test_invalid_compiler_rejected(self):
+        with pytest.raises(ValueError):
+            build_module(PROFILES[0], compiler="gcc")
+
+    def test_output_is_deterministic(self):
+        a = run_program(build_module(get_profile("403.gcc")),
+                        design="baseline")
+        b = run_program(build_module(get_profile("403.gcc")),
+                        design="baseline")
+        assert a.ok and a.output == b.output
+
+    def test_train_runs_fewer_iterations(self):
+        profile = get_profile("403.gcc")
+        ref = run_program(build_module(profile, dataset="ref"),
+                          design="baseline")
+        train = run_program(build_module(profile, dataset="train"),
+                            design="baseline")
+        assert train.steps < ref.steps * (TRAIN_FRACTION + 0.3)
+
+    def test_decayed_profiles_populate_allowlist(self):
+        module = build_module(get_profile("447.dealII"))
+        assert module.block_op_allowlist
+
+    def test_clean_profiles_have_empty_allowlist(self):
+        module = build_module(get_profile("470.lbm"))
+        assert not module.block_op_allowlist
+
+    def test_legacy_compiler_only_affects_flagged_benchmarks(self):
+        flagged = get_profile("464.h264ref")  # old_clang_bug
+        clean = get_profile("403.gcc")
+        assert run_program(build_module(flagged, compiler="legacy"),
+                           design="baseline").outcome == "crash"
+        assert run_program(build_module(flagged, compiler="modern"),
+                           design="baseline").ok
+        assert run_program(build_module(clean, compiler="legacy"),
+                           design="baseline").ok
+
+    def test_pointer_free_benchmark_sends_almost_no_messages(self):
+        result = run_program(build_module(get_profile("470.lbm")),
+                             design="hq-sfestk", kill_on_violation=False)
+        assert result.ok
+        assert result.max_entries == 0
+
+    def test_cpp_benchmark_holds_live_entries(self):
+        result = run_program(build_module(get_profile("483.xalancbmk")),
+                             design="hq-sfestk", kill_on_violation=False)
+        assert result.ok
+        assert result.max_entries > 10  # the object pool's vptrs
+
+    def test_uaf_benchmark_trips_hq_only(self):
+        profile = get_profile("471.omnetpp")
+        hq = run_program(build_module(profile), design="hq-sfestk",
+                         kill_on_violation=False)
+        assert hq.ok and hq.violations  # discovered, run continues
+        clang = run_program(build_module(profile), design="clang-cfi",
+                            kill_on_violation=False)
+        assert clang.ok and clang.runtime_violations == 0
