@@ -1,0 +1,63 @@
+"""Interpreter microbenchmark: raw dispatch-loop throughput.
+
+Regression guard for the fast path in ``repro.sim.cpu`` (per-class
+dispatch tables, per-basic-block decode cache, batched cycle
+accounting).  Measures steps/second executing a fixed compute-heavy
+workload on the uninstrumented baseline — no messaging, so the number
+isolates the interpreter loop itself.
+
+Reference points on the CI machine: the seed per-instruction
+``isinstance`` dispatch ran ~0.65M steps/s; the decode-cached loop runs
+~2M steps/s (3×).  The floor below asserts a conservative fraction of
+that so slower machines don't flake while a real dispatch regression
+(losing the ≥2× gain) still fails.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.framework import run_program
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Compute-heavy, zero-instrumentation shape: the dispatch loop is the
+#: whole cost.  Small enough to finish fast, big enough to amortize
+#: decode: ~0.9M steps.
+INTERP_PROFILE = BenchmarkProfile(
+    name="interp-speed",
+    suite="CPU2017",
+    language="C",
+    iterations=3000,
+    compute_ops=300,
+    icalls_per_k=0,
+    fnptr_writes_per_k=0,
+    protected_calls_per_k=0,
+    syscalls_per_k=0,
+)
+
+#: Conservative steps/sec floor: ~half the measured fast-path rate on
+#: the CI machine, and still ~1.5x the seed dispatch loop's rate there.
+MIN_STEPS_PER_SEC = 1_000_000
+
+
+@pytest.mark.benchmark
+def test_interpreter_steps_per_second(benchmark, capsys):
+    def measured_run():
+        start = time.perf_counter()
+        result = run_program(build_module(INTERP_PROFILE),
+                             design="baseline")
+        elapsed = time.perf_counter() - start
+        return result, elapsed
+
+    result, elapsed = run_once(benchmark, measured_run)
+    assert result.ok, result.outcome
+    rate = result.steps / elapsed
+    with capsys.disabled():
+        print(f"\n=== Interpreter speed: {result.steps:,} steps in "
+              f"{elapsed:.2f}s = {rate:,.0f} steps/s ===")
+    assert result.steps > 500_000
+    assert rate >= MIN_STEPS_PER_SEC, (
+        f"interpreter dispatch regression: {rate:,.0f} steps/s "
+        f"(floor {MIN_STEPS_PER_SEC:,})")

@@ -67,51 +67,57 @@ class Figure:
         return sorted(names, key=key)
 
 
-def figure3(benchmarks: Optional[List[str]] = None) -> Figure:
+def figure3(benchmarks: Optional[List[str]] = None,
+            jobs: Optional[int] = None) -> Figure:
     """HQ-CFI-SfeStk relative performance per IPC primitive."""
     names = benchmarks or [p.name for p in PROFILES]
     series = [
         FigureSeries("HQ-CFI-SfeStk-MQ",
-                     perf_sweep("hq-sfestk", channel="mq", benchmarks=names)),
+                     perf_sweep("hq-sfestk", channel="mq", benchmarks=names,
+                                jobs=jobs)),
         FigureSeries("HQ-CFI-SfeStk-FPGA",
                      perf_sweep("hq-sfestk", channel="fpga",
-                                benchmarks=names)),
+                                benchmarks=names, jobs=jobs)),
         FigureSeries("HQ-CFI-SfeStk-MODEL",
                      perf_sweep("hq-sfestk", channel="model",
-                                benchmarks=names)),
+                                benchmarks=names, jobs=jobs)),
     ]
     return Figure("figure3", series, sort_by="HQ-CFI-SfeStk-MODEL")
 
 
-def figure4(benchmarks: Optional[List[str]] = None) -> Figure:
+def figure4(benchmarks: Optional[List[str]] = None,
+            jobs: Optional[int] = None) -> Figure:
     """MODEL vs SIM on the train input (NGINX omitted, as in the paper)."""
     names = benchmarks or [p.name for p in spec_profiles()]
     series = [
         FigureSeries("HQ-CFI-SfeStk-MODEL-Train",
                      perf_sweep("hq-sfestk", channel="model",
-                                dataset="train", benchmarks=names)),
+                                dataset="train", benchmarks=names,
+                                jobs=jobs)),
         FigureSeries("HQ-CFI-SfeStk-SIM-Train",
                      perf_sweep("hq-sfestk", channel="sim", dataset="train",
                                 benchmarks=names,
-                                accounting=AccountingMode.SIM)),
+                                accounting=AccountingMode.SIM, jobs=jobs)),
     ]
     return Figure("figure4", series, sort_by="HQ-CFI-SfeStk-MODEL-Train")
 
 
-def figure5(benchmarks: Optional[List[str]] = None) -> Figure:
+def figure5(benchmarks: Optional[List[str]] = None,
+            jobs: Optional[int] = None) -> Figure:
     """All CFI designs on SPEC ref + NGINX."""
     names = benchmarks or [p.name for p in PROFILES]
     series = [
         FigureSeries("HQ-CFI-SfeStk-MODEL",
                      perf_sweep("hq-sfestk", channel="model",
-                                benchmarks=names)),
+                                benchmarks=names, jobs=jobs)),
         FigureSeries("HQ-CFI-RetPtr-MODEL",
                      perf_sweep("hq-retptr", channel="model",
-                                benchmarks=names)),
+                                benchmarks=names, jobs=jobs)),
         FigureSeries("Clang/LLVM CFI",
-                     perf_sweep("clang-cfi", benchmarks=names)),
-        FigureSeries("CCFI", perf_sweep("ccfi", benchmarks=names)),
-        FigureSeries("CPI", perf_sweep("cpi", benchmarks=names)),
+                     perf_sweep("clang-cfi", benchmarks=names, jobs=jobs)),
+        FigureSeries("CCFI", perf_sweep("ccfi", benchmarks=names,
+                                        jobs=jobs)),
+        FigureSeries("CPI", perf_sweep("cpi", benchmarks=names, jobs=jobs)),
     ]
     return Figure("figure5", series, sort_by="HQ-CFI-SfeStk-MODEL")
 

@@ -22,20 +22,21 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.framework import RunResult, run_program
+from repro.bench.cache import cached_run_program, run_key
+from repro.cfi.designs import get_design
+from repro.core.framework import RunResult
 from repro.sim.cycles import AccountingMode
 from repro.workloads.generator import build_module
-from repro.workloads.profiles import (
-    PROFILES,
-    BenchmarkProfile,
-    get_profile,
-    spec_profiles,
-)
+from repro.workloads.profiles import PROFILES, get_profile
 
 #: Designs built with the legacy Clang 3.x toolchain (section 5).
 #: ``baseline-ccfi``/``baseline-cpi`` are Table 4's version-specific
 #: baselines: uninstrumented, but built with the legacy toolchain.
 LEGACY_DESIGNS = {"ccfi", "cpi", "baseline-ccfi", "baseline-cpi"}
+
+#: Step budget shared by every harness run, so the baseline for a
+#: benchmark is one cacheable run no matter which experiment asks.
+HARNESS_MAX_STEPS = 10_000_000
 
 
 def compiler_for(design: str) -> str:
@@ -52,14 +53,42 @@ def real_design(design: str) -> str:
 
 def run_benchmark(name: str, design: str, channel: str = "model",
                   dataset: str = "ref",
-                  accounting: AccountingMode = AccountingMode.MODEL,
-                  max_steps: int = 10_000_000) -> RunResult:
-    """Run one benchmark under one design (continue-on-violation mode)."""
+                  max_steps: int = HARNESS_MAX_STEPS) -> RunResult:
+    """Run one benchmark under one design (continue-on-violation mode).
+
+    Served through the run-result cache when one is active.  The cache
+    key drops the channel for unmonitored designs (in-process defenses
+    ignore it), so e.g. a ``ccfi`` run is one entry regardless of the
+    channel the caller happened to pass.
+    """
     profile = get_profile(name)
-    module = build_module(profile, dataset=dataset,
-                          compiler=compiler_for(design))
-    return run_program(module, design=real_design(design), channel=channel,
-                       kill_on_violation=False, max_steps=max_steps)
+    compiler = compiler_for(design)
+    resolved = real_design(design)
+    key_channel = channel if get_design(resolved).monitored else None
+    key = run_key(profile, dataset, compiler, resolved, key_channel,
+                  kill_on_violation=False, max_steps=max_steps)
+    return cached_run_program(
+        lambda: build_module(profile, dataset=dataset, compiler=compiler),
+        key, design=resolved, channel=channel,
+        kill_on_violation=False, max_steps=max_steps)
+
+
+def baseline_run(name: str, dataset: str = "ref",
+                 compiler: str = "modern",
+                 max_steps: int = HARNESS_MAX_STEPS) -> RunResult:
+    """The version-specific uninstrumented baseline for one benchmark.
+
+    Exactly one execution per (benchmark, dataset, compiler) when the
+    cache is active — performance normalization, correctness reference
+    output, and the section-5.4 metrics all share it.
+    """
+    profile = get_profile(name)
+    key = run_key(profile, dataset, compiler, "baseline", None,
+                  kill_on_violation=False, max_steps=max_steps)
+    return cached_run_program(
+        lambda: build_module(profile, dataset=dataset, compiler=compiler),
+        key, design="baseline", kill_on_violation=False,
+        max_steps=max_steps)
 
 
 @dataclass
@@ -87,13 +116,11 @@ def relative_performance(name: str, design: str, channel: str = "model",
     measurements for benchmarks that encounter errors or produce
     invalid output, but not if only false positives are emitted").
     """
-    base = run_benchmark(name, "baseline", dataset=dataset)
-    # Version-specific baseline for legacy designs.
-    if design in LEGACY_DESIGNS:
-        profile = get_profile(name)
-        module = build_module(profile, dataset=dataset, compiler="legacy")
-        base = run_program(module, design="baseline",
-                           kill_on_violation=False)
+    # Only the version-matching baseline executes: legacy designs are
+    # normalized against a legacy-toolchain baseline build, everything
+    # else against the modern one.
+    base = baseline_run(name, dataset=dataset,
+                        compiler=compiler_for(design))
     result = run_benchmark(name, design, channel=channel, dataset=dataset)
 
     point = PerfPoint(benchmark=name, design=design,
@@ -125,12 +152,19 @@ def geometric_mean(values: Iterable[float]) -> float:
 
 def perf_sweep(design: str, channel: str = "model", dataset: str = "ref",
                benchmarks: Optional[List[str]] = None,
-               accounting: AccountingMode = AccountingMode.MODEL
-               ) -> List[PerfPoint]:
-    """Relative performance of every benchmark under one design."""
+               accounting: AccountingMode = AccountingMode.MODEL,
+               jobs: Optional[int] = None) -> List[PerfPoint]:
+    """Relative performance of every benchmark under one design.
+
+    ``jobs`` > 1 fans the benchmarks across worker processes (each unit
+    needs its own baseline, so units don't contend; the shared disk
+    cache still deduplicates across successive sweeps).
+    """
+    from repro.bench.parallel import parallel_map
     names = benchmarks or [p.name for p in PROFILES]
-    return [relative_performance(name, design, channel, dataset, accounting)
-            for name in names]
+    units = [(name, design, channel, dataset, accounting)
+             for name in names]
+    return parallel_map(relative_performance, units, jobs=jobs, star=True)
 
 
 def sweep_geomean(points: List[PerfPoint]) -> float:
@@ -169,11 +203,8 @@ def classify_correctness(name: str, design: str,
                          channel: str = "model") -> CorrectnessRecord:
     """Run and classify one benchmark per Table 4's taxonomy."""
     profile = get_profile(name)
-    compiler = compiler_for(design)
     # The reference output comes from the version-specific baseline.
-    base_module = build_module(profile, compiler=compiler)
-    base = run_program(base_module, design="baseline",
-                       kill_on_violation=False)
+    base = baseline_run(name, compiler=compiler_for(design))
     result = run_benchmark(name, design, channel=channel)
 
     record = CorrectnessRecord(benchmark=name, design=design)
@@ -210,12 +241,16 @@ class Table4Row:
 
 
 def correctness_table(design: str, channel: str = "model",
-                      benchmarks: Optional[List[str]] = None) -> Table4Row:
+                      benchmarks: Optional[List[str]] = None,
+                      jobs: Optional[int] = None) -> Table4Row:
     """Aggregate Table 4 counts for one design."""
+    from repro.bench.parallel import parallel_map
     names = benchmarks or [p.name for p in PROFILES]
+    records = parallel_map(classify_correctness,
+                           [(name, design, channel) for name in names],
+                           jobs=jobs, star=True)
     row = Table4Row(design=design)
-    for name in names:
-        record = classify_correctness(name, design, channel)
+    for record in records:
         row.errors += record.error
         row.false_positives += record.false_positive
         row.invalid += record.invalid

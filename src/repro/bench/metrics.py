@@ -54,22 +54,28 @@ class MetricsSummary:
     zero_entry_benchmarks: int
 
 
+def _benchmark_metrics(name: str, design: str,
+                       channel: str) -> BenchmarkMetrics:
+    """One benchmark's section 5.4 numbers — the parallel work unit."""
+    result = run_benchmark(name, design, channel=channel)
+    seconds = result.total_cycles() / (CLOCK_GHZ * 1e9)
+    rate = result.messages_sent / seconds if seconds > 0 else 0.0
+    return BenchmarkMetrics(
+        benchmark=name,
+        messages_total=result.messages_sent,
+        messages_per_second=rate,
+        max_entries=result.max_entries)
+
+
 def collect_metrics(design: str = "hq-sfestk", channel: str = "model",
-                    benchmarks: Optional[List[str]] = None
-                    ) -> List[BenchmarkMetrics]:
+                    benchmarks: Optional[List[str]] = None,
+                    jobs: Optional[int] = None) -> List[BenchmarkMetrics]:
     """Run every benchmark and collect message/entry statistics."""
+    from repro.bench.parallel import parallel_map
     names = benchmarks or [p.name for p in PROFILES]
-    results = []
-    for name in names:
-        result = run_benchmark(name, design, channel=channel)
-        seconds = result.total_cycles() / (CLOCK_GHZ * 1e9)
-        rate = result.messages_sent / seconds if seconds > 0 else 0.0
-        results.append(BenchmarkMetrics(
-            benchmark=name,
-            messages_total=result.messages_sent,
-            messages_per_second=rate,
-            max_entries=result.max_entries))
-    return results
+    return parallel_map(_benchmark_metrics,
+                        [(name, design, channel) for name in names],
+                        jobs=jobs, star=True)
 
 
 def _median(values: List[float]) -> float:

@@ -1,0 +1,117 @@
+"""Parallel sweep executor for the experiment pipeline.
+
+The pipeline's work units — one (benchmark, design, channel) run, one
+(density, primitive) sweep point — are independent deterministic
+simulations, so they fan out cleanly across a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **deterministic ordering**: results come back via ``executor.map``,
+  i.e. in submission order, so parallel output is byte-identical to
+  serial output;
+* **job-count resolution**: ``--jobs N`` / ``REPRO_JOBS`` / ``auto``
+  via :func:`resolve_jobs`; ``jobs <= 1`` (the default when neither is
+  given) runs serially in-process with no executor at all;
+* **per-worker cache warm-up**: each worker process activates a
+  disk-backed :class:`~repro.bench.cache.RunCache` pointing at the same
+  directory as the parent, so a baseline computed by one worker is a
+  disk hit for every other worker (and for the parent afterwards)
+  instead of a stampede of redundant runs.
+
+Work functions must be module-level (picklable).  Workers return
+``(result, stats)`` pairs internally so the parent can merge worker
+cache statistics into its own counters.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.bench.cache import (CacheStats, RunCache, active_cache,
+                               enable_cache)
+
+T = TypeVar("T")
+
+#: Cap on ``auto`` job counts: the pipeline has at most a few dozen
+#: units per fan-out, so more workers than this just pay startup cost.
+MAX_AUTO_JOBS = 16
+
+
+def resolve_jobs(jobs: object = None) -> int:
+    """Normalize a jobs request to a concrete worker count.
+
+    ``None`` falls back to the ``REPRO_JOBS`` environment variable
+    (absent → 1, i.e. serial).  ``"auto"`` (either source) means one
+    worker per CPU, capped at :data:`MAX_AUTO_JOBS`.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS", "").strip() or 1
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            return max(1, min(os.cpu_count() or 1, MAX_AUTO_JOBS))
+        jobs = int(jobs)
+    return max(1, int(jobs))
+
+
+# -- worker side ------------------------------------------------------------
+
+#: Set by :func:`_init_worker` in each worker process.
+_WORKER_CACHE: Optional[RunCache] = None
+
+
+def _init_worker(disk_dir: Optional[str]) -> None:
+    """Worker initializer: warm up a disk-backed cache.
+
+    Every worker shares the parent's on-disk store, so the first worker
+    to finish a given baseline publishes it for all the others.
+    """
+    global _WORKER_CACHE
+    _WORKER_CACHE = enable_cache(disk_dir=disk_dir) if disk_dir else None
+
+
+def _run_unit(payload: Tuple[Callable[..., T], bool, object]
+              ) -> Tuple[T, Optional[CacheStats]]:
+    """Execute one work unit in a worker; piggyback cache stats."""
+    fn, star, item = payload
+    result = fn(*item) if star else fn(item)
+    stats = _WORKER_CACHE.stats if _WORKER_CACHE is not None else None
+    if stats is not None:
+        # Report only this unit's activity: hand the parent a snapshot
+        # delta by resetting after each unit.
+        snapshot = CacheStats(**vars(stats))
+        _WORKER_CACHE.stats = CacheStats()
+        return result, snapshot
+    return result, None
+
+
+# -- parent side ------------------------------------------------------------
+
+def parallel_map(fn: Callable[..., T], items: Sequence[object],
+                 jobs: object = None, star: bool = False) -> List[T]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Results are returned in input order regardless of completion order.
+    ``star=True`` unpacks each item as ``fn(*item)``.  With
+    ``jobs <= 1`` this is a plain in-process loop — no executor, no
+    pickling requirements beyond the serial path's.
+    """
+    jobs = resolve_jobs(jobs)
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(*item) if star else fn(item) for item in items]
+
+    cache = active_cache()
+    disk_dir = cache.disk_dir if cache is not None else None
+    payloads = [(fn, star, item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items)),
+                             initializer=_init_worker,
+                             initargs=(disk_dir,)) as executor:
+        outcomes = list(executor.map(_run_unit, payloads))
+
+    results: List[T] = []
+    for result, stats in outcomes:
+        results.append(result)
+        if cache is not None and stats is not None:
+            cache.stats.merge(stats)
+    return results

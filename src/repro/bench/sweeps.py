@@ -21,10 +21,11 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.bench.cache import cached_run_program, run_key
 from repro.compiler.passes.base import PassManager
 from repro.compiler.passes.memsafety import MemorySafetyPass
 from repro.compiler.passes.syscall_sync import SyscallSyncPass
-from repro.core.framework import run_program
+from repro.core.framework import RunResult
 from repro.policies.memory_safety import MemorySafetyPolicy
 from repro.workloads.generator import build_module
 from repro.workloads.profiles import BenchmarkProfile
@@ -60,26 +61,50 @@ class SweepPoint:
     messages: int
 
 
+def _sweep_baseline(profile: BenchmarkProfile) -> RunResult:
+    """Uninstrumented reference run for one sweep profile (cached)."""
+    key = run_key(profile, "ref", "modern", "baseline", None,
+                  kill_on_violation=True)
+    return cached_run_program(lambda: build_module(profile), key,
+                              design="baseline")
+
+
+def _sweep_point(density: int, primitive: str) -> SweepPoint:
+    """One (density, primitive) measurement — the parallel work unit."""
+    profile = _sweep_profile(density)
+    base_cycles = _sweep_baseline(profile).total_cycles()
+    key = run_key(profile, "ref", "modern", "hq-sfestk", primitive,
+                  kill_on_violation=False)
+    result = cached_run_program(lambda: build_module(profile), key,
+                                design="hq-sfestk", channel=primitive,
+                                kill_on_violation=False)
+    return SweepPoint(density=density, primitive=primitive,
+                      relative=base_cycles / result.total_cycles(),
+                      messages=result.messages_sent)
+
+
 def density_sweep(primitives: Optional[List[str]] = None,
-                  densities: Optional[List[int]] = None) -> List[SweepPoint]:
-    """Run the sweep; returns one point per (density, primitive)."""
+                  densities: Optional[List[int]] = None,
+                  jobs: Optional[int] = None) -> List[SweepPoint]:
+    """Run the sweep; returns one point per (density, primitive).
+
+    ``jobs`` > 1 fans the (density, primitive) grid across worker
+    processes (deterministic result order either way).
+    """
     primitives = primitives or ["mq", "fpga", "model", "sim"]
     densities = list(densities or DEFAULT_DENSITIES)
-    points: List[SweepPoint] = []
-    for density in densities:
-        profile = _sweep_profile(density)
-        baseline = run_program(build_module(profile), design="baseline")
-        base_cycles = baseline.total_cycles()
-        for primitive in primitives:
-            result = run_program(build_module(profile),
-                                 design="hq-sfestk", channel=primitive,
-                                 kill_on_violation=False)
-            points.append(SweepPoint(
-                density=density,
-                primitive=primitive,
-                relative=base_cycles / result.total_cycles(),
-                messages=result.messages_sent))
-    return points
+    grid = [(density, primitive) for density in densities
+            for primitive in primitives]
+    from repro.bench.cache import active_cache
+    from repro.bench.parallel import parallel_map, resolve_jobs
+    jobs = resolve_jobs(jobs)
+    cache = active_cache()
+    if jobs > 1 and cache is not None and cache.disk_dir:
+        # Warm the shared baselines in the parent so workers hit disk
+        # instead of stampeding the same uninstrumented run.
+        for density in densities:
+            _sweep_baseline(_sweep_profile(density))
+    return parallel_map(_sweep_point, grid, jobs=jobs, star=True)
 
 
 def crossover_density(points: List[SweepPoint], primitive: str,
@@ -130,30 +155,29 @@ def memory_safety_vs_cfi(density: int = 400) -> List[PolicyCost]:
     profile = _sweep_profile(density)
     profile = dataclasses.replace(profile, heap_ops_per_k=200)
 
-    baseline = run_program(build_module(profile), design="baseline")
-    base_cycles = baseline.total_cycles()
+    base_cycles = _sweep_baseline(profile).total_cycles()
 
-    cfi = run_program(build_module(profile), design="hq-sfestk",
+    cfi_key = run_key(profile, "ref", "modern", "hq-sfestk", "model",
                       kill_on_violation=False)
+    cfi = cached_run_program(lambda: build_module(profile), cfi_key,
+                             design="hq-sfestk", kill_on_violation=False)
 
-    memsafety_module = build_module(profile)
-    PassManager([MemorySafetyPass(check_all_accesses=True),
-                 SyscallSyncPass()]).run(
-        memsafety_module)
-    memsafety = run_program(memsafety_module, design="baseline",
-                            policy_factory=MemorySafetyPolicy,
-                            kill_on_violation=False)
-    # Memory safety runs monitored: rebuild under the HQ plumbing.
-    memsafety_module = build_module(profile)
-    PassManager([MemorySafetyPass(check_all_accesses=True),
-                 SyscallSyncPass()]).run(
-        memsafety_module)
-    memsafety = run_program(memsafety_module, design="hq-sfestk",
-                            policy_factory=MemorySafetyPolicy,
+    # Memory safety runs monitored: build under the HQ plumbing with the
+    # hand-applied memory-safety instrumentation.  passes_override=[]
+    # keeps that instrumentation without re-adding the CFI pipeline.
+    def build_memsafety():
+        module = build_module(profile)
+        PassManager([MemorySafetyPass(check_all_accesses=True),
+                     SyscallSyncPass()]).run(module)
+        return module
+
+    memsafety_key = run_key(profile, "ref", "modern", "hq-sfestk", "model",
                             kill_on_violation=False,
-                            passes_override=[])
-    # passes_override=[] keeps the module's hand-applied memory-safety
-    # instrumentation without re-adding the CFI pipeline.
+                            variant="memory-safety")
+    memsafety = cached_run_program(
+        build_memsafety, memsafety_key, design="hq-sfestk",
+        policy_factory=MemorySafetyPolicy, kill_on_violation=False,
+        passes_override=[])
 
     return [
         PolicyCost("hq-cfi", base_cycles / cfi.total_cycles(),

@@ -39,11 +39,13 @@ PAPER_TABLE4 = {
 
 
 def table4(designs: Optional[List[str]] = None,
-           benchmarks: Optional[List[str]] = None) -> Dict[str, Table4Row]:
+           benchmarks: Optional[List[str]] = None,
+           jobs: Optional[int] = None) -> Dict[str, Table4Row]:
     """Compute Table 4 rows by actually running every benchmark."""
     rows = {}
     for design in designs or TABLE4_DESIGNS:
-        rows[design] = correctness_table(design, benchmarks=benchmarks)
+        rows[design] = correctness_table(design, benchmarks=benchmarks,
+                                         jobs=jobs)
     return rows
 
 

@@ -37,10 +37,15 @@ PAPER_TABLE5 = {
 
 
 def table5(designs: Optional[List[str]] = None,
-           dedup: bool = True) -> Dict[str, Dict[str, int]]:
-    """Run the RIPE matrix under every design."""
-    return {design: run_ripe(design, dedup=dedup)
-            for design in designs or TABLE5_DESIGNS}
+           dedup: bool = True,
+           jobs: Optional[int] = None) -> Dict[str, Dict[str, int]]:
+    """Run the RIPE matrix under every design (one unit per design)."""
+    from repro.bench.parallel import parallel_map
+    designs = designs or TABLE5_DESIGNS
+    counts = parallel_map(run_ripe,
+                          [(design, "model", dedup) for design in designs],
+                          jobs=jobs, star=True)
+    return dict(zip(designs, counts))
 
 
 def format_table5(rows: Dict[str, Dict[str, int]]) -> str:

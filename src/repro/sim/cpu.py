@@ -45,6 +45,75 @@ class ProgramCrash(Exception):
     """The simulated program crashed (segfault, bad jump, heap abuse)."""
 
 
+# ---------------------------------------------------------------------------
+# Operator tables (fast-path dispatch)
+# ---------------------------------------------------------------------------
+
+def _op_add(lhs: int, rhs: int) -> int:
+    return lhs + rhs
+
+
+def _op_sub(lhs: int, rhs: int) -> int:
+    return lhs - rhs
+
+
+def _op_mul(lhs: int, rhs: int) -> int:
+    return lhs * rhs
+
+
+def _op_div(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        raise ProgramCrash("division by zero")
+    return lhs // rhs
+
+
+def _op_rem(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        raise ProgramCrash("remainder by zero")
+    return lhs % rhs
+
+
+def _op_and(lhs: int, rhs: int) -> int:
+    return lhs & rhs
+
+
+def _op_or(lhs: int, rhs: int) -> int:
+    return lhs | rhs
+
+
+def _op_xor(lhs: int, rhs: int) -> int:
+    return lhs ^ rhs
+
+
+def _op_shl(lhs: int, rhs: int) -> int:
+    return lhs << (rhs & 63)
+
+
+def _op_shr(lhs: int, rhs: int) -> int:
+    return lhs >> (rhs & 63)
+
+
+#: Integer binary operators, pre-resolved so the hot loop never string-matches.
+_BINOP_FUNCS: Dict[str, Callable[[int, int], int]] = {
+    "add": _op_add, "sub": _op_sub, "mul": _op_mul,
+    "div": _op_div, "sdiv": _op_div, "udiv": _op_div,
+    "rem": _op_rem, "srem": _op_rem, "urem": _op_rem,
+    "and": _op_and, "or": _op_or, "xor": _op_xor,
+    "shl": _op_shl, "shr": _op_shr, "lshr": _op_shr, "ashr": _op_shr,
+}
+
+_FLOAT_OPS = ("fadd", "fsub", "fmul", "fdiv")
+
+_CMP_FUNCS: Dict[str, Callable[[int, int], bool]] = {
+    "eq": lambda lhs, rhs: lhs == rhs,
+    "ne": lambda lhs, rhs: lhs != rhs,
+    "lt": lambda lhs, rhs: lhs < rhs,
+    "le": lambda lhs, rhs: lhs <= rhs,
+    "gt": lambda lhs, rhs: lhs > rhs,
+    "ge": lambda lhs, rhs: lhs >= rhs,
+}
+
+
 class ExecutionLimitExceeded(ProgramCrash):
     """Instruction budget exhausted — a hang (e.g. CPI's infinite loop)."""
 
@@ -88,6 +157,33 @@ class _ReturnHijack(Exception):
 
     def __init__(self, event: HijackEvent) -> None:
         self.event = event
+
+
+class _DecodedBlock:
+    """Decode-cache entry for one basic block.
+
+    ``phis`` are the block's leading phi instructions (evaluated
+    simultaneously on entry, as before).  ``entries`` is the executable
+    straight-line body: ``(run, nsteps, instruction)`` triples where
+    ``run(frame)`` executes one instruction — or a fused group of
+    ``nsteps`` side-effect-free ones with a single batched cycle charge
+    (``instruction`` is then None).
+    """
+
+    __slots__ = ("phis", "entries")
+
+    def __init__(self, phis: List["ir.Phi"],
+                 entries: List[Tuple[Callable, int, Optional["ir.Instruction"]]]
+                 ) -> None:
+        self.phis = phis
+        self.entries = entries
+
+    def index_after(self, instruction: "ir.Instruction") -> int:
+        """Entry index just past ``instruction`` (setjmp resume point)."""
+        for position, (_, _, decoded) in enumerate(self.entries):
+            if decoded is instruction:
+                return position + 1
+        return len(self.entries)
 
 
 @dataclass
@@ -200,6 +296,10 @@ class Interpreter:
         self._site_ids: Dict[int, int] = {}
         self._setjmp_points: Dict[int, Tuple[ir.Setjmp, object]] = {}
         self._rng = random.Random(self.options.seed)
+        #: Fast-path caches: decoded basic blocks (bound handlers +
+        #: pre-resolved operand accessors) and per-function frame layouts.
+        self._block_cache: Dict[int, "_DecodedBlock"] = {}
+        self._frame_layouts: Dict[int, Tuple[int, List[Tuple[str, int]]]] = {}
 
         self.safe_stack_base: Optional[int] = None
         self.safe_sp: Optional[int] = None
@@ -302,17 +402,22 @@ class Interpreter:
         frame: Dict[str, int] = {}
         for param, value in zip(function.params, args):
             frame[param.name] = value
-        alloca_bytes = 0
-        allocas: List[ir.Alloca] = []
-        for instruction in function.instructions():
-            if isinstance(instruction, ir.Alloca):
-                allocas.append(instruction)
-                alloca_bytes += max(instruction.allocated_type.size(), WORD_SIZE)
+        layout = self._frame_layouts.get(id(function))
+        if layout is None:
+            alloca_bytes = 0
+            slots: List[Tuple[str, int]] = []
+            for instruction in function.instructions():
+                if isinstance(instruction, ir.Alloca):
+                    slots.append((instruction.name, alloca_bytes))
+                    alloca_bytes += max(instruction.allocated_type.size(),
+                                        WORD_SIZE)
+            layout = (alloca_bytes, slots)
+            self._frame_layouts[id(function)] = layout
+        alloca_bytes, slots = layout
         frame_base = self.process.push_frame(alloca_bytes) if alloca_bytes else None
-        cursor = frame_base or 0
-        for alloca in allocas:
-            frame[alloca.name] = cursor
-            cursor += max(alloca.allocated_type.size(), WORD_SIZE)
+        if frame_base is not None:
+            for slot_name, offset in slots:
+                frame[slot_name] = frame_base + offset
 
         try:
             result = self._exec_blocks(function, frame)
@@ -344,6 +449,11 @@ class Interpreter:
     def _exec_block(self, function: ir.Function, block: ir.BasicBlock,
                     previous: Optional[ir.BasicBlock],
                     frame: Dict[str, int]):
+        decoded = self._block_cache.get(id(block))
+        if decoded is None:
+            decoded = self._decode_block(function, block)
+            self._block_cache[id(block)] = decoded
+
         # A longjmp landing in this block resumes just after its setjmp
         # (see the "setjmp_resume" handling below).
         resume_after = frame.pop("__resume_after__", None)
@@ -351,28 +461,54 @@ class Interpreter:
         # Phis are evaluated simultaneously on entry (skipped when
         # resuming mid-block from a longjmp).
         if resume_after is None:
-            phi_values: Dict[str, int] = {}
-            for instruction in block.instructions:
-                if not isinstance(instruction, ir.Phi):
-                    break
-                for value, pred in instruction.incoming:
-                    if pred is previous:
-                        phi_values[instruction.name] = self._eval(value, frame)
-                        break
-                else:
-                    phi_values[instruction.name] = 0
-            frame.update(phi_values)
+            index = 0
+            if decoded.phis:
+                phi_values: Dict[str, int] = {}
+                for instruction in decoded.phis:
+                    for value, pred in instruction.incoming:
+                        if pred is previous:
+                            phi_values[instruction.name] = \
+                                self._eval(value, frame)
+                            break
+                    else:
+                        phi_values[instruction.name] = 0
+                frame.update(phi_values)
+        else:
+            index = decoded.index_after(resume_after)
 
-        index = 0
-        if resume_after is not None:
-            index = block.instructions.index(resume_after) + 1
-        while index < len(block.instructions):
-            instruction = block.instructions[index]
+        entries = decoded.entries
+        count = len(entries)
+        max_steps = self.options.max_steps
+        on_step = self._on_step
+        interval = self.ON_STEP_INTERVAL
+        while index < count:
+            run, nsteps, _ = entries[index]
             index += 1
-            if isinstance(instruction, ir.Phi):
-                continue
-            self._step()
-            outcome = self._exec_instruction(function, block, instruction, frame)
+            if nsteps == 1:
+                self.steps += 1
+                if self.steps > max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_steps} steps (hang?)")
+                if on_step is not None and self.steps % interval == 0:
+                    # The verifier runs concurrently on another core: it
+                    # drains channels while the monitored program
+                    # executes, costing the program nothing.
+                    on_step()
+            else:
+                # Fused straight-line group: the batch contains no
+                # messaging, syscalls, or control flow, so crossing the
+                # verifier-poll boundary anywhere inside it is
+                # observationally equivalent to polling per instruction.
+                before = self.steps
+                self.steps = before + nsteps
+                if self.steps > max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_steps} steps (hang?)")
+                if on_step is not None:
+                    for _ in range(self.steps // interval
+                                   - before // interval):
+                        on_step()
+            outcome = run(frame)
             if outcome is not None:
                 kind, payload = outcome
                 if kind == "br":
@@ -385,11 +521,476 @@ class Interpreter:
                     target_instr, value = payload
                     frame[target_instr.name] = value
                     if target_instr.block is block:
-                        index = block.instructions.index(target_instr) + 1
+                        index = decoded.index_after(target_instr)
                     else:
                         frame["__resume_after__"] = target_instr
                         return target_instr.block, block, 0
         raise ProgramCrash(f"block {function.name}:{block.name} fell through")
+
+    # -- decode cache (fast path) --------------------------------------------------
+
+    def _operand(self, value: ir.Value) -> Callable[[Dict[str, int]], int]:
+        """Pre-resolve an operand to a ``frame -> int`` accessor.
+
+        Constants, function addresses, and global addresses are resolved
+        once at decode time; SSA values become a single dict lookup.
+        """
+        if isinstance(value, ir.Constant):
+            constant = value.value
+            return lambda frame: constant
+        if isinstance(value, ir.FunctionRef):
+            addresses = self.image.function_address
+            fname = value.function.name
+            if fname in addresses:
+                address = addresses[fname]
+                return lambda frame: address
+            return lambda frame: addresses[fname]
+        if isinstance(value, ir.GlobalVariable):
+            if value.address is None:
+                gname = value.name
+
+                def missing(frame: Dict[str, int]) -> int:
+                    raise ProgramCrash(f"global {gname} not loaded")
+                return missing
+            address = value.address
+            return lambda frame: address
+        if isinstance(value, (ir.Argument, ir.Instruction)):
+            vname = value.name
+
+            def lookup(frame: Dict[str, int]) -> int:
+                try:
+                    return frame[vname]
+                except KeyError:
+                    raise ProgramCrash(
+                        f"use of undefined value {vname}") from None
+            return lookup
+
+        def unevaluable(frame: Dict[str, int]) -> int:
+            raise ProgramCrash(f"cannot evaluate {value!r}")
+        return unevaluable
+
+    def _decode_block(self, function: ir.Function,
+                      block: ir.BasicBlock) -> _DecodedBlock:
+        """Decode ``block`` into bound closures, fusing straight-line
+        runs of side-effect-free instructions into batched entries."""
+        phis: List[ir.Phi] = []
+        for instruction in block.instructions:
+            if isinstance(instruction, ir.Phi):
+                phis.append(instruction)
+            else:
+                break
+
+        cycles = self.process.cycles
+        entries: List[Tuple[Callable, int, Optional[ir.Instruction]]] = []
+        pending: List[Tuple[Callable, float, ir.Instruction]] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            if len(pending) == 1:
+                core, cost, instruction = pending[0]
+
+                def run_one(frame: Dict[str, int],
+                            core=core, cost=cost) -> None:
+                    cycles.user += cost
+                    core(frame)
+                entries.append((run_one, 1, instruction))
+            else:
+                cores = tuple(core for core, _, _ in pending)
+                total = 0.0
+                for _, cost, _ in pending:
+                    total += cost
+
+                def run_group(frame: Dict[str, int],
+                              cores=cores, total=total) -> None:
+                    cycles.user += total
+                    for core in cores:
+                        core(frame)
+                entries.append((run_group, len(pending), None))
+            pending.clear()
+
+        for instruction in block.instructions:
+            if isinstance(instruction, ir.Phi):
+                continue
+            fused = self._decode_fusable(instruction)
+            if fused is not None:
+                core, cost = fused
+                pending.append((core, cost, instruction))
+                continue
+            flush()
+            entries.append(
+                (self._decode_single(function, block, instruction), 1,
+                 instruction))
+        flush()
+        return _DecodedBlock(phis, entries)
+
+    def _decode_fusable(self, instruction: ir.Instruction):
+        """Decode one side-effect-free instruction to ``(core, cost)``.
+
+        Returns None for instructions that interact with the outside
+        world (messages, syscalls, control flow, heap) — those must run
+        as their own step so verifier polling and step accounting see
+        them individually.
+        """
+        factor = self.options.register_pressure_factor
+        cls = type(instruction)
+        name = instruction.name
+
+        if cls is ir.BinOp:
+            cost = OP_COSTS.get("binop", 1.0) * factor
+            lhs = self._operand(instruction.lhs)
+            rhs = self._operand(instruction.rhs)
+            op = instruction.op
+            int_fn = _BINOP_FUNCS.get(op)
+            if int_fn is not None:
+                def core(frame: Dict[str, int]) -> None:
+                    frame[name] = int_fn(lhs(frame), rhs(frame))
+                return core, cost
+            if op in _FLOAT_OPS:
+                float_fn = self._float_binop
+
+                def core(frame: Dict[str, int]) -> None:
+                    frame[name] = float_fn(op, lhs(frame), rhs(frame))
+                return core, cost
+
+            def core(frame: Dict[str, int]) -> None:
+                raise ProgramCrash(f"unknown binop {op}")
+            return core, cost
+
+        if cls is ir.Cmp:
+            cost = OP_COSTS.get("cmp", 1.0) * factor
+            lhs = self._operand(instruction.lhs)
+            rhs = self._operand(instruction.rhs)
+            cmp_fn = _CMP_FUNCS.get(instruction.op)
+            if cmp_fn is None:
+                op = instruction.op
+
+                def core(frame: Dict[str, int]) -> None:
+                    raise ProgramCrash(f"unknown comparison {op}")
+                return core, cost
+
+            def core(frame: Dict[str, int]) -> None:
+                frame[name] = 1 if cmp_fn(lhs(frame), rhs(frame)) else 0
+            return core, cost
+
+        if cls is ir.Load:
+            cost = OP_COSTS.get("load", 1.0) * factor
+            pointer = self._operand(instruction.pointer)
+            load = self.process.memory.load
+
+            def core(frame: Dict[str, int]) -> None:
+                frame[name] = load(pointer(frame))
+            return core, cost
+
+        if cls is ir.Store:
+            cost = OP_COSTS.get("store", 1.0) * factor
+            pointer = self._operand(instruction.pointer)
+            value = self._operand(instruction.value)
+            store = self.process.memory.store
+
+            def core(frame: Dict[str, int]) -> None:
+                store(pointer(frame), value(frame))
+            return core, cost
+
+        if cls is ir.Gep:
+            return self._decode_gep(instruction)
+
+        if cls is ir.Cast:
+            cost = OP_COSTS.get("cast", 1.0) * factor
+            value = self._operand(instruction.value)
+
+            def core(frame: Dict[str, int]) -> None:
+                frame[name] = value(frame)
+            return core, cost
+
+        if cls is ir.Select:
+            cost = OP_COSTS.get("select", 1.0) * factor
+            cond = self._operand(instruction.cond)
+            if_true = self._operand(instruction.if_true)
+            if_false = self._operand(instruction.if_false)
+
+            def core(frame: Dict[str, int]) -> None:
+                frame[name] = if_true(frame) if cond(frame) else \
+                    if_false(frame)
+            return core, cost
+
+        if cls is ir.Alloca:
+            cost = OP_COSTS.get("alloca", 1.0) * factor
+
+            def core(frame: Dict[str, int]) -> None:
+                return None  # address assigned at frame setup
+            return core, cost
+
+        return None
+
+    def _decode_gep(self, instruction: ir.Gep):
+        factor = self.options.register_pressure_factor
+        cost = OP_COSTS.get("gep", 1.0) * factor
+        name = instruction.name
+        base = self._operand(instruction.pointer)
+        base_type = instruction.pointer.type
+        pointee = base_type.pointee if isinstance(base_type, PointerType) \
+            else None
+        if instruction.field is not None:
+            if pointee is None or not hasattr(pointee, "field_offset"):
+                def core(frame: Dict[str, int]) -> None:
+                    raise ProgramCrash("field gep on non-struct pointer")
+                return core, cost
+            try:
+                offset = pointee.field_offset(instruction.field)
+            except Exception:
+                # Malformed field: defer to the generic path so the
+                # original exception surfaces at execution time.
+                def core(frame: Dict[str, int]) -> None:
+                    frame[name] = base(frame) + \
+                        self._gep_offset(instruction, frame)
+                return core, cost
+
+            def core(frame: Dict[str, int]) -> None:
+                frame[name] = base(frame) + offset
+            return core, cost
+        index = self._operand(instruction.index)
+        element = getattr(pointee, "element", None)
+        element_size = element.size() if element is not None else WORD_SIZE
+
+        def core(frame: Dict[str, int]) -> None:
+            frame[name] = base(frame) + index(frame) * element_size
+        return core, cost
+
+    def _decode_single(self, function: ir.Function, block: ir.BasicBlock,
+                       instruction: ir.Instruction) -> Callable:
+        """Decode one stepped instruction to a ``frame -> outcome`` run
+        closure (control flow, calls, messaging, memory management)."""
+        factor = self.options.register_pressure_factor
+        cycles = self.process.cycles
+        cls = type(instruction)
+        name = instruction.name
+
+        if cls is ir.Br:
+            cost = OP_COSTS.get("br", 1.0) * factor
+            outcome = ("br", instruction.target)
+
+            def run(frame: Dict[str, int]):
+                cycles.user += cost
+                return outcome
+            return run
+
+        if cls is ir.CondBr:
+            cost = OP_COSTS.get("br", 1.0) * factor
+            cond = self._operand(instruction.cond)
+            on_true = ("br", instruction.if_true)
+            on_false = ("br", instruction.if_false)
+
+            def run(frame: Dict[str, int]):
+                cycles.user += cost
+                return on_true if cond(frame) else on_false
+            return run
+
+        if cls is ir.Ret:
+            if instruction.value is None:
+                return lambda frame: ("ret", 0)
+            value = self._operand(instruction.value)
+            return lambda frame: ("ret", value(frame))
+
+        if cls is ir.Call:
+            callee = instruction.callee
+            accessors = [self._operand(a) for a in instruction.args]
+
+            def run(frame: Dict[str, int]):
+                return self._do_call(
+                    function, instruction, frame, callee,
+                    [accessor(frame) for accessor in accessors])
+            return run
+
+        if cls is ir.ICall:
+            cost = OP_COSTS.get("icall", 1.0) * factor
+            target_acc = self._operand(instruction.target)
+            accessors = [self._operand(a) for a in instruction.args]
+            function_at = self.image.function_at
+            intended = instruction.meta.get("intended_targets")
+
+            def run(frame: Dict[str, int]):
+                cycles.user += cost
+                target = target_acc(frame)
+                callee = function_at.get(target)
+                if callee is None:
+                    if self.image.function_of_address(target) is not None:
+                        # Mid-function target: a code-reuse gadget; coarse
+                        # model executes nothing and crashes.
+                        raise ProgramCrash(
+                            f"indirect call into function body at "
+                            f"{target:#x}")
+                    raise ProgramCrash(
+                        f"indirect call to non-code {target:#x}")
+                if intended is not None and callee.name not in intended:
+                    self.hijacks.append(
+                        HijackEvent("icall", target, function.name))
+                return self._do_call(
+                    function, instruction, frame, callee,
+                    [accessor(frame) for accessor in accessors])
+            return run
+
+        if cls is ir.RuntimeCall:
+            accessors = [self._operand(a) for a in instruction.args]
+            runtime_name = instruction.runtime_name
+            if runtime_name == "builtin_ret_slot":
+                call_stack = self.call_stack
+
+                def run(frame: Dict[str, int]):
+                    [accessor(frame) for accessor in accessors]
+                    # __builtin_return_address-style disclosure: the
+                    # address of the current frame's return-address slot
+                    # (wherever it lives).  RIPE uses this to emulate
+                    # disclosure attacks (section 5.2).
+                    frame[name] = call_stack[-1][0] if call_stack else 0
+                    return None
+                return run
+            runtime_call = self.runtime.call
+
+            def run(frame: Dict[str, int]):
+                frame[name] = runtime_call(
+                    runtime_name,
+                    [accessor(frame) for accessor in accessors])
+                return None
+            return run
+
+        if cls is ir.Malloc:
+            cost = OP_COSTS.get("malloc", 1.0) * factor
+            size = self._operand(instruction.size)
+            heap = self.process.heap
+
+            def run(frame: Dict[str, int]):
+                cycles.user += cost
+                frame[name] = heap.malloc(size(frame))
+                return None
+            return run
+
+        if cls is ir.Free:
+            cost = OP_COSTS.get("free", 1.0) * factor
+            pointer = self._operand(instruction.pointer)
+            heap = self.process.heap
+
+            def run(frame: Dict[str, int]):
+                cycles.user += cost
+                heap.free(pointer(frame))
+                return None
+            return run
+
+        if cls is ir.Realloc:
+            cost = OP_COSTS.get("realloc", 1.0) * factor
+            pointer = self._operand(instruction.pointer)
+            size = self._operand(instruction.size)
+            heap = self.process.heap
+            memory = self.process.memory
+
+            def run(frame: Dict[str, int]):
+                cycles.user += cost
+                old = pointer(frame)
+                new_size = size(frame)
+                allocation = heap.live.get(old)
+                old_size = allocation.size if allocation else 0
+                new = heap.realloc(old, new_size)
+                if new != old:
+                    memory.copy_block(old, new, old_size // WORD_SIZE)
+                    heap.free(old)
+                frame[name] = new
+                return None
+            return run
+
+        if cls is ir.MemCopy:
+            word_cost = OP_COSTS["memcpy_word"]
+            dst = self._operand(instruction.dst)
+            src = self._operand(instruction.src)
+            size = self._operand(instruction.size)
+            copy_block = self.process.memory.copy_block
+
+            def run(frame: Dict[str, int]):
+                dst_addr = dst(frame)
+                src_addr = src(frame)
+                words = max(size(frame) // WORD_SIZE, 0)
+                cycles.charge_user(word_cost * words)
+                copy_block(src_addr, dst_addr, words)
+                return None
+            return run
+
+        if cls is ir.MemSet:
+            word_cost = OP_COSTS["memcpy_word"]
+            dst = self._operand(instruction.dst)
+            value = self._operand(instruction.value)
+            size = self._operand(instruction.size)
+            store = self.process.memory.store
+
+            def run(frame: Dict[str, int]):
+                dst_addr = dst(frame)
+                fill = value(frame)
+                words = max(size(frame) // WORD_SIZE, 0)
+                cycles.charge_user(word_cost * words)
+                for i in range(words):
+                    store(dst_addr + i * WORD_SIZE, fill)
+                return None
+            return run
+
+        if cls is ir.Syscall:
+            syscall_cost = OP_COSTS["syscall_base"]
+            accessors = [self._operand(a) for a in instruction.args]
+            number = instruction.number
+            process = self.process
+            output = self.output
+            is_write = number == SYS_WRITE
+
+            def run(frame: Dict[str, int]):
+                args = [accessor(frame) for accessor in accessors]
+                cycles.charge_syscall(syscall_cost)
+                frame[name] = self.syscall_dispatcher(process, number, args)
+                if is_write and len(args) >= 2:
+                    output.append(args[1])
+                return None
+            return run
+
+        if cls is ir.Setjmp:
+            cost = OP_COSTS.get("setjmp", 1.0) * factor
+            buf = self._operand(instruction.buf)
+            store = self.process.memory.store
+
+            def run(frame: Dict[str, int]):
+                cycles.user += cost
+                buf_addr = buf(frame)
+                token = self._site_address(function, instruction)
+                store(buf_addr, token)
+                self._setjmp_points[token] = (instruction, None)
+                frame[name] = 0
+                # Returning 0 now; a longjmp resumes here with its value.
+                return None
+            return run
+
+        if cls is ir.Longjmp:
+            cost = OP_COSTS.get("longjmp", 1.0) * factor
+            buf = self._operand(instruction.buf)
+            value_acc = self._operand(instruction.value)
+            load = self.process.memory.load
+
+            def run(frame: Dict[str, int]):
+                cycles.user += cost
+                buf_addr = buf(frame)
+                token = load(buf_addr)
+                value = value_acc(frame)
+                if token not in self._setjmp_points:
+                    # Corrupted jmp_buf: control transfers to the
+                    # attacker's address if it is a function entry;
+                    # otherwise crash.
+                    event = HijackEvent("longjmp", token, function.name)
+                    self.hijacks.append(event)
+                    self._execute_hijack_target(token)
+                    raise _ReturnHijack(event)
+                raise _LongjmpUnwind(token, value if value else 1)
+            return run
+
+        # Unknown instruction class (or a subclass of a known one):
+        # fall back to the generic isinstance-dispatch path.
+        def run(frame: Dict[str, int]):
+            return self._exec_instruction(function, block, instruction,
+                                          frame)
+        return run
 
     # -- single instruction ------------------------------------------------------------
 

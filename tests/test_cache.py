@@ -1,0 +1,176 @@
+"""Tests for the run-result cache (repro.bench.cache).
+
+The load-bearing properties:
+
+* a sweep run twice under one cache yields byte-identical results with
+  **zero** second-pass ``run_program`` executions;
+* cache keys are sensitive to every knob (profile fields, dataset,
+  compiler, design, channel, extras) — no accidental collisions;
+* hits hand out private copies (mutating a result can't poison the
+  cache), and the disk tier round-trips results exactly;
+* with no cache active, semantics are exactly the seed's
+  run-per-call behavior.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+import repro.bench.cache as cache_mod
+from repro.bench.cache import (
+    RunCache,
+    cache_enabled,
+    cached_run_program,
+    run_key,
+)
+from repro.bench.harness import perf_sweep, correctness_table
+from repro.workloads.profiles import get_profile
+
+FAST = ["470.lbm", "429.mcf"]
+
+
+@pytest.fixture
+def run_counter(monkeypatch):
+    """Count actual ``run_program`` executions under the cache."""
+    calls = []
+    real = cache_mod.run_program
+
+    def counting(*args, **kwargs):
+        calls.append(kwargs.get("design"))
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(cache_mod, "run_program", counting)
+    return calls
+
+
+class TestRunKey:
+    def test_knob_sensitivity(self):
+        profile = get_profile("470.lbm")
+        base = run_key(profile, "ref", "modern", "hq-sfestk", "model",
+                       kill_on_violation=False)
+        variants = [
+            run_key(dataclasses.replace(profile, iterations=profile.iterations + 1),
+                    "ref", "modern", "hq-sfestk", "model",
+                    kill_on_violation=False),
+            run_key(profile, "train", "modern", "hq-sfestk", "model",
+                    kill_on_violation=False),
+            run_key(profile, "ref", "legacy", "hq-sfestk", "model",
+                    kill_on_violation=False),
+            run_key(profile, "ref", "modern", "ccfi", "model",
+                    kill_on_violation=False),
+            run_key(profile, "ref", "modern", "hq-sfestk", "mq",
+                    kill_on_violation=False),
+            run_key(profile, "ref", "modern", "hq-sfestk", None,
+                    kill_on_violation=False),
+            run_key(profile, "ref", "modern", "hq-sfestk", "model",
+                    kill_on_violation=True),
+            run_key(profile, "ref", "modern", "hq-sfestk", "model",
+                    kill_on_violation=False, max_steps=123),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_same_inputs_same_key(self):
+        profile = get_profile("470.lbm")
+        a = run_key(profile, "ref", "modern", "baseline", None, seed=1)
+        b = run_key(get_profile("470.lbm"), "ref", "modern", "baseline",
+                    None, seed=1)
+        assert a == b
+
+    def test_profile_fields_not_just_name(self):
+        profile = get_profile("470.lbm")
+        renamed = dataclasses.replace(get_profile("429.mcf"),
+                                      name=profile.name)
+        assert run_key(profile, "ref", "modern", "baseline", None) \
+            != run_key(renamed, "ref", "modern", "baseline", None)
+
+
+class TestCachedSweeps:
+    def test_second_perf_sweep_runs_nothing(self, run_counter):
+        with cache_enabled():
+            first = perf_sweep("hq-sfestk", benchmarks=FAST)
+            executed = len(run_counter)
+            assert executed > 0
+            second = perf_sweep("hq-sfestk", benchmarks=FAST)
+        assert len(run_counter) == executed      # zero second-pass runs
+        assert first == second
+        assert [pickle.dumps(x) for x in first] \
+            == [pickle.dumps(x) for x in second]
+
+    def test_second_correctness_table_runs_nothing(self, run_counter):
+        with cache_enabled():
+            first = correctness_table("hq-sfestk", benchmarks=FAST)
+            executed = len(run_counter)
+            second = correctness_table("hq-sfestk", benchmarks=FAST)
+        assert len(run_counter) == executed
+        assert first == second
+        assert pickle.dumps(first) == pickle.dumps(second)
+
+    def test_baseline_shared_across_experiments(self, run_counter):
+        with cache_enabled():
+            perf_sweep("hq-sfestk", benchmarks=FAST)
+            correctness_table("hq-sfestk", benchmarks=FAST)
+        # One baseline + one design run per benchmark, total — the
+        # correctness pass re-uses both runs from the perf pass.
+        assert len(run_counter) == 2 * len(FAST)
+
+    def test_no_cache_means_run_per_call(self, run_counter):
+        perf_sweep("hq-sfestk", benchmarks=FAST)
+        executed = len(run_counter)
+        perf_sweep("hq-sfestk", benchmarks=FAST)
+        assert len(run_counter) == 2 * executed
+
+
+class TestRunCache:
+    def test_hits_are_private_copies(self, run_counter):
+        from repro.bench.harness import run_benchmark
+        with cache_enabled():
+            first = run_benchmark("470.lbm", "hq-sfestk")
+            first.messages_sent = -1
+            second = run_benchmark("470.lbm", "hq-sfestk")
+        assert len(run_counter) == 1
+        assert second.messages_sent != -1
+
+    def test_disk_round_trip(self, tmp_path, run_counter):
+        disk = str(tmp_path / "cache")
+        with cache_enabled(disk_dir=disk) as cache:
+            first = perf_sweep("hq-sfestk", benchmarks=FAST)
+            stored = cache.stats.stores
+            assert stored > 0
+        executed = len(run_counter)
+        # A fresh cache over the same directory serves from disk only.
+        with cache_enabled(disk_dir=disk) as cache:
+            second = perf_sweep("hq-sfestk", benchmarks=FAST)
+            assert cache.stats.misses == 0
+            assert cache.stats.disk_hits == stored
+        assert len(run_counter) == executed
+        assert [pickle.dumps(x) for x in first] \
+            == [pickle.dumps(x) for x in second]
+
+    def test_stats_format(self):
+        cache = RunCache()
+        text = cache.stats.format()
+        assert "memory hits" in text and "misses" in text
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        disk = str(tmp_path / "cache")
+        profile = get_profile("470.lbm")
+        key = run_key(profile, "ref", "modern", "baseline", None)
+        cache = RunCache(disk_dir=disk)
+        # Different garbage makes pickle raise different exception
+        # types (UnpicklingError, ValueError, EOFError): all misses.
+        for garbage in (b"not a pickle", b"garbage\n", b""):
+            with open(cache._path(key), "wb") as handle:
+                handle.write(garbage)
+            assert cache.lookup(key) is None
+
+    def test_cached_run_program_without_cache(self, run_counter):
+        from repro.workloads.generator import build_module
+        profile = get_profile("470.lbm")
+        key = run_key(profile, "ref", "modern", "baseline", None)
+        a = cached_run_program(lambda: build_module(profile), key,
+                               design="baseline")
+        b = cached_run_program(lambda: build_module(profile), key,
+                               design="baseline")
+        assert len(run_counter) == 2
+        assert pickle.dumps(a) == pickle.dumps(b)

@@ -1,0 +1,101 @@
+"""Tests for the parallel sweep executor (repro.bench.parallel).
+
+The contract: parallel execution is an implementation detail — for any
+jobs count the results are byte-identical to the serial path, in the
+same order, and worker cache activity is folded back into the parent's
+statistics.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.bench.cache import cache_enabled
+from repro.bench.harness import correctness_table, perf_sweep
+from repro.bench.parallel import MAX_AUTO_JOBS, parallel_map, resolve_jobs
+from repro.bench.sweeps import density_sweep
+
+FAST = ["470.lbm", "429.mcf", "403.gcc"]
+
+
+def square(x):
+    return x * x
+
+
+def power(base, exponent):
+    return base ** exponent
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_count(self):
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs("4") == 4
+        assert resolve_jobs(0) == 1
+
+    def test_auto_uses_cpus(self):
+        resolved = resolve_jobs("auto")
+        assert 1 <= resolved <= MAX_AUTO_JOBS
+        assert resolved <= (os.cpu_count() or 1)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert resolve_jobs(None) == resolve_jobs("auto")
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(square, items, jobs=2) == [i * i for i in items]
+
+    def test_star_unpacking(self):
+        grid = [(2, 3), (3, 2), (5, 0)]
+        assert parallel_map(power, grid, jobs=2, star=True) == [8, 9, 1]
+        assert parallel_map(power, grid, jobs=1, star=True) == [8, 9, 1]
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(square, [], jobs=4) == []
+        assert parallel_map(square, [7], jobs=4) == [49]
+
+
+class TestParallelEquivalence:
+    """Parallel results must be byte-identical to serial results."""
+
+    def test_perf_sweep(self):
+        serial = perf_sweep("hq-sfestk", benchmarks=FAST, jobs=1)
+        parallel = perf_sweep("hq-sfestk", benchmarks=FAST, jobs=2)
+        assert [pickle.dumps(x) for x in serial] \
+            == [pickle.dumps(x) for x in parallel]
+
+    def test_correctness_table(self):
+        serial = correctness_table("clang-cfi", benchmarks=FAST, jobs=1)
+        parallel = correctness_table("clang-cfi", benchmarks=FAST, jobs=2)
+        assert serial == parallel
+
+    def test_density_sweep_cached(self, tmp_path):
+        densities = [0, 400]
+        serial = density_sweep(densities=densities, jobs=1)
+        with cache_enabled(disk_dir=str(tmp_path / "cache")) as cache:
+            parallel = density_sweep(densities=densities, jobs=2)
+            # Worker stats must be merged back into the parent's.
+            assert cache.stats.lookups > 0
+        assert [pickle.dumps(x) for x in serial] \
+            == [pickle.dumps(x) for x in parallel]
+
+    def test_workers_share_disk_cache(self, tmp_path):
+        with cache_enabled(disk_dir=str(tmp_path / "cache")) as cache:
+            density_sweep(densities=[0, 400], jobs=2)
+            first_misses = cache.stats.misses
+            density_sweep(densities=[0, 400], jobs=2)
+            # Second pass is served entirely from cache: the parent's
+            # warm-up hits memory and workers hit the shared disk tier.
+            assert cache.stats.misses == first_misses
