@@ -2,7 +2,20 @@
 
 from repro.compiler.builder import IRBuilder
 from repro.compiler.cfg import DominatorTree, PostDominatorTree
+from repro.compiler.dataflow import (
+    Liveness,
+    ReachingStores,
+    liveness,
+    reaching_stores,
+    solve,
+)
+from repro.compiler.diagnostics import Diagnostic
 from repro.compiler.ir import BasicBlock, Function, Module
+from repro.compiler.lint import AuditResult, audit_function, audit_module
+from repro.compiler.validate import ValidationError, validate_module
 
-__all__ = ["BasicBlock", "DominatorTree", "Function", "IRBuilder",
-           "Module", "PostDominatorTree"]
+__all__ = ["AuditResult", "BasicBlock", "Diagnostic", "DominatorTree",
+           "Function", "IRBuilder", "Liveness", "Module",
+           "PostDominatorTree", "ReachingStores", "ValidationError",
+           "audit_function", "audit_module", "liveness", "reaching_stores",
+           "solve", "validate_module"]

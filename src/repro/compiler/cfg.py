@@ -25,20 +25,42 @@ def predecessors(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
     return preds
 
 
-def reverse_postorder(function: Function) -> List[BasicBlock]:
-    """Blocks in reverse postorder from the entry (unreachable excluded)."""
+def _postorder(roots: List[BasicBlock],
+               successors_of) -> List[BasicBlock]:
+    """Iterative DFS postorder from ``roots`` (first root visited first).
+
+    Visits successors in order, exactly like the natural recursive
+    formulation, but with an explicit stack: generated CFGs contain
+    straight-line chains thousands of blocks deep, far past Python's
+    recursion limit.
+    """
     seen: Set[BasicBlock] = set()
     order: List[BasicBlock] = []
+    for root in roots:
+        if root in seen:
+            continue
+        seen.add(root)
+        stack: List[tuple] = [(root, 0)]
+        while stack:
+            block, index = stack[-1]
+            successors = successors_of(block)
+            if index < len(successors):
+                stack[-1] = (block, index + 1)
+                successor = successors[index]
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append((successor, 0))
+            else:
+                stack.pop()
+                order.append(block)
+    return order
 
-    def visit(block: BasicBlock) -> None:
-        seen.add(block)
-        for successor in block.successors:
-            if successor not in seen:
-                visit(successor)
-        order.append(block)
 
-    if function.blocks:
-        visit(function.entry)
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (unreachable excluded)."""
+    if not function.blocks:
+        return []
+    order = _postorder([function.entry], lambda block: block.successors)
     order.reverse()
     return order
 
@@ -113,6 +135,8 @@ class PostDominatorTree:
         self.function = function
         self._succ = {b: list(b.successors) for b in function.blocks}
         self._exits = [b for b in function.blocks if not b.successors]
+        # Successors in the reverse CFG = predecessors in the real one.
+        self._rpreds = predecessors(function)
         self.ipdom: Dict[BasicBlock, Optional[BasicBlock]] = {}
         self._compute()
 
@@ -120,25 +144,9 @@ class PostDominatorTree:
         blocks = self.function.blocks
         if not blocks:
             return
-        # Reverse CFG: edges successor -> block, virtual exit -> each exit.
-        rpreds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in blocks}
-        for block, successors in self._succ.items():
-            for successor in successors:
-                rpreds[block].append(successor)
-        # Postorder on the reverse graph starting from exits.
-        seen: Set[BasicBlock] = set()
-        order: List[BasicBlock] = []
-
-        def visit(block: BasicBlock) -> None:
-            seen.add(block)
-            for pred in self._rcfg_successors(block):
-                if pred not in seen:
-                    visit(pred)
-            order.append(block)
-
-        for exit_block in self._exits:
-            if exit_block not in seen:
-                visit(exit_block)
+        # Postorder on the reverse graph starting from exits (iterative:
+        # deep straight-line chains would overflow the recursion limit).
+        order = _postorder(self._exits, self._rcfg_successors)
         order.reverse()
         index = {block: i for i, block in enumerate(order)}
 
@@ -166,11 +174,7 @@ class PostDominatorTree:
 
     def _rcfg_successors(self, block: BasicBlock) -> List[BasicBlock]:
         """Successors in the reverse CFG = predecessors in the real CFG."""
-        result = []
-        for candidate in self.function.blocks:
-            if block in candidate.successors:
-                result.append(candidate)
-        return result
+        return self._rpreds[block]
 
     def _intersect(self, ipdom, index, a: BasicBlock, b: BasicBlock) -> BasicBlock:
         seen_a = set()

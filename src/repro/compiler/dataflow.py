@@ -1,0 +1,392 @@
+"""Generic dataflow analysis over the mini IR.
+
+A forward/backward worklist solver parameterized over a lattice: a
+:class:`DataflowProblem` supplies the transfer function and the meet
+operator, and :func:`solve` iterates block-level facts to a fixpoint in
+reverse postorder (forward) or postorder (backward), the orders that
+converge fastest for reducible CFGs and still terminate on irreducible
+ones (facts are drawn from finite lattices and transfer functions are
+monotone).
+
+Two classic instances ship with the engine:
+
+* :class:`ReachingStores` — which stores may provide the value of each
+  memory *slot* (the field-sensitive slot model of :func:`slot_key`) at
+  each program point.  This is the analysis behind store-to-load
+  forwarding's "the verifier already knows this value" argument and the
+  lint auditor's independent re-proof of it: a checked load whose check
+  was elided is sound exactly when every definition reaching it is a
+  visible store (no unknown initial value, no clobbering call).
+* :class:`Liveness` — classic backward liveness of SSA values, with the
+  φ refinement that incoming values are live along the matching
+  predecessor edge only (via :meth:`DataflowProblem.edge_transfer`).
+
+Facts are immutable (``frozenset``) so states can be compared with
+``==`` and shared without defensive copies.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.compiler import ir
+from repro.compiler.cfg import predecessors, reverse_postorder
+
+
+# -- the shared slot model ----------------------------------------------------
+
+def slot_key(pointer: ir.Value) -> Optional[Tuple]:
+    """A field-sensitive key identifying a memory slot, or ``None``.
+
+    ``alloca`` → ("alloca", id); ``gep(alloca, field)`` →
+    ("alloca", id, "field", name); globals likewise.  Dynamic indices
+    and pointer casts defeat field sensitivity.  This is the slot model
+    shared by store-to-load forwarding, message elision, and the lint
+    auditor — one definition, so the optimizers and the checker that
+    re-proves them can never drift apart.
+    """
+    if isinstance(pointer, ir.Alloca):
+        return ("alloca", id(pointer))
+    if isinstance(pointer, ir.GlobalVariable):
+        return ("global", pointer.name)
+    if isinstance(pointer, ir.Gep) and pointer.field is not None:
+        base = slot_key(pointer.pointer)
+        if base is not None:
+            return base + ("field", pointer.field)
+    return None
+
+
+def may_clobber_memory(instruction: ir.Instruction) -> bool:
+    """Whether ``instruction`` may modify memory through an alias.
+
+    Runtime calls are deliberately excluded: the trusted instrumentation
+    runtime neither retains nor writes through program pointers.
+    """
+    return isinstance(instruction, (ir.Call, ir.ICall, ir.MemCopy,
+                                    ir.MemSet, ir.Realloc, ir.Free,
+                                    ir.Syscall, ir.Setjmp, ir.Longjmp))
+
+
+# -- the engine ---------------------------------------------------------------
+
+class DataflowProblem:
+    """A lattice + transfer functions; subclass per analysis.
+
+    The engine works on whole-block granularity: ``transfer_block``
+    folds ``transfer_instruction`` over the block (forward) or its
+    reverse (backward).  Subclasses usually override only
+    ``transfer_instruction`` plus the three lattice hooks.
+    """
+
+    #: "forward" (facts flow entry → exits) or "backward".
+    direction = "forward"
+
+    def boundary(self, function: ir.Function) -> FrozenSet:
+        """Fact at the CFG boundary (entry if forward, exits if backward)."""
+        return frozenset()
+
+    def initial(self, function: ir.Function) -> FrozenSet:
+        """Optimistic initial fact for interior blocks (lattice top)."""
+        return frozenset()
+
+    def meet(self, facts: List[FrozenSet]) -> FrozenSet:
+        """Combine facts arriving over several edges (default: union)."""
+        merged: FrozenSet = frozenset()
+        for fact in facts:
+            merged = merged | fact
+        return merged
+
+    def edge_transfer(self, pred: ir.BasicBlock, succ: ir.BasicBlock,
+                      fact: FrozenSet) -> FrozenSet:
+        """Adjust a fact as it crosses the ``pred`` → ``succ`` edge.
+
+        Identity by default; :class:`Liveness` uses it to resolve
+        φ-nodes per predecessor.
+        """
+        return fact
+
+    def transfer_instruction(self, fact: FrozenSet,
+                             instruction: ir.Instruction) -> FrozenSet:
+        return fact
+
+    def transfer_block(self, block: ir.BasicBlock,
+                       fact: FrozenSet) -> FrozenSet:
+        instructions = block.instructions
+        if self.direction == "backward":
+            instructions = reversed(instructions)
+        for instruction in instructions:
+            fact = self.transfer_instruction(fact, instruction)
+        return fact
+
+
+class DataflowResult:
+    """Fixpoint facts at block boundaries, plus point queries."""
+
+    def __init__(self, problem: DataflowProblem,
+                 block_in: Dict[ir.BasicBlock, FrozenSet],
+                 block_out: Dict[ir.BasicBlock, FrozenSet],
+                 iterations: int) -> None:
+        self.problem = problem
+        self.block_in = block_in
+        self.block_out = block_out
+        #: Number of sweeps the solver needed to converge.
+        self.iterations = iterations
+
+    def before(self, instruction: ir.Instruction) -> FrozenSet:
+        """The fact holding just before ``instruction`` executes.
+
+        For backward problems this is the fact *flowing out of* the
+        instruction toward the entry (e.g. variables live before it).
+        """
+        return self._at(instruction, before=True)
+
+    def after(self, instruction: ir.Instruction) -> FrozenSet:
+        """The fact holding just after ``instruction`` executes."""
+        return self._at(instruction, before=False)
+
+    def _at(self, instruction: ir.Instruction, before: bool) -> FrozenSet:
+        block = instruction.block
+        if block is None:
+            raise ValueError(f"{instruction!r} is not inside a block")
+        problem = self.problem
+        if problem.direction == "forward":
+            fact = self.block_in.get(block, problem.initial(block.function))
+            for current in block.instructions:
+                if current is instruction and before:
+                    return fact
+                fact = problem.transfer_instruction(fact, current)
+                if current is instruction:
+                    return fact
+        else:
+            fact = self.block_out.get(block, problem.initial(block.function))
+            for current in reversed(block.instructions):
+                if current is instruction and not before:
+                    return fact
+                fact = problem.transfer_instruction(fact, current)
+                if current is instruction:
+                    return fact
+        raise ValueError(f"{instruction!r} not found in its block")
+
+
+def solve(function: ir.Function, problem: DataflowProblem) -> DataflowResult:
+    """Iterate ``problem`` over ``function`` to a fixpoint.
+
+    Unreachable blocks are excluded (they have no incoming facts and
+    the optimizers never consult them).  Returns block-boundary facts;
+    instruction-granular facts come from :meth:`DataflowResult.before`
+    / :meth:`~DataflowResult.after`, recomputed on demand.
+    """
+    order = reverse_postorder(function)
+    if not order:
+        return DataflowResult(problem, {}, {}, 0)
+    forward = problem.direction == "forward"
+    preds = predecessors(function)
+    reachable = set(order)
+
+    if forward:
+        sweep_order = order
+        edges_in = {block: [p for p in preds[block] if p in reachable]
+                    for block in order}
+        boundary_blocks = {order[0]}
+    else:
+        sweep_order = list(reversed(order))
+        edges_in = {block: [s for s in block.successors if s in reachable]
+                    for block in order}
+        boundary_blocks = {block for block in order if not block.successors}
+
+    block_in: Dict[ir.BasicBlock, FrozenSet] = {}
+    block_out: Dict[ir.BasicBlock, FrozenSet] = {}
+    boundary = problem.boundary(function)
+    for block in order:
+        block_in[block] = problem.initial(function)
+        block_out[block] = problem.initial(function)
+
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for block in sweep_order:
+            sources = edges_in[block]
+            incoming = [problem.edge_transfer(
+                            *( (src, block) if forward else (block, src) ),
+                            block_out[src]) for src in sources]
+            if block in boundary_blocks:
+                incoming.append(boundary)
+            fact_in = problem.meet(incoming) if incoming \
+                else problem.initial(function)
+            fact_out = problem.transfer_block(block, fact_in)
+            if fact_in != block_in[block] or fact_out != block_out[block]:
+                block_in[block] = fact_in
+                block_out[block] = fact_out
+                changed = True
+
+    if forward:
+        return DataflowResult(problem, block_in, block_out, iterations)
+    # For backward problems, report facts in execution orientation:
+    # block_in = fact at block entry, block_out = fact at block exit.
+    return DataflowResult(problem, block_out, block_in, iterations)
+
+
+# -- instance: reaching stores -----------------------------------------------
+
+#: Token for "the slot still holds its initial (unknown) value".
+UNDEF = "undef"
+#: Token for "a call or block memory operation may have rewritten it".
+CLOBBER = "clobber"
+
+
+class ReachingStores(DataflowProblem):
+    """Which definitions may supply each slot's value at each point.
+
+    Facts are frozensets of ``(slot_key, token)`` pairs where ``token``
+    is the ``id`` of a :class:`~repro.compiler.ir.Store`, or the
+    :data:`UNDEF` / :data:`CLOBBER` markers.  Every tracked slot always
+    carries at least one token, so the *absence* of unknown tokens is
+    meaningful: if all tokens for a slot at a load are plain store ids,
+    the loaded value is provably one a ``Pointer-Define`` described.
+    """
+
+    direction = "forward"
+
+    def __init__(self, function: ir.Function) -> None:
+        self.function = function
+        self.stores: Dict[int, ir.Store] = {}
+        keys = set()
+        for instruction in function.instructions():
+            if isinstance(instruction, ir.Store):
+                key = slot_key(instruction.pointer)
+                if key is not None:
+                    keys.add(key)
+                    self.stores[id(instruction)] = instruction
+            elif isinstance(instruction, ir.Load):
+                key = slot_key(instruction.pointer)
+                if key is not None:
+                    keys.add(key)
+        self.keys = frozenset(keys)
+        self._boundary = frozenset((key, UNDEF) for key in self.keys)
+
+    def boundary(self, function: ir.Function) -> FrozenSet:
+        return self._boundary
+
+    def transfer_instruction(self, fact: FrozenSet,
+                             instruction: ir.Instruction) -> FrozenSet:
+        if isinstance(instruction, ir.Store):
+            key = slot_key(instruction.pointer)
+            if key is None:
+                # Stores through untracked pointers are assumed not to
+                # alias tracked slots — the same aliasing model the
+                # store-to-load-forwarding and elision passes use, so
+                # the auditor accepts exactly the facts they rely on.
+                return fact
+            kept = frozenset(pair for pair in fact if pair[0] != key)
+            if instruction.volatile or instruction.atomic:
+                return kept | {(key, CLOBBER)}
+            return kept | {(key, id(instruction))}
+        if may_clobber_memory(instruction):
+            return frozenset((key, CLOBBER) for key in self.keys)
+        return fact
+
+    # -- queries -------------------------------------------------------------
+
+    def reaching(self, result: DataflowResult,
+                 load: ir.Load) -> Optional[FrozenSet]:
+        """Tokens reaching ``load`` for its slot (None if untracked)."""
+        key = slot_key(load.pointer)
+        if key is None:
+            return None
+        fact = result.before(load)
+        return frozenset(token for k, token in fact if k == key)
+
+    def provably_stored(self, result: DataflowResult, load: ir.Load) -> bool:
+        """Every definition reaching ``load`` is a visible store.
+
+        This is the soundness condition behind eliding the load's
+        ``Pointer-Check``: no path delivers an uninitialized or
+        call-clobbered value, so the value observed equals one a
+        dominatingly-executed store produced (and messaged).
+        """
+        tokens = self.reaching(result, load)
+        if not tokens:
+            return False
+        return all(isinstance(token, int) for token in tokens)
+
+
+# -- instance: liveness ------------------------------------------------------
+
+class Liveness(DataflowProblem):
+    """Backward liveness of SSA values (instructions and arguments).
+
+    Facts are frozensets of value ids.  φ-nodes are handled precisely:
+    an incoming value is live at the end of the matching predecessor
+    only, and φ results are not live-in to their own block.
+    """
+
+    direction = "backward"
+
+    def __init__(self, function: ir.Function) -> None:
+        self.function = function
+        self.values: Dict[int, ir.Value] = {}
+        for argument in function.params:
+            self.values[id(argument)] = argument
+        for instruction in function.instructions():
+            self.values[id(instruction)] = instruction
+
+    def _trackable(self, value: ir.Value) -> bool:
+        return id(value) in self.values
+
+    def transfer_instruction(self, fact: FrozenSet,
+                             instruction: ir.Instruction) -> FrozenSet:
+        live = set(fact)
+        live.discard(id(instruction))
+        if isinstance(instruction, ir.Phi):
+            # Incoming values are edge uses, added by edge_transfer.
+            return frozenset(live)
+        for operand in instruction.operands:
+            if self._trackable(operand):
+                live.add(id(operand))
+        return frozenset(live)
+
+    def edge_transfer(self, pred: ir.BasicBlock, succ: ir.BasicBlock,
+                      fact: FrozenSet) -> FrozenSet:
+        live = set(fact)
+        for instruction in succ.instructions:
+            if not isinstance(instruction, ir.Phi):
+                break
+            live.discard(id(instruction))
+            for value, block in instruction.incoming:
+                if block is pred and self._trackable(value):
+                    live.add(id(value))
+        return frozenset(live)
+
+    # -- queries -------------------------------------------------------------
+
+    def live_before(self, result: DataflowResult,
+                    instruction: ir.Instruction) -> FrozenSet:
+        """Values live just before ``instruction`` executes."""
+        return result.before(instruction)
+
+    def is_dead(self, result: DataflowResult,
+                instruction: ir.Instruction) -> bool:
+        """The instruction's own result is never used afterwards."""
+        return id(instruction) not in result.after(instruction)
+
+
+def reaching_stores(function: ir.Function) -> Tuple[ReachingStores,
+                                                    DataflowResult]:
+    """Convenience: solve :class:`ReachingStores` over ``function``."""
+    problem = ReachingStores(function)
+    return problem, solve(function, problem)
+
+
+def liveness(function: ir.Function) -> Tuple[Liveness, DataflowResult]:
+    """Convenience: solve :class:`Liveness` over ``function``."""
+    problem = Liveness(function)
+    return problem, solve(function, problem)

@@ -21,15 +21,15 @@ from typing import Dict, List, Optional, Tuple
 from repro.compiler import ir
 from repro.compiler.analysis import EscapeAnalysis
 from repro.compiler.cfg import DominatorTree
+from repro.compiler.dataflow import slot_key
 from repro.compiler.passes.base import ModulePass
-from repro.compiler.passes.stlf import _slot_key
 
 
 def _message_slot(call: ir.RuntimeCall) -> Optional[Tuple]:
     """The slot key a messaging call refers to, when identifiable."""
     if not call.args:
         return None
-    return _slot_key(call.args[0])
+    return slot_key(call.args[0])
 
 
 class MessageElisionPass(ModulePass):

@@ -29,34 +29,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.compiler import ir
 from repro.compiler.analysis import EscapeAnalysis
 from repro.compiler.cfg import DominatorTree
+from repro.compiler.dataflow import may_clobber_memory, slot_key
 from repro.compiler.passes.base import ModulePass
 
-
-def _slot_key(pointer: ir.Value) -> Optional[Tuple]:
-    """A field-sensitive key identifying a memory slot, or None.
-
-    ``alloca`` → ("alloca", id); ``gep(alloca, field)`` →
-    ("field", id, field); globals likewise.  Dynamic indices defeat
-    field sensitivity.
-    """
-    if isinstance(pointer, ir.Alloca):
-        return ("alloca", id(pointer))
-    if isinstance(pointer, ir.GlobalVariable):
-        return ("global", pointer.name)
-    if isinstance(pointer, ir.Gep) and pointer.field is not None:
-        base = _slot_key(pointer.pointer)
-        if base is not None:
-            return base + ("field", pointer.field)
-    return None
-
-
-def _clobbers(instruction: ir.Instruction) -> bool:
-    """Whether ``instruction`` may modify memory through an alias."""
-    if isinstance(instruction, (ir.Call, ir.ICall, ir.MemCopy, ir.MemSet,
-                                ir.Realloc, ir.Free, ir.Syscall,
-                                ir.Setjmp, ir.Longjmp)):
-        return True
-    return False
+#: Back-compat aliases: the slot model and aliasing rule moved to
+#: :mod:`repro.compiler.dataflow` so the elision pass and the lint
+#: auditor share one definition with this pass.
+_slot_key = slot_key
+_clobbers = may_clobber_memory
 
 
 class StoreToLoadForwardingPass(ModulePass):

@@ -14,15 +14,20 @@ when developing new passes:
 * instructions appear in exactly one block, and ``instruction.block``
   back-references are consistent.
 
-Raises :class:`ValidationError` with a path to the offending
-instruction.  The pass-pipeline tests run it over every instrumented
-module, so a miscompiling pass fails loudly rather than corrupting an
-experiment.
+Two modes:
+
+* **raising** (default): raises :class:`ValidationError` at the first
+  violation, with a path to the offending instruction.  The
+  pass-pipeline tests run this over every instrumented module, so a
+  miscompiling pass fails loudly rather than corrupting an experiment.
+* **collecting** (``collect=True``): returns *every* violation as a
+  ``List[ValidationError]`` instead of stopping at the first, so the
+  lint CLI can report all defects of a module in one run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.compiler import ir
 from repro.compiler.cfg import DominatorTree, predecessors, reverse_postorder
@@ -31,14 +36,24 @@ from repro.compiler.cfg import DominatorTree, predecessors, reverse_postorder
 class ValidationError(Exception):
     """The module violates an SSA/CFG invariant."""
 
-    def __init__(self, function: ir.Function, instruction: ir.Instruction,
+    def __init__(self, function: Optional[ir.Function],
+                 instruction: Optional[ir.Instruction],
                  detail: str) -> None:
-        location = (f"{function.name}:"
-                    f"{instruction.block.name if instruction.block else '?'}:"
-                    f"%{instruction.name}")
-        super().__init__(f"{location}: {detail}")
+        if function is None and instruction is None:
+            super().__init__(detail)
+        else:
+            block = instruction.block if instruction is not None else None
+            location = (f"{function.name if function is not None else '?'}:"
+                        f"{block.name if block is not None else '?'}:"
+                        f"%{instruction.name if instruction is not None else '?'}")
+            super().__init__(f"{location}: {detail}")
         self.function = function
         self.instruction = instruction
+        self.detail = detail
+
+
+#: A violation sink: raises in strict mode, accumulates in collect mode.
+_Emit = Callable[[ValidationError], None]
 
 
 def _is_always_available(value: ir.Value) -> bool:
@@ -46,52 +61,81 @@ def _is_always_available(value: ir.Value) -> bool:
                               ir.FunctionRef, ir.Argument))
 
 
-def validate_function(function: ir.Function) -> None:
-    """Validate one function; no-op for declarations."""
-    if function.is_declaration:
-        return
-    _check_block_membership(function)
-    _check_branch_targets(function)
-    _check_phi_placement(function)
-    _check_ssa_dominance(function)
+def validate_function(function: ir.Function,
+                      collect: bool = False) -> Optional[List[ValidationError]]:
+    """Validate one function; no-op for declarations.
+
+    With ``collect=True``, returns every violation instead of raising
+    at the first one.
+    """
+    errors: List[ValidationError] = []
+
+    def emit(error: ValidationError) -> None:
+        if collect:
+            errors.append(error)
+        else:
+            raise error
+
+    if not function.is_declaration:
+        _check_block_membership(function, emit)
+        _check_branch_targets(function, emit)
+        _check_phi_placement(function, emit)
+        _check_ssa_dominance(function, emit)
+    return errors if collect else None
 
 
-def validate_module(module: ir.Module) -> None:
-    """Validate every function (plus the cheap structural checks)."""
-    module.verify()
+def validate_module(module: ir.Module,
+                    collect: bool = False) -> Optional[List[ValidationError]]:
+    """Validate every function (plus the cheap structural checks).
+
+    With ``collect=True``, returns the full list of violations (empty
+    when the module is well-formed) instead of raising at the first.
+    """
+    if not collect:
+        module.verify()
+        for function in module.functions.values():
+            validate_function(function)
+        return None
+    errors: List[ValidationError] = []
+    try:
+        module.verify()
+    except ValueError as structural:
+        errors.append(ValidationError(None, None, str(structural)))
     for function in module.functions.values():
-        validate_function(function)
+        errors.extend(validate_function(function, collect=True) or [])
+    return errors
 
 
-def _check_block_membership(function: ir.Function) -> None:
+def _check_block_membership(function: ir.Function, emit: _Emit) -> None:
     seen: Set[int] = set()
     for block in function.blocks:
         for instruction in block.instructions:
             if id(instruction) in seen:
-                raise ValidationError(function, instruction,
-                                      "appears in more than one position")
+                emit(ValidationError(function, instruction,
+                                     "appears in more than one position"))
+                continue
             seen.add(id(instruction))
             if instruction.block is not block:
-                raise ValidationError(
+                emit(ValidationError(
                     function, instruction,
                     f"block back-reference points at "
                     f"{getattr(instruction.block, 'name', None)!r}, "
-                    f"found in {block.name!r}")
+                    f"found in {block.name!r}"))
 
 
-def _check_branch_targets(function: ir.Function) -> None:
+def _check_branch_targets(function: ir.Function, emit: _Emit) -> None:
     own_blocks = set(map(id, function.blocks))
     for block in function.blocks:
         terminator = block.terminator
         for successor in block.successors:
             if id(successor) not in own_blocks:
-                raise ValidationError(
+                emit(ValidationError(
                     function, terminator,
                     f"branch target {successor.name!r} belongs to "
-                    f"another function")
+                    f"another function"))
 
 
-def _check_phi_placement(function: ir.Function) -> None:
+def _check_phi_placement(function: ir.Function, emit: _Emit) -> None:
     preds = predecessors(function)
     reachable = set(reverse_postorder(function))
     for block in function.blocks:
@@ -99,8 +143,8 @@ def _check_phi_placement(function: ir.Function) -> None:
         for instruction in block.instructions:
             if isinstance(instruction, ir.Phi):
                 if past_head:
-                    raise ValidationError(function, instruction,
-                                          "phi after non-phi instruction")
+                    emit(ValidationError(function, instruction,
+                                         "phi after non-phi instruction"))
                 if block not in reachable:
                     continue
                 incoming_blocks = {id(b) for _, b in instruction.incoming}
@@ -109,14 +153,14 @@ def _check_phi_placement(function: ir.Function) -> None:
                 if missing:
                     names = [b.name for b in preds[block]
                              if id(b) in missing]
-                    raise ValidationError(
+                    emit(ValidationError(
                         function, instruction,
-                        f"no incoming value for predecessor(s) {names}")
+                        f"no incoming value for predecessor(s) {names}"))
             else:
                 past_head = True
 
 
-def _check_ssa_dominance(function: ir.Function) -> None:
+def _check_ssa_dominance(function: ir.Function, emit: _Emit) -> None:
     dom = DominatorTree(function)
     reachable = set(dom.order)
     defined_in: Dict[int, ir.BasicBlock] = {}
@@ -148,21 +192,22 @@ def _check_ssa_dominance(function: ir.Function) -> None:
                     if _is_always_available(value):
                         continue
                     if not isinstance(value, ir.Instruction):
-                        raise ValidationError(
+                        emit(ValidationError(
                             function, instruction,
-                            f"phi incoming {value!r} is not a value")
+                            f"phi incoming {value!r} is not a value"))
+                        continue
                     def_block = defined_in.get(id(value))
                     if def_block is None or (pred in reachable and
                                              not dom.dominates(def_block,
                                                                pred)):
-                        raise ValidationError(
+                        emit(ValidationError(
                             function, instruction,
                             f"incoming %{value.name} does not dominate "
-                            f"predecessor {pred.name}")
+                            f"predecessor {pred.name}"))
                 continue
             for operand in instruction.operands:
                 if not available(operand, block, index):
                     name = getattr(operand, "name", repr(operand))
-                    raise ValidationError(
+                    emit(ValidationError(
                         function, instruction,
-                        f"operand %{name} does not dominate this use")
+                        f"operand %{name} does not dominate this use"))

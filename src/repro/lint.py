@@ -1,0 +1,225 @@
+"""Lint CLI: audit instrumented modules for CFI completeness.
+
+Builds every module of the lint corpus — the synthetic SPEC/NGINX
+benchmark generator plus the example programs — runs the selected HQ
+instrumentation pipeline over each, and then subjects the result to
+
+* the deep SSA/CFG validator (:mod:`repro.compiler.validate`, in
+  collect-all mode), and
+* the CFI instrumentation auditor (:mod:`repro.compiler.lint`).
+
+Usage::
+
+    python -m repro.lint                    # text report over the corpus
+    python -m repro.lint --strict           # exit 1 on error findings
+    python -m repro.lint --json             # machine-readable report
+    python -m repro.lint --profile 403.gcc --profile nginx
+    python -m repro.lint --disable-pass syscall-sync   # mutation check
+
+``--disable-pass`` removes one pass from the pipeline by name; the
+auditor then reports exactly the findings that pass was responsible
+for preventing — a cheap end-to-end mutation test of the audit rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.cfi.designs import get_design
+from repro.compiler import ir
+from repro.compiler.diagnostics import (
+    Diagnostic,
+    ERROR,
+    render_text,
+    sort_diagnostics,
+    summarize,
+)
+from repro.compiler.lint import AuditResult, audit_module
+from repro.compiler.passes.base import PassManager
+from repro.compiler.validate import validate_module
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import PROFILES, get_profile
+
+#: Designs whose pipelines emit the messages the auditor understands.
+HQ_DESIGNS = ("hq-sfestk", "hq-retptr")
+
+#: Builder attribute names probed on example scripts.
+_EXAMPLE_BUILDERS = ("build_program", "build_module")
+
+
+def iter_example_builders(examples_dir: Path) -> Iterator[
+        Tuple[str, Callable[[], ir.Module]]]:
+    """Zero-argument module builders exposed by ``examples/*.py``."""
+    if not examples_dir.is_dir():
+        return
+    for path in sorted(examples_dir.glob("*.py")):
+        spec = importlib.util.spec_from_file_location(
+            f"_lint_example_{path.stem}", path)
+        if spec is None or spec.loader is None:
+            continue
+        module = importlib.util.module_from_spec(spec)
+        try:
+            spec.loader.exec_module(module)
+        except Exception as error:  # pragma: no cover - corpus hygiene
+            print(f"lint: skipping example {path.name}: {error}",
+                  file=sys.stderr)
+            continue
+        for attr in _EXAMPLE_BUILDERS:
+            builder = getattr(module, attr, None)
+            if callable(builder):
+                yield f"examples/{path.stem}", builder
+                break
+
+
+def iter_corpus(profiles: Optional[List[str]], dataset: str,
+                examples_dir: Optional[Path]) -> Iterator[
+        Tuple[str, Callable[[], ir.Module]]]:
+    """(name, builder) pairs for every module the lint run covers."""
+    if examples_dir is not None:
+        yield from iter_example_builders(examples_dir)
+    if profiles is None:
+        selected = PROFILES
+    else:
+        selected = [get_profile(name) for name in profiles]
+    for profile in selected:
+        yield (profile.name,
+               lambda profile=profile: build_module(profile, dataset))
+
+
+def build_pipeline(design: str, disabled: List[str]) -> PassManager:
+    passes = get_design(design).passes()
+    if disabled:
+        unknown = set(disabled) - {p.name for p in passes}
+        if unknown:
+            raise SystemExit(
+                f"lint: --disable-pass {sorted(unknown)} not in the "
+                f"{design} pipeline ({[p.name for p in passes]})")
+        passes = [p for p in passes if p.name not in disabled]
+    return PassManager(passes)
+
+
+def lint_one(name: str, builder: Callable[[], ir.Module], design: str,
+             disabled: List[str]) -> AuditResult:
+    """Build, instrument, validate, and audit one corpus module."""
+    module = builder()
+    build_pipeline(design, disabled).run(module)
+    result = audit_module(module)
+    result.module = name
+    for error in validate_module(module, collect=True) or []:
+        function = error.function
+        instruction = error.instruction
+        result.diagnostics.append(Diagnostic(
+            severity=ERROR,
+            rule="ssa-invalid",
+            module=name,
+            function=function.name if function is not None else None,
+            block=(instruction.block.name
+                   if instruction is not None and instruction.block
+                   else None),
+            instruction=(instruction.name if instruction is not None
+                         else None),
+            message=error.detail,
+        ))
+    result.diagnostics = sort_diagnostics(result.diagnostics)
+    return result
+
+
+def _coverage_line(coverage: Dict[str, Dict[str, int]]) -> str:
+    icalls = coverage.get("indirect-calls", {})
+    stores = coverage.get("fnptr-stores", {})
+    syscalls = coverage.get("syscalls", {})
+    guarded = (icalls.get("checked", 0) + icalls.get("forwarded", 0)
+               + icalls.get("static", 0))
+    return (f"icalls {guarded}/{icalls.get('total', 0)} guarded "
+            f"(checked {icalls.get('checked', 0)}, "
+            f"forwarded {icalls.get('forwarded', 0)}, "
+            f"static {icalls.get('static', 0)}); "
+            f"fnptr stores {stores.get('defined', 0)} defined + "
+            f"{stores.get('elided-sound', 0)} soundly elided "
+            f"of {stores.get('total', 0)}; "
+            f"syscalls {syscalls.get('synced', 0)}/"
+            f"{syscalls.get('total', 0)} synced")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Audit instrumented IR modules for CFI "
+                    "instrumentation completeness.")
+    parser.add_argument("--design", choices=HQ_DESIGNS, default="hq-retptr",
+                        help="instrumentation pipeline to audit "
+                             "(default: hq-retptr)")
+    parser.add_argument("--profile", action="append", dest="profiles",
+                        metavar="NAME",
+                        help="audit only the named benchmark profile(s); "
+                             "repeatable (default: the whole corpus)")
+    parser.add_argument("--dataset", choices=("ref", "train"), default="ref",
+                        help="workload dataset size (default: ref)")
+    parser.add_argument("--examples-dir", default="examples", metavar="DIR",
+                        help="directory scanned for example module "
+                             "builders (default: examples)")
+    parser.add_argument("--no-examples", action="store_true",
+                        help="skip the examples/ corpus")
+    parser.add_argument("--disable-pass", action="append", dest="disabled",
+                        default=[], metavar="PASS",
+                        help="drop a pass from the pipeline by name "
+                             "(mutation testing of the audit rules)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report instead of text")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero if any error-severity "
+                             "finding is reported")
+    args = parser.parse_args(argv)
+
+    examples_dir = None if args.no_examples else Path(args.examples_dir)
+    results: List[AuditResult] = []
+    for name, builder in iter_corpus(args.profiles, args.dataset,
+                                     examples_dir):
+        results.append(lint_one(name, builder, args.design, args.disabled))
+
+    all_diagnostics = [d for result in results for d in result.diagnostics]
+    counts = summarize(all_diagnostics)
+
+    if args.json:
+        import json
+        payload = {
+            "design": args.design,
+            "disabled_passes": args.disabled,
+            "modules": [
+                {
+                    "name": result.module,
+                    "diagnostics": [d.to_dict() for d in result.diagnostics],
+                    "coverage": result.coverage,
+                }
+                for result in results
+            ],
+            "summary": {
+                "modules": len(results),
+                **counts,
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for result in results:
+            status = "FAIL" if result.errors() else "ok"
+            print(f"{status:<5} {result.module}: "
+                  f"{_coverage_line(result.coverage)}")
+            if result.diagnostics:
+                print(render_text(result.diagnostics))
+        print(f"lint: {len(results)} modules, "
+              f"{counts[ERROR]} errors, {counts['warning']} warnings "
+              f"({args.design}"
+              + (f", disabled: {','.join(args.disabled)}" if args.disabled
+                 else "") + ")")
+
+    if args.strict and counts[ERROR]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -179,3 +179,37 @@ def test_dominance_agrees_with_path_removal(f):
             if b is a:
                 continue
             assert dom.dominates(a, b) == (b not in survivors)
+
+
+class TestDeepChains:
+    """Straight-line CFGs thousands of blocks deep: the traversals must
+    be iterative — a recursive postorder hits Python's recursion limit
+    around 1000 frames."""
+
+    CHAIN = 2500
+
+    def _build_chain(self):
+        module = ir.Module()
+        f = module.add_function("deep", func(I64, [I64]))
+        blocks = [f.add_block(f"b{i}") for i in range(self.CHAIN)]
+        for current, nxt in zip(blocks, blocks[1:]):
+            IRBuilder(current).br(nxt)
+        IRBuilder(blocks[-1]).ret(ir.Constant(0))
+        return f, blocks
+
+    def test_reverse_postorder_on_deep_chain(self):
+        f, blocks = self._build_chain()
+        order = reverse_postorder(f)
+        assert order == blocks
+
+    def test_dominators_on_deep_chain(self):
+        f, blocks = self._build_chain()
+        dom = DominatorTree(f)
+        assert dom.idom[blocks[-1]] is blocks[-2]
+        assert dom.dominates(blocks[0], blocks[-1])
+
+    def test_post_dominators_on_deep_chain(self):
+        f, blocks = self._build_chain()
+        pdom = PostDominatorTree(f)
+        assert pdom.ipdom[blocks[0]] is blocks[1]
+        assert pdom.post_dominates(blocks[-1], blocks[0])

@@ -1,0 +1,369 @@
+"""Tests for the generic dataflow engine (repro.compiler.dataflow)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.dataflow import (
+    CLOBBER,
+    UNDEF,
+    Liveness,
+    ReachingStores,
+    liveness,
+    may_clobber_memory,
+    reaching_stores,
+    slot_key,
+    solve,
+)
+from repro.compiler.types import I64, StructType, func, ptr
+
+SIG = func(I64, [I64])
+
+
+def new_function(name="f", signature=SIG):
+    module = ir.Module()
+    return module.add_function(name, signature)
+
+
+# -- the shared slot model ----------------------------------------------------
+
+class TestSlotKey:
+    def test_alloca_identity(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        slot_a = b.alloca(I64, "a")
+        slot_b = b.alloca(I64, "b")
+        assert slot_key(slot_a) == ("alloca", id(slot_a))
+        assert slot_key(slot_a) != slot_key(slot_b)
+
+    def test_field_sensitivity(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        pair = StructType("pair", [("first", I64), ("second", I64)])
+        base = b.alloca(pair, "s")
+        fst = b.gep_field(base, "first", "p1")
+        snd = b.gep_field(base, "second", "p2")
+        assert slot_key(fst) != slot_key(snd)
+        assert slot_key(fst) == slot_key(base) + ("field", "first")
+
+    def test_dynamic_index_defeats_tracking(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        base = b.alloca(I64, "arr")
+        elem = b.gep_index(base, f.params[0], "e")
+        assert slot_key(elem) is None
+
+    def test_global_slot(self):
+        module = ir.Module()
+        g = module.add_global("handler", ptr(SIG))
+        assert slot_key(g) == ("global", "handler")
+
+    def test_stlf_reexports_shared_model(self):
+        # The optimizer passes must use the same slot model the auditor
+        # re-proves them with.
+        from repro.compiler.passes import stlf
+        assert stlf._slot_key is slot_key
+        assert stlf._clobbers is may_clobber_memory
+
+
+class TestMayClobber:
+    def test_calls_and_block_ops_clobber(self):
+        f = new_function()
+        callee = ir.Module().add_function("g", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64, "a")
+        assert may_clobber_memory(b.call(callee, [], "c"))
+        assert may_clobber_memory(b.memset(slot, b.const(0), b.const(8)))
+        assert may_clobber_memory(b.syscall(1, [], "sc"))
+
+    def test_runtime_calls_do_not_clobber(self):
+        check = ir.RuntimeCall("hq_pointer_check", [])
+        assert not may_clobber_memory(check)
+
+    def test_plain_arithmetic_does_not_clobber(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        assert not may_clobber_memory(b.add(f.params[0], b.const(1), "x"))
+
+
+# -- reaching stores ----------------------------------------------------------
+
+class TestReachingStoresStraightLine:
+    def test_store_kills_undef(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64, "a")
+        store = b.store(f.params[0], slot)
+        load = b.load(slot, "v")
+        b.ret(load)
+        problem, result = reaching_stores(f)
+        assert problem.reaching(result, load) == {id(store)}
+        assert problem.provably_stored(result, load)
+
+    def test_uninitialized_load_sees_undef(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64, "a")
+        load = b.load(slot, "v")
+        b.ret(load)
+        problem, result = reaching_stores(f)
+        assert problem.reaching(result, load) == {UNDEF}
+        assert not problem.provably_stored(result, load)
+
+    def test_call_clobbers_all_slots(self):
+        module = ir.Module()
+        f = module.add_function("f", SIG)
+        callee = module.add_function("g", func(I64, []))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64, "a")
+        b.store(f.params[0], slot)
+        b.call(callee, [], "c")
+        load = b.load(slot, "v")
+        b.ret(load)
+        problem, result = reaching_stores(f)
+        assert problem.reaching(result, load) == {CLOBBER}
+        assert not problem.provably_stored(result, load)
+
+    def test_volatile_store_is_a_clobber_token(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64, "a")
+        b.store(f.params[0], slot, volatile=True)
+        load = b.load(slot, "v")
+        b.ret(load)
+        problem, result = reaching_stores(f)
+        assert problem.reaching(result, load) == {CLOBBER}
+
+    def test_untracked_store_does_not_clobber(self):
+        # Same aliasing model as store-to-load forwarding: stores through
+        # untracked pointers are assumed not to alias tracked slots.
+        f = new_function(signature=func(I64, [ptr(I64)]))
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64, "a")
+        store = b.store(b.const(1), slot)
+        b.store(b.const(2), f.params[0])  # untracked pointer
+        load = b.load(slot, "v")
+        b.ret(load)
+        problem, result = reaching_stores(f)
+        assert problem.reaching(result, load) == {id(store)}
+
+    def test_point_queries_between_stores(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(I64, "a")
+        first = b.store(b.const(1), slot)
+        second = b.store(b.const(2), slot)
+        b.ret(b.const(0))
+        problem, result = reaching_stores(f)
+        key = slot_key(slot)
+        assert (key, id(first)) in result.after(first)
+        assert (key, id(first)) not in result.after(second)
+        assert (key, id(second)) in result.after(second)
+
+
+class TestReachingStoresDiamond:
+    def _diamond(self, store_in_both):
+        """entry (store) → left (store) / right (maybe store) → join (load)."""
+        f = new_function()
+        entry = f.add_block("entry")
+        left = f.add_block("left")
+        right = f.add_block("right")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        slot = b.alloca(I64, "a")
+        entry_store = b.store(b.const(0), slot)
+        b.cond_br(f.params[0], left, right)
+        b.position_at_end(left)
+        left_store = b.store(b.const(1), slot)
+        b.br(join)
+        b.position_at_end(right)
+        right_store = b.store(b.const(2), slot) if store_in_both else None
+        b.br(join)
+        b.position_at_end(join)
+        load = b.load(slot, "v")
+        b.ret(load)
+        return f, entry_store, left_store, right_store, load
+
+    def test_both_arms_kill_the_entry_store(self):
+        f, entry_store, left_store, right_store, load = self._diamond(True)
+        problem, result = reaching_stores(f)
+        assert problem.reaching(result, load) == {id(left_store),
+                                                  id(right_store)}
+        assert problem.provably_stored(result, load)
+
+    def test_one_arm_merges_with_the_entry_store(self):
+        f, entry_store, left_store, _, load = self._diamond(False)
+        problem, result = reaching_stores(f)
+        assert problem.reaching(result, load) == {id(entry_store),
+                                                  id(left_store)}
+        assert problem.provably_stored(result, load)
+
+
+class TestReachingStoresLoop:
+    def test_loop_body_store_merges_at_head(self):
+        f = new_function()
+        entry = f.add_block("entry")
+        head = f.add_block("head")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        slot = b.alloca(I64, "a")
+        init = b.store(b.const(0), slot)
+        b.br(head)
+        b.position_at_end(head)
+        load = b.load(slot, "v")
+        b.cond_br(f.params[0], body, exit_)
+        b.position_at_end(body)
+        update = b.store(b.const(1), slot)
+        b.br(head)
+        b.position_at_end(exit_)
+        b.ret(load)
+        problem, result = reaching_stores(f)
+        assert problem.reaching(result, load) == {id(init), id(update)}
+        assert problem.provably_stored(result, load)
+        assert result.iterations >= 2  # the back-edge forced a re-sweep
+
+
+# -- liveness -----------------------------------------------------------------
+
+class TestLiveness:
+    def test_dead_result_detected(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        dead = b.add(f.params[0], b.const(1), "dead")
+        used = b.add(f.params[0], b.const(2), "used")
+        b.ret(used)
+        problem, result = liveness(f)
+        assert problem.is_dead(result, dead)
+        assert not problem.is_dead(result, used)
+
+    def test_argument_live_until_last_use(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        x = b.add(f.params[0], b.const(1), "x")
+        y = b.add(x, b.const(2), "y")
+        b.ret(y)
+        problem, result = liveness(f)
+        assert id(f.params[0]) in problem.live_before(result, x)
+        assert id(f.params[0]) not in problem.live_before(result, y)
+        assert id(x) in problem.live_before(result, y)
+
+    def test_phi_incoming_live_only_on_matching_edge(self):
+        f = new_function()
+        entry = f.add_block("entry")
+        left = f.add_block("left")
+        right = f.add_block("right")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        x = b.add(f.params[0], b.const(1), "x")
+        b.cond_br(f.params[0], left, right)
+        b.position_at_end(left)
+        lv = b.mul(x, b.const(2), "lv")
+        b.br(join)
+        b.position_at_end(right)
+        rv = b.mul(x, b.const(3), "rv")
+        b.br(join)
+        b.position_at_end(join)
+        phi = ir.Phi(I64, "merged")
+        join.instructions.insert(0, phi)
+        phi.block = join
+        phi.add_incoming(lv, left)
+        phi.add_incoming(rv, right)
+        b.position_at_end(join)
+        b.ret(phi)
+        problem, result = liveness(f)
+        # lv is live out of left only; rv out of right only.
+        assert id(lv) in result.block_out[left]
+        assert id(lv) not in result.block_out[right]
+        assert id(rv) in result.block_out[right]
+        assert id(rv) not in result.block_out[left]
+        # The φ result itself is not live into the join block.
+        assert id(phi) not in result.block_in[join]
+
+    def test_loop_carried_value_live_around_the_loop(self):
+        f = new_function()
+        entry = f.add_block("entry")
+        head = f.add_block("head")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(entry)
+        x = b.add(f.params[0], b.const(1), "x")
+        b.br(head)
+        b.position_at_end(head)
+        b.cond_br(f.params[0], body, exit_)
+        b.position_at_end(body)
+        b.add(x, b.const(1), "use")
+        b.br(head)
+        b.position_at_end(exit_)
+        b.ret(b.const(0))
+        problem, result = liveness(f)
+        # x is used only in the loop body, so it stays live through the
+        # head (on both the entry edge and the back edge).
+        assert id(x) in result.block_in[head]
+        assert id(x) in result.block_out[head]
+        assert id(x) not in result.block_in[exit_]
+
+
+# -- convergence on awkward CFGs ----------------------------------------------
+
+def build_irreducible():
+    """entry branches into BOTH members of a cycle: no natural loop head."""
+    f = new_function()
+    entry = f.add_block("entry")
+    left = f.add_block("left")
+    right = f.add_block("right")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    slot = b.alloca(I64, "a")
+    store = b.store(b.const(1), slot)
+    b.cond_br(f.params[0], left, right)
+    b.position_at_end(left)
+    load = b.load(slot, "v")
+    b.cond_br(f.params[0], right, exit_)
+    b.position_at_end(right)
+    b.br(left)
+    b.position_at_end(exit_)
+    b.ret(load)
+    return f, store, load
+
+
+class TestIrreducible:
+    def test_reaching_stores_converges(self):
+        f, store, load = build_irreducible()
+        problem, result = reaching_stores(f)
+        assert problem.reaching(result, load) == {id(store)}
+        assert result.iterations < 10
+
+    def test_liveness_converges(self):
+        f, store, load = build_irreducible()
+        problem, result = liveness(f)
+        # The load's value is live across the cycle back to the ret.
+        assert id(load) in result.block_out[f.blocks[1]]
+        assert result.iterations < 10
+
+
+class TestEngineEdgeCases:
+    def test_empty_function(self):
+        f = new_function()
+        problem = ReachingStores(f)
+        result = solve(f, problem)
+        assert result.block_in == {} and result.iterations == 0
+
+    def test_unreachable_blocks_excluded(self):
+        f = new_function()
+        entry = f.add_block("entry")
+        orphan = f.add_block("orphan")
+        b = IRBuilder(entry)
+        b.ret(b.const(0))
+        IRBuilder(orphan).ret(ir.Constant(0))
+        result = solve(f, ReachingStores(f))
+        assert orphan not in result.block_in
+
+    def test_instruction_outside_block_rejected(self):
+        f = new_function()
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(b.const(0))
+        stray = ir.BinOp("add", ir.Constant(1), ir.Constant(2), "stray")
+        result = solve(f, ReachingStores(f))
+        with pytest.raises(ValueError):
+            result.before(stray)

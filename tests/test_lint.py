@@ -1,0 +1,414 @@
+"""Tests for the CFI instrumentation auditor and lint CLI.
+
+Three layers:
+
+* unit tests over hand-built IR exercising each audit rule in
+  isolation (guarded/forwarded/unguarded icalls, define completeness,
+  syscall sync placement);
+* mutation tests: run the real HQ pipeline with one pass removed and
+  assert the auditor reports exactly that pass's rule, at a correct
+  location — the end-to-end proof that the audit would catch a
+  miscompiling pass;
+* a corpus property test: the *full* pipeline over every generator
+  profile must audit clean (the auditor accepts every legal elision).
+"""
+
+import json
+
+import pytest
+
+from repro.cfi.designs import get_design
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.diagnostics import ERROR, WARNING, render_text
+from repro.compiler.lint import audit_function, audit_module
+from repro.compiler.passes.base import PassManager
+from repro.compiler.types import I64, func, ptr
+from repro.lint import main as lint_main
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import PROFILES, get_profile
+
+SIG = func(I64, [I64])
+FNPTR = ptr(SIG)
+
+
+def new_module():
+    module = ir.Module()
+    f = module.add_function("main", SIG)
+    callee = module.add_function("callee", SIG)
+    return module, f, ir.FunctionRef(callee)
+
+
+def check_call(slot, load):
+    call = ir.RuntimeCall("hq_pointer_check", [slot, load])
+    call.meta["checked_load"] = load
+    return call
+
+
+def rules(result):
+    return {d.rule for d in result.diagnostics}
+
+
+# -- rule: icall guarding -----------------------------------------------------
+
+class TestICallAudit:
+    def test_checked_icall_is_clean(self):
+        module, f, fref = new_module()
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(SIG, "slot")
+        b.store(fref, slot)
+        b.block.append(ir.RuntimeCall("hq_pointer_define", [slot, fref]))
+        load = b.load(slot, "fp")
+        b.block.append(check_call(slot, load))
+        b.icall(load, [b.const(1)], SIG, "r")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert not result.errors()
+        assert result.coverage["indirect-calls"]["checked"] == 1
+
+    def test_forwarded_icall_accepted_without_check(self):
+        # STLF removed the check: legal because the dominating store is
+        # the only reaching definition.
+        module, f, fref = new_module()
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(SIG, "slot")
+        b.store(fref, slot)
+        b.block.append(ir.RuntimeCall("hq_pointer_define", [slot, fref]))
+        load = b.load(slot, "fp")
+        b.icall(load, [b.const(1)], SIG, "r")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert not result.errors()
+        assert result.coverage["indirect-calls"]["forwarded"] == 1
+
+    def test_unguarded_icall_reported(self):
+        module, f, fref = new_module()
+        g = module.add_global("handler", FNPTR)
+        b = IRBuilder(f.add_block("entry"))
+        load = b.load(g, "fp")
+        call = b.icall(load, [b.const(1)], SIG, "r")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert rules(result) == {"icall-unguarded"}
+        (finding,) = result.errors()
+        assert finding.function == "main"
+        assert finding.block == "entry"
+        assert finding.instruction == call.name
+
+    def test_clobbered_forwarding_rejected(self):
+        # A call between store and un-checked load re-opens the window.
+        module, f, fref = new_module()
+        callee = module.functions["callee"]
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(SIG, "slot")
+        b.store(fref, slot)
+        b.call(callee, [b.const(0)], "c")
+        load = b.load(slot, "fp")
+        b.icall(load, [b.const(1)], SIG, "r")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert "icall-unguarded" in rules(result)
+
+    def test_phi_arms_checked_separately(self):
+        # A check inside each diamond arm guards that arm's value even
+        # though neither check dominates the join.
+        module, f, fref = new_module()
+        g = module.add_global("handler", FNPTR)
+        entry = f.add_block("entry")
+        left = f.add_block("left")
+        right = f.add_block("right")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        b.cond_br(f.params[0], left, right)
+        b.position_at_end(left)
+        lv = b.load(g, "lv")
+        b.block.append(check_call(g, lv))
+        b.br(join)
+        b.position_at_end(right)
+        rv = b.load(g, "rv")
+        b.block.append(check_call(g, rv))
+        b.br(join)
+        phi = ir.Phi(FNPTR, "fp")
+        join.instructions.insert(0, phi)
+        phi.block = join
+        phi.add_incoming(lv, left)
+        phi.add_incoming(rv, right)
+        b.position_at_end(join)
+        b.icall(phi, [b.const(1)], SIG, "r")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert not result.errors()
+        assert result.coverage["indirect-calls"]["checked"] == 1
+
+    def test_one_unchecked_phi_arm_reported(self):
+        module, f, fref = new_module()
+        g = module.add_global("handler", FNPTR)
+        entry = f.add_block("entry")
+        left = f.add_block("left")
+        right = f.add_block("right")
+        join = f.add_block("join")
+        b = IRBuilder(entry)
+        b.cond_br(f.params[0], left, right)
+        b.position_at_end(left)
+        lv = b.load(g, "lv")
+        b.block.append(check_call(g, lv))
+        b.br(join)
+        b.position_at_end(right)
+        rv = b.load(g, "rv")  # no check on this arm
+        b.br(join)
+        phi = ir.Phi(FNPTR, "fp")
+        join.instructions.insert(0, phi)
+        phi.block = join
+        phi.add_incoming(lv, left)
+        phi.add_incoming(rv, right)
+        b.position_at_end(join)
+        b.icall(phi, [b.const(1)], SIG, "r")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert "icall-unguarded" in rules(result)
+
+    def test_static_target_needs_no_check(self):
+        module, f, fref = new_module()
+        b = IRBuilder(f.add_block("entry"))
+        b.icall(fref, [b.const(1)], SIG, "r")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert not result.diagnostics
+        assert result.coverage["indirect-calls"]["static"] == 1
+
+    def test_opaque_target_warns(self):
+        module, f, _ = new_module()
+        g = module.add_function("g", func(I64, [FNPTR]))
+        b = IRBuilder(g.add_block("entry"))
+        b.icall(g.params[0], [], SIG, "r")
+        b.ret(b.const(0))
+        result = audit_function(g)
+        assert not result.errors()
+        assert rules(result) == {"icall-target-opaque"}
+        assert result.warnings()[0].severity == WARNING
+
+
+# -- rule: define completeness ------------------------------------------------
+
+class TestDefineAudit:
+    def test_defined_store_is_clean(self):
+        module, f, fref = new_module()
+        g = module.add_global("handler", FNPTR)
+        b = IRBuilder(f.add_block("entry"))
+        store = b.store(fref, g)
+        b.block.append(ir.RuntimeCall("hq_pointer_define", [g, fref]))
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert not result.errors()
+        assert result.coverage["fnptr-stores"]["defined"] == 1
+
+    def test_missing_define_on_global_reported(self):
+        module, f, fref = new_module()
+        g = module.add_global("handler", FNPTR)
+        b = IRBuilder(f.add_block("entry"))
+        store = b.store(fref, g)
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert rules(result) == {"fnptr-define-missing"}
+        (finding,) = result.errors()
+        assert finding.block == "entry"
+
+    def test_elided_define_on_private_slot_accepted(self):
+        # MessageElisionPass rule 1: never-checked, non-escaping stack
+        # slot — the auditor re-proves the exemption.
+        module, f, fref = new_module()
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(SIG, "slot")
+        b.store(fref, slot)
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert not result.errors()
+        assert result.coverage["fnptr-stores"]["elided-sound"] == 1
+
+    def test_elision_exemption_denied_for_checked_slot(self):
+        module, f, fref = new_module()
+        b = IRBuilder(f.add_block("entry"))
+        slot = b.alloca(SIG, "slot")
+        b.store(fref, slot)  # no define...
+        load = b.load(slot, "fp")
+        b.block.append(check_call(slot, load))  # ...but the slot IS checked
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert "fnptr-define-missing" in rules(result)
+
+    def test_define_must_precede_observation_point(self):
+        module, f, fref = new_module()
+        callee = module.functions["callee"]
+        g = module.add_global("handler", FNPTR)
+        b = IRBuilder(f.add_block("entry"))
+        b.store(fref, g)
+        b.call(callee, [b.const(0)], "c")  # observable before the define
+        b.block.append(ir.RuntimeCall("hq_pointer_define", [g, fref]))
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert "fnptr-define-missing" in rules(result)
+
+
+# -- rule: syscall synchronization --------------------------------------------
+
+class TestSyscallAudit:
+    def test_adjacent_sync_is_clean(self):
+        module, f, _ = new_module()
+        b = IRBuilder(f.add_block("entry"))
+        b.block.append(ir.RuntimeCall("hq_syscall", [ir.Constant(1)]))
+        b.syscall(1, [], "sc")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert not result.diagnostics
+        assert result.coverage["syscalls"]["synced"] == 1
+
+    def test_sync_hoisted_into_dominator_accepted(self):
+        # The pass hoists the message into a fall-through dominator the
+        # syscall's block post-dominates.
+        module, f, _ = new_module()
+        entry = f.add_block("entry")
+        body = f.add_block("body")
+        b = IRBuilder(entry)
+        b.block.append(ir.RuntimeCall("hq_syscall", [ir.Constant(1)]))
+        b.br(body)
+        b.position_at_end(body)
+        b.syscall(1, [], "sc")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert not result.diagnostics
+
+    def test_missing_sync_reported(self):
+        module, f, _ = new_module()
+        b = IRBuilder(f.add_block("entry"))
+        call = b.syscall(1, [], "sc")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert rules(result) == {"syscall-sync-missing"}
+        (finding,) = result.errors()
+        assert finding.instruction == call.name
+
+    def test_barrier_between_sync_and_syscall_reported(self):
+        module, f, _ = new_module()
+        callee = module.functions["callee"]
+        b = IRBuilder(f.add_block("entry"))
+        b.block.append(ir.RuntimeCall("hq_syscall", [ir.Constant(1)]))
+        b.call(callee, [b.const(0)], "c")  # may enqueue messages
+        b.syscall(1, [], "sc")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert "syscall-sync-missing" in rules(result)
+        assert "syscall-sync-orphaned" in rules(result)
+
+    def test_sync_across_conditional_edge_rejected(self):
+        # A sync that only *may* be followed by the syscall violates
+        # post-domination: the other path would stall the verifier.
+        module, f, _ = new_module()
+        entry = f.add_block("entry")
+        sys_block = f.add_block("sys")
+        other = f.add_block("other")
+        b = IRBuilder(entry)
+        b.block.append(ir.RuntimeCall("hq_syscall", [ir.Constant(1)]))
+        b.cond_br(f.params[0], sys_block, other)
+        b.position_at_end(sys_block)
+        b.syscall(1, [], "sc")
+        b.ret(b.const(0))
+        b.position_at_end(other)
+        b.ret(b.const(1))
+        result = audit_function(f)
+        assert "syscall-sync-missing" in rules(result)
+
+    def test_number_mismatch_rejected(self):
+        module, f, _ = new_module()
+        b = IRBuilder(f.add_block("entry"))
+        b.block.append(ir.RuntimeCall("hq_syscall", [ir.Constant(2)]))
+        b.syscall(1, [], "sc")
+        b.ret(b.const(0))
+        result = audit_function(f)
+        assert "syscall-sync-missing" in rules(result)
+
+
+# -- mutation tests over the real pipeline ------------------------------------
+
+def instrumented(profile_name, design="hq-retptr", drop=None):
+    module = build_module(get_profile(profile_name))
+    passes = get_design(design).passes()
+    if drop is not None:
+        assert any(p.name == drop for p in passes)
+        passes = [p for p in passes if p.name != drop]
+    PassManager(passes).run(module)
+    return module
+
+
+class TestMutationDetection:
+    def test_full_pipeline_audits_clean(self):
+        result = audit_module(instrumented("403.gcc"))
+        assert result.diagnostics == []
+
+    def test_dropping_syscall_sync_is_detected(self):
+        result = audit_module(instrumented("403.gcc", drop="syscall-sync"))
+        assert {d.rule for d in result.errors()} == {"syscall-sync-missing"}
+        for finding in result.errors():
+            assert finding.function and finding.block and finding.instruction
+
+    def test_dropping_cfi_initial_is_detected(self):
+        result = audit_module(instrumented("403.gcc", drop="cfi-initial"))
+        reported = {d.rule for d in result.errors()}
+        assert "icall-unguarded" in reported
+        assert "fnptr-define-missing" in reported
+
+    def test_coverage_reflects_the_mutation(self):
+        clean = audit_module(instrumented("403.gcc"))
+        broken = audit_module(instrumented("403.gcc", drop="syscall-sync"))
+        assert clean.coverage["syscalls"]["unsynced"] == 0
+        assert broken.coverage["syscalls"]["unsynced"] == \
+            broken.coverage["syscalls"]["total"] > 0
+
+
+# -- corpus property: the auditor accepts every legal elision -----------------
+
+class TestElisionSoundnessProperty:
+    @pytest.mark.parametrize("profile", [p.name for p in PROFILES])
+    def test_full_hq_pipeline_audits_clean(self, profile):
+        result = audit_module(instrumented(profile))
+        assert result.diagnostics == [], render_text(result.diagnostics)
+
+    @pytest.mark.parametrize("design", ["hq-sfestk", "hq-retptr"])
+    def test_both_hq_designs_audit_clean(self, design):
+        for profile in ("403.gcc", "483.xalancbmk", "nginx"):
+            result = audit_module(instrumented(profile, design=design))
+            assert result.errors() == [], render_text(result.diagnostics)
+
+
+# -- the CLI ------------------------------------------------------------------
+
+class TestLintCLI:
+    def test_json_report_clean_corpus(self, capsys):
+        code = lint_main(["--profile", "403.gcc", "--no-examples", "--json",
+                          "--strict"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["summary"]["error"] == 0
+        (entry,) = payload["modules"]
+        assert entry["name"] == "403.gcc"
+        assert entry["coverage"]["syscalls"]["synced"] > 0
+
+    def test_strict_exit_code_on_mutation(self, capsys):
+        code = lint_main(["--profile", "403.gcc", "--no-examples", "--json",
+                          "--strict", "--disable-pass", "syscall-sync"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["summary"]["error"] > 0
+        rules_seen = {d["rule"] for m in payload["modules"]
+                      for d in m["diagnostics"]}
+        assert "syscall-sync-missing" in rules_seen
+
+    def test_unknown_disabled_pass_rejected(self):
+        with pytest.raises(SystemExit):
+            lint_main(["--profile", "403.gcc", "--no-examples",
+                       "--disable-pass", "nonesuch"])
+
+    def test_examples_are_audited(self, capsys):
+        code = lint_main(["--profile", "403.gcc"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "examples/quickstart" in out

@@ -155,3 +155,46 @@ class TestViolations:
         fb.ret(fb.add(foreign, fb.const(1)))
         with pytest.raises(ValidationError):
             validate_function(f)
+
+
+class TestCollectMode:
+    def test_valid_module_returns_empty_list(self):
+        module, *_ = valid_diamond()
+        assert validate_module(module, collect=True) == []
+
+    def test_collect_returns_every_violation(self):
+        # Two independent defects in one function: the raising path
+        # stops at the first, the collecting path reports both.
+        module = ir.Module()
+        f = module.add_function("f", func(I64, []))
+        block = f.add_block("entry")
+        late = ir.BinOp("add", ir.Constant(1), ir.Constant(2), "late")
+        use_a = ir.BinOp("add", late, ir.Constant(3), "use_a")
+        use_b = ir.BinOp("add", late, ir.Constant(4), "use_b")
+        block.append(use_a)
+        block.append(use_b)
+        block.append(late)
+        block.append(ir.Ret(ir.Constant(0)))
+        errors = validate_function(f, collect=True)
+        assert len(errors) == 2
+        assert all(isinstance(e, ValidationError) for e in errors)
+        assert {e.instruction.name for e in errors} == {"use_a", "use_b"}
+
+    def test_collect_wraps_structural_failures(self):
+        module = ir.Module()
+        f = module.add_function("f", func(I64, []))
+        f.add_block("entry")  # no terminator: Module.verify() trips
+        errors = validate_module(module, collect=True)
+        assert errors
+        assert errors[0].function is None
+
+    def test_raising_path_unchanged(self):
+        module = ir.Module()
+        f = module.add_function("f", func(I64, []))
+        block = f.add_block("entry")
+        late = ir.BinOp("add", ir.Constant(1), ir.Constant(2), "late")
+        block.append(ir.BinOp("add", late, ir.Constant(3), "use"))
+        block.append(late)
+        block.append(ir.Ret(ir.Constant(0)))
+        with pytest.raises(ValidationError):
+            validate_function(f)
