@@ -30,7 +30,7 @@ from repro.compiler.passes.base import PassManager
 from repro.core.policy import Policy, Violation
 from repro.core.runtime import HQRuntime
 from repro.core.verifier import Verifier
-from repro.ipc.appendwrite import AppendWriteModel, AppendWriteUArch
+from repro.ipc.appendwrite import AppendWriteUArch
 from repro.ipc.base import Channel
 from repro.ipc.registry import create_channel
 from repro.sim.cpu import (
@@ -91,16 +91,22 @@ class RunResult:
                 + float(buckets["syscall"]) + float(buckets["wait"]))
 
 
-def _wire_channel(kind: str, verifier: Verifier, **kwargs) -> Channel:
-    """Create the AppendWrite channel with kernel-style full handling."""
+def _wire_channel(kind: str, verifier, **kwargs) -> Channel:
+    """Create the message channel with kernel-style full handling.
+
+    Every primitive gets a drain hook: a full buffer triggers a
+    verifier drain so the sender can retry instead of failing outright.
+    The AMR variant additionally rewinds its address registers once the
+    region has been fully read (section 2.3.2).
+    """
     channel = create_channel(kind, **kwargs)
-    if isinstance(channel, AppendWriteModel):
-        channel._on_full = lambda ch: verifier.poll()
-    elif isinstance(channel, AppendWriteUArch):
+    if isinstance(channel, AppendWriteUArch):
         def _kernel_amr_handler(ch: AppendWriteUArch) -> None:
             verifier.poll()
             ch.reset_registers()
         channel._on_full = _kernel_amr_handler
+    else:
+        channel._on_full = lambda ch: verifier.poll()
     return channel
 
 
@@ -120,7 +126,8 @@ def run_program(module: ir.Module,
                 exec_option_overrides: Optional[dict] = None,
                 pre_run: Optional[Callable[[Image, Interpreter], None]] = None,
                 passes_override: Optional[list] = None,
-                naive_synchronization: bool = False) -> RunResult:
+                naive_synchronization: bool = False,
+                fault_injector=None) -> RunResult:
     """Compile ``module`` under ``design`` and execute it end to end.
 
     ``module`` is mutated by the instrumentation passes; build a fresh
@@ -133,6 +140,12 @@ def run_program(module: ir.Module,
     ``pre_run`` is invoked with the loaded image and interpreter just
     before execution; the attack suite uses it to plant attacker input
     in memory (data that arrives at runtime, opaque to the compiler).
+
+    ``fault_injector`` (a :class:`repro.faults.FaultInjector` or
+    anything with the same ``wrap_verifier`` / ``wrap_channel`` /
+    ``configure_kernel`` surface) interposes deterministic faults on
+    the verifier, the message channel, and the kernel epoch timer —
+    the chaos harness uses it to prove the fail-closed invariant.
     """
     config = get_design(design)
 
@@ -152,15 +165,24 @@ def run_program(module: ir.Module,
     verifier: Optional[Verifier] = None
     hq_channel: Optional[Channel] = None
     kernel = Kernel()
+    hq_module = None
     if config.monitored:
         verifier = Verifier(policy_factory)
+        if fault_injector is not None:
+            # Wrap the verifier first so every liaison path — the drain
+            # hooks wired below included — goes through the injector.
+            verifier = fault_injector.wrap_verifier(verifier)
         hq_channel = _wire_channel(channel, verifier, **(channel_kwargs or {}))
+        if fault_injector is not None:
+            hq_channel = fault_injector.wrap_channel(hq_channel)
         verifier.attach_channel(hq_channel)
         hq_module = HQKernelModule(
             verifier,
             kill_on_violation=kill_on_violation,
             sync_exempt_syscalls=sync_exempt_syscalls,
             force_round_trip=naive_synchronization)
+        if fault_injector is not None:
+            fault_injector.configure_kernel(hq_module)
         kernel.hq = hq_module
         kernel.attach(process)
         hq_module.enable(process)
@@ -172,6 +194,12 @@ def run_program(module: ir.Module,
                                   **(exec_option_overrides or {}))
     if isinstance(runtime, HQRuntime):
         runtime.inlined = inlined_runtime
+        if verifier is not None:
+            # Channel-full backoff: retries drain the verifier, and a
+            # kill on budget exhaustion is recorded with the module.
+            runtime.drain_hook = verifier.poll
+        if hq_module is not None:
+            runtime.on_fail_closed = hq_module.record_fail_closed
     if hasattr(runtime, "abort_on_violation"):
         # In-process designs mirror the continue-after-violation mode
         # the paper uses for correctness/performance runs (section 5).

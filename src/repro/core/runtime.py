@@ -15,12 +15,13 @@ or layout-randomized binaries.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core import messages as msg
 from repro.core.messages import Message
-from repro.ipc.base import Channel
-from repro.sim.cpu import Runtime
+from repro.ipc.base import Channel, ChannelFullError
+from repro.sim.cpu import ProcessKilledError, Runtime
+from repro.sim.cycles import ns_to_cycles
 from repro.sim.loader import Image
 
 
@@ -37,18 +38,57 @@ class HQRuntime(Runtime):
     LIBRARY_CALL_CYCLES = 50.0
     INLINED_CALL_CYCLES = 35.0
 
+    #: A send that finds the channel full is retried this many times,
+    #: draining the verifier between attempts; exhausting the budget
+    #: fails closed (the process is killed, mirroring the epoch-timeout
+    #: path) instead of letting ChannelFullError escape the interpreter.
+    SEND_RETRY_BUDGET = 4
+    #: Stall charged per retry while waiting for the verifier to drain.
+    FULL_RETRY_WAIT_NS = 500.0
+
+    #: Framework-wired hook that drains the verifier between retries.
+    drain_hook: Optional[Callable[[], object]] = None
+    #: Framework-wired hook recording a fail-closed kill with the kernel
+    #: module (pid, reason) before the exception unwinds.
+    on_fail_closed: Optional[Callable[[int, str], None]] = None
+
     def __init__(self, channel: Channel, inlined: bool = True) -> None:
         self.channel = channel
         self.inlined = inlined
         self.messages_sent = 0
+        self.full_retries = 0
 
     def _send(self, message: Message) -> None:
         process = self.interpreter.process
         overhead = (self.INLINED_CALL_CYCLES if self.inlined
                     else self.LIBRARY_CALL_CYCLES)
         process.cycles.charge_user(overhead, category="hq-runtime")
-        self.channel.send(process, message)
-        self.messages_sent += 1
+        last_error: Optional[ChannelFullError] = None
+        for attempt in range(self.SEND_RETRY_BUDGET + 1):
+            try:
+                self.channel.send(process, message)
+            except ChannelFullError as error:
+                last_error = error
+                self.full_retries += 1
+                # Back off one drain round trip and let the verifier
+                # catch up before retrying the send.
+                process.cycles.charge_wait(
+                    ns_to_cycles(self.FULL_RETRY_WAIT_NS))
+                if self.drain_hook is not None:
+                    self.drain_hook()
+                continue
+            self.messages_sent += 1
+            return
+        # Retry budget exhausted: the program cannot report to the
+        # verifier, so it must not keep running (fail closed).
+        reason = (f"message channel full after {self.SEND_RETRY_BUDGET} "
+                  f"retries ({last_error}); killing monitored process "
+                  f"(fail closed)")
+        if self.on_fail_closed is not None:
+            self.on_fail_closed(process.pid, reason)
+        process.exited = True
+        process.killed_reason = reason
+        raise ProcessKilledError(reason)
 
     def on_program_start(self, image: Image) -> None:
         """Send defines for relocated global code pointers (init array)."""

@@ -52,8 +52,14 @@ class RecordingChannel(Channel):
         self.trace.append(message)
         self.inner.send(sender, message)
 
-    def receive_all(self) -> List[Message]:
-        return self.inner.receive_all()
+    def _receive_raw(self) -> List[Message]:
+        return self.inner._receive_raw()
+
+    def _validate(self, messages: List[Message]) -> List[Message]:
+        return self.inner._validate(messages)
+
+    def resync(self) -> List[Message]:
+        return self.inner.resync()
 
     def pending(self) -> int:
         return self.inner.pending()

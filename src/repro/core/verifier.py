@@ -15,7 +15,8 @@ by the framework to model background draining.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from repro.core.messages import Message, Op
 from repro.core.policy import Policy, PolicyStats, Violation
@@ -45,6 +46,12 @@ class Verifier:
         self._syscall_tokens: Dict[int, int] = {}
         self.integrity_failures: List[str] = []
         self.terminated = False
+        #: Messages drained from channels but not yet dispatched — only
+        #: populated when :meth:`poll` runs with a processing limit
+        #: (modelling a slow verifier under backpressure).
+        self._backlog: Deque[Message] = deque()
+        #: Times :meth:`restart` recovered this verifier after a crash.
+        self.restarts = 0
 
     # -- channel plumbing -------------------------------------------------------
 
@@ -82,16 +89,33 @@ class Verifier:
 
     # -- the main loop --------------------------------------------------------------
 
-    def poll(self) -> int:
-        """Drain all channels and process every pending message.
+    def poll(self, max_messages: Optional[int] = None) -> int:
+        """Drain all channels and process pending messages.
 
         Returns the number of messages processed.  A transport
         integrity failure (dropped/tampered messages) is treated as a
         violation for every process on that channel.
+
+        ``max_messages`` bounds the processing work of this time slice
+        (a slow or overloaded verifier): channels are still drained —
+        receive is cheap, policy evaluation is the bottleneck — but
+        undispatched messages queue in an internal backlog, in order,
+        and are processed by later polls.  Syscall tokens therefore
+        arrive late under backpressure, which is exactly what the
+        kernel's bounded epoch absorbs (section 2.2).
         """
         if self.terminated:
             return 0
         processed = 0
+
+        def budget_left() -> bool:
+            return max_messages is None or processed < max_messages
+
+        # Work down the backlog from earlier limited polls first so
+        # per-pid message order is preserved.
+        while self._backlog and budget_left():
+            self._dispatch(self._backlog.popleft())
+            processed += 1
         for channel in self.channels:
             try:
                 messages = channel.receive_all()
@@ -102,9 +126,16 @@ class Verifier:
                         pid, "message-integrity", str(error)))
                 continue
             for message in messages:
-                self._dispatch(message)
-                processed += 1
+                if budget_left():
+                    self._dispatch(message)
+                    processed += 1
+                else:
+                    self._backlog.append(message)
         return processed
+
+    def backlog_size(self) -> int:
+        """Messages drained but not yet dispatched (backpressure)."""
+        return len(self._backlog)
 
     def _dispatch(self, message: Message) -> None:
         pid = message.pid
@@ -120,7 +151,16 @@ class Verifier:
             # Message from an unregistered pid: ignore (cannot happen
             # with kernel-arbitrated channels; kept for robustness).
             return
-        violation = context.handle(message)
+        try:
+            violation = context.handle(message)
+        except Exception as error:
+            # A message the policy cannot even parse (corrupted in
+            # transit, or crafted) must not crash the verifier: treat it
+            # as a violation of the sending process — fail closed.
+            violation = Violation(
+                pid, "malformed-message",
+                f"policy {getattr(context, 'name', '?')} raised "
+                f"{error!r} while handling {message.op!r} (fail closed)")
         self.stats[pid].record(message, self._entries(pid),
                                violation is not None)
         if violation is not None:
@@ -168,3 +208,49 @@ class Verifier:
         self.terminated = True
         for pid in self._pending_violation:
             self._pending_violation[pid] = True
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def restart(self, live_pids: Iterable[int],
+                lost_pids: Iterable[int] = ()) -> List[int]:
+        """Recover from an unexpected termination (section 3.4).
+
+        A replacement verifier instance re-registers every pid the
+        kernel module still tracks (``live_pids``, from its HQContext
+        hash table) with a *fresh* policy context — the crashed
+        instance's policy state is gone.  Channels are resynchronized:
+        whatever was in flight at the crash is unrecoverable, so every
+        pid that loses messages this way (plus any caller-supplied
+        ``lost_pids``) is conservatively treated as violated and killed,
+        never silently forgiven.  Returns the sorted list of
+        conservatively-killed pids.
+
+        Violation and statistics history survives the restart — it
+        describes what already happened and is what the framework
+        reports at the end of a run.
+        """
+        lost = set(lost_pids)
+        for channel in self.channels:
+            for message in channel.resync():
+                lost.add(message.pid)
+        for message in self._backlog:
+            lost.add(message.pid)
+        self._backlog.clear()
+        self.terminated = False
+        self.restarts += 1
+        self.contexts.clear()
+        self._pending_violation = {}
+        self._syscall_tokens = {}
+        for pid in live_pids:
+            self.contexts[pid] = self._policy_factory()
+            self.stats.setdefault(pid, PolicyStats())
+            self.violations.setdefault(pid, [])
+            self._pending_violation[pid] = False
+            self._syscall_tokens[pid] = 0
+        killed = sorted(lost)
+        for pid in killed:
+            self._record_violation(Violation(
+                pid, "verifier-restart",
+                "in-flight messages lost across verifier restart "
+                "(fail closed)"))
+        return killed

@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the HerQules simulation.
+
+The security argument of the paper is *fail-closed*: a faulty or
+compromised component must lead to detection and a kill, never a hang
+or a silent policy bypass (sections 2.2 and 3.4).  This package
+injects the faults that argument has to survive — transport drops,
+corruption, duplication, reordering, delay, buffer exhaustion,
+verifier crashes and slowdowns, epoch-timer jitter — all scheduled by
+a seeded, replayable :class:`FaultPlan`.
+
+``python -m repro.chaos`` sweeps plans across seeds, channel types,
+and workloads and asserts the fail-closed invariant over every run.
+"""
+
+from repro.faults.channel import FaultyChannel
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    STREAM_KINDS,
+    VERIFIER_KINDS,
+)
+from repro.faults.verifier import FaultyVerifier
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultyChannel",
+    "FaultyVerifier",
+    "STREAM_KINDS",
+    "VERIFIER_KINDS",
+]

@@ -1,0 +1,229 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is the single source of randomness for one
+fault-injected run: it is seeded explicitly (no wall clock, no global
+``random`` state) and every decision it makes — which message to drop,
+when the verifier crashes, how the epoch timer jitters — is a pure
+function of ``(scope, seed, decision index)``.  Re-running the same
+plan against the same deterministic simulation therefore reproduces
+the run bit for bit, which is what makes chaos verdicts replayable and
+regressions bisectable.
+
+The taxonomy follows the failure surface the paper's design must
+survive (sections 2.2, 2.3.2, 3.4):
+
+===========================  ==================================================
+kind                         what it models
+===========================  ==================================================
+``drop``                     transport loses an in-flight message
+``corrupt``                  bit-flips in an in-flight message (payload,
+                             opcode, or transport counter)
+``duplicate``                transport re-delivers a message
+``reorder``                  adjacent in-flight messages swap places
+``delay``                    delivery stalls for several verifier polls
+``forced-full``              transient channel-buffer exhaustion (bursts
+                             shorter than the sender's retry budget)
+``forced-full-persistent``   the channel stays full — the sender's retry
+                             budget must fail closed
+``verifier-crash``           the verifier dies mid-run and never returns
+``verifier-crash-restart``   the verifier dies and a replacement restarts
+                             from kernel state (section 3.4)
+``slow-verifier``            the verifier processes only a few messages
+                             per time slice (backpressure)
+``epoch-jitter``             the kernel epoch budget wobbles around its
+                             nominal value (scheduling noise)
+===========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import FrozenSet, Iterable, List, Optional, Union
+
+from repro.core.messages import Message, Op
+
+
+class FaultKind(enum.Enum):
+    """One entry of the fault matrix."""
+
+    NONE = "none"
+    DROP = "drop"
+    CORRUPT = "corrupt"
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    DELAY = "delay"
+    FORCED_FULL = "forced-full"
+    FORCED_FULL_PERSISTENT = "forced-full-persistent"
+    VERIFIER_CRASH = "verifier-crash"
+    VERIFIER_CRASH_RESTART = "verifier-crash-restart"
+    SLOW_VERIFIER = "slow-verifier"
+    EPOCH_JITTER = "epoch-jitter"
+
+    @classmethod
+    def parse(cls, name: Union[str, "FaultKind"]) -> "FaultKind":
+        if isinstance(name, cls):
+            return name
+        for kind in cls:
+            if kind.value == name or kind.name == name.upper().replace("-", "_"):
+                return kind
+        raise ValueError(f"unknown fault kind {name!r}; "
+                         f"choose from {[k.value for k in cls]}")
+
+
+#: Kinds that mutate the in-flight message stream.
+STREAM_KINDS: FrozenSet[FaultKind] = frozenset({
+    FaultKind.DROP, FaultKind.CORRUPT, FaultKind.DUPLICATE,
+    FaultKind.REORDER, FaultKind.DELAY,
+})
+
+#: Kinds that perturb the verifier process itself.
+VERIFIER_KINDS: FrozenSet[FaultKind] = frozenset({
+    FaultKind.VERIFIER_CRASH, FaultKind.VERIFIER_CRASH_RESTART,
+    FaultKind.SLOW_VERIFIER,
+})
+
+
+class FaultPlan:
+    """Seeded, replayable schedule of faults for one run.
+
+    ``scope`` is a free-form discriminator (the chaos harness uses
+    ``workload:channel:kind``) so the same integer seed yields
+    independent decision streams for different sweep cells.  Separate
+    :class:`random.Random` instances per subsystem keep the streams
+    decoupled: how many messages flow through the channel does not
+    shift when the verifier crashes, and vice versa.
+    """
+
+    def __init__(self, seed: int,
+                 kinds: Iterable[Union[str, FaultKind]] = (),
+                 *,
+                 scope: str = "",
+                 rate: float = 0.08,
+                 forced_full_burst: int = 2,
+                 crash_poll_range: tuple = (2, 16),
+                 poll_limit_range: tuple = (1, 6),
+                 delay_rounds_range: tuple = (1, 8),
+                 epoch_jitter_span: int = 3) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("fault rate must be within [0, 1]")
+        self.seed = seed
+        self.scope = scope
+        self.kinds: FrozenSet[FaultKind] = frozenset(
+            FaultKind.parse(kind) for kind in kinds) - {FaultKind.NONE}
+        self.rate = rate
+        self.forced_full_burst = forced_full_burst
+        self.epoch_jitter_span = epoch_jitter_span
+
+        def rng(purpose: str) -> random.Random:
+            # String seeding hashes with SHA-512 internally: stable
+            # across processes and python versions, unlike hash().
+            return random.Random(f"fault-plan:{scope}:{seed}:{purpose}")
+
+        self._send_rng = rng("send")
+        self._stream_rng = rng("stream")
+        self._delay_rng = rng("delay")
+        self._epoch_rng = rng("epoch")
+        setup = rng("setup")
+
+        #: Poll count at which the verifier crashes (None: never).
+        self.verifier_crash_at: Optional[int] = None
+        #: Whether a crashed verifier may be restarted from kernel state.
+        self.verifier_restartable = FaultKind.VERIFIER_CRASH_RESTART in self.kinds
+        if self.kinds & {FaultKind.VERIFIER_CRASH,
+                         FaultKind.VERIFIER_CRASH_RESTART}:
+            self.verifier_crash_at = setup.randint(*crash_poll_range)
+        #: Messages a slow verifier processes per poll (None: unbounded).
+        self.poll_limit: Optional[int] = None
+        if FaultKind.SLOW_VERIFIER in self.kinds:
+            self.poll_limit = setup.randint(*poll_limit_range)
+        self._delay_rounds_range = delay_rounds_range
+        self._forced_full_remaining = 0
+        self._persistent_full = False
+
+    # -- send-side faults -------------------------------------------------------
+
+    def forced_full(self) -> bool:
+        """Whether this send observes an (injected) full channel."""
+        if FaultKind.FORCED_FULL_PERSISTENT in self.kinds:
+            if not self._persistent_full:
+                # Trip permanently at a deterministic point in the run.
+                self._persistent_full = self._send_rng.random() < self.rate
+            return self._persistent_full
+        if FaultKind.FORCED_FULL not in self.kinds:
+            return False
+        if self._forced_full_remaining > 0:
+            self._forced_full_remaining -= 1
+            return True
+        if self._send_rng.random() < self.rate:
+            # A transient burst no longer than the sender retry budget:
+            # the retries absorb it and the run should be tolerated.
+            self._forced_full_remaining = self._send_rng.randint(
+                1, self.forced_full_burst) - 1
+            return True
+        return False
+
+    # -- stream faults ----------------------------------------------------------
+
+    def mutate(self, messages: List[Message]) -> List[Message]:
+        """Apply in-flight stream faults; deterministic in call order."""
+        if not self.kinds & STREAM_KINDS or not messages:
+            return messages
+        out: List[Message] = []
+        rng = self._stream_rng
+        for message in messages:
+            if FaultKind.DROP in self.kinds and rng.random() < self.rate:
+                continue
+            if FaultKind.CORRUPT in self.kinds and rng.random() < self.rate:
+                message = self._corrupt(message)
+            out.append(message)
+            if FaultKind.DUPLICATE in self.kinds and rng.random() < self.rate:
+                out.append(message)
+        if FaultKind.REORDER in self.kinds and len(out) >= 2:
+            index = 0
+            while index < len(out) - 1:
+                if rng.random() < self.rate:
+                    out[index], out[index + 1] = out[index + 1], out[index]
+                    index += 2
+                else:
+                    index += 1
+        return out
+
+    def _corrupt(self, message: Message) -> Message:
+        """One corrupted in-flight message; three representative tears."""
+        style = self._stream_rng.randrange(3)
+        if style == 0:
+            # Payload bit-flips: op intact, arguments garbled.
+            return Message(message.op, message.arg0 ^ 0xDEAD,
+                           message.arg1 ^ 0xBEEF, message.aux,
+                           message.pid, message.counter)
+        if style == 1:
+            # Opcode tear: arrives as a meaningless generic event.
+            return Message(Op.EVENT, 0xFA017, message.arg0, message.aux,
+                           message.pid, message.counter)
+        # Transport-counter tear: violates integrity where enforced.
+        return Message(message.op, message.arg0, message.arg1, message.aux,
+                       message.pid, message.counter + 17)
+
+    def delay_rounds(self) -> int:
+        """Rounds to stall delivery at this receive (0: no episode)."""
+        if FaultKind.DELAY not in self.kinds:
+            return 0
+        if self._delay_rng.random() < self.rate:
+            return self._delay_rng.randint(*self._delay_rounds_range)
+        return 0
+
+    # -- kernel-side faults -----------------------------------------------------
+
+    def epoch_jitter(self) -> int:
+        """Perturbation of the epoch budget for one syscall barrier."""
+        if FaultKind.EPOCH_JITTER not in self.kinds:
+            return 0
+        return self._epoch_rng.randint(-self.epoch_jitter_span,
+                                       self.epoch_jitter_span)
+
+    def describe(self) -> str:
+        kinds = ",".join(sorted(kind.value for kind in self.kinds)) or "none"
+        return f"FaultPlan(seed={self.seed}, scope={self.scope!r}, kinds=[{kinds}])"
+
+    __repr__ = describe

@@ -63,6 +63,21 @@ class _CounterChecked(Channel):
             self._expected_counter += 1
         return messages
 
+    def _validate(self, messages: List[Message]) -> List[Message]:
+        return self._check_counters(messages)
+
+    def resync(self) -> List[Message]:
+        """Discard in-flight messages and realign the counter check.
+
+        After a verifier restart the receive cursor is gone; aligning
+        the expected counter with the send counter means the next
+        legitimately-sent message validates cleanly while everything
+        dropped on the floor is reported to the caller.
+        """
+        dropped = super().resync()
+        self._expected_counter = self._counter + 1
+        return dropped
+
 
 class AppendWriteFPGA(_CounterChecked):
     """FPGA accelerator implementation of AppendWrite.
@@ -82,9 +97,11 @@ class AppendWriteFPGA(_CounterChecked):
     #: most messages be created with at most two writes (section 3.1.1).
     MMIO_WRITES_PER_MESSAGE = 2
 
-    def __init__(self, capacity: int = 1 << 20) -> None:
+    def __init__(self, capacity: int = 1 << 20,
+                 on_full: Optional[Callable[["AppendWriteFPGA"], None]] = None) -> None:
         super().__init__(capacity)
         self._ring: List[Message] = []
+        self._on_full = on_full
         #: Kernel-managed PID register, updated on context switch; this
         #: is what makes the pid stamp unforgeable by the sender.
         self.pid_register: Optional[int] = None
@@ -101,16 +118,21 @@ class AppendWriteFPGA(_CounterChecked):
         counter = self._next_counter()
         self.sent_total += 1
         if len(self._ring) >= self.capacity:
-            # No back-pressure: the message is lost, leaving a counter gap
-            # that the verifier will observe.
+            # The AFU has no back-pressure, but the kernel driver can
+            # drain the verifier when the ring-full interrupt fires.
+            self._notify_full()
+        if len(self._ring) >= self.capacity:
+            # Still full: the message is lost, leaving a counter gap
+            # that the verifier will observe (an integrity violation
+            # that kills the monitored program — fail closed).
             self.dropped_total += 1
             return
         # The AFU, not the sender, stamps pid: a compromised program that
         # claims another pid in its message payload is overridden here.
         self._ring.append(message.with_transport(self.pid_register, counter))
 
-    def receive_all(self) -> List[Message]:
-        messages = self._check_counters(list(self._ring))
+    def _receive_raw(self) -> List[Message]:
+        messages = list(self._ring)
         self._ring.clear()
         return messages
 
@@ -122,7 +144,11 @@ class AMRFullFault(Exception):
     """AppendWrite would exceed MaxAppendAddr: fault to the kernel.
 
     The kernel "can allocate a new buffer or reset address registers, if
-    the AMR has been fully read" (section 2.3.2).
+    the AMR has been fully read" (section 2.3.2).  The fault is always
+    recoverable in this model — :meth:`AppendWriteUArch.send` falls back
+    to the drain-and-reset recovery when the configured handler does not
+    make room — so this exception is part of the public surface for
+    tests and tooling but no longer propagates out of the send path.
     """
 
 
@@ -143,6 +169,12 @@ class AppendWriteUArch(_CounterChecked):
     async_validation = True
     primary_cost = "Mem. Write"
 
+    #: Cost of one AMR-exhaustion fault: trap to the kernel, drain the
+    #: region into the verifier, reset the address registers, return.
+    #: Charged as wait time on the sender (the faulting instruction
+    #: stalls until the kernel resumes it).
+    AMR_FAULT_NS = 300.0
+
     def __init__(self, capacity: int = 1 << 16,
                  memory: Optional[Memory] = None,
                  base: int = 0x4000_0000,
@@ -160,18 +192,29 @@ class AppendWriteUArch(_CounterChecked):
         self._on_full = on_full
         self._staged: List[Message] = []
         self.faults = 0
+        #: Faults the configured handler failed to resolve, recovered by
+        #: the fallback drain-and-reset path instead of raising.
+        self.fallback_recoveries = 0
 
     def send(self, sender: Process, message: Message) -> None:
         sender.cycles.charge_ipc(send_cycles(self.primitive))
         if self.append_addr + MESSAGE_BYTES > self.max_append_addr:
+            # AMR-exhaustion fault: the kernel handles it while the
+            # faulting AppendWrite stalls — cycle-accounted, never
+            # surfaced to the program (section 2.3.2).
             self.faults += 1
+            sender.cycles.charge_wait(ns_to_cycles(self.AMR_FAULT_NS))
             if self._on_full is not None:
                 self._on_full(self)
-            else:
+            if self.append_addr + MESSAGE_BYTES > self.max_append_addr:
+                # Handler absent or did not make room: apply the
+                # section 2.3.2 recovery directly (stage unread
+                # messages, rewind AppendAddr) rather than letting an
+                # AMRFullFault escape through the interpreter.
                 self._drain_to_staging()
                 self.reset_registers()
-            if self.append_addr + MESSAGE_BYTES > self.max_append_addr:
-                raise AMRFullFault("AMR full and kernel handler did not recover")
+                if self._on_full is not None:
+                    self.fallback_recoveries += 1
         stamped = message.with_transport(sender.pid, self._next_counter())
         for i, word in enumerate(stamped.encode()):
             # The AppendWrite datapath store: permitted on AMR pages where
@@ -200,10 +243,10 @@ class AppendWriteUArch(_CounterChecked):
         self.read_addr = address
         return messages
 
-    def receive_all(self) -> List[Message]:
+    def _receive_raw(self) -> List[Message]:
         messages = self._staged + self._read_amr()
         self._staged = []
-        return self._check_counters(messages)
+        return messages
 
     def pending(self) -> int:
         return len(self._staged) + (self.append_addr - self.read_addr) // MESSAGE_BYTES
@@ -249,8 +292,8 @@ class AppendWriteModel(_CounterChecked):
         self._ring.append(message.with_transport(sender.pid, self._next_counter()))
         self.sent_total += 1
 
-    def receive_all(self) -> List[Message]:
-        messages = self._check_counters(list(self._ring))
+    def _receive_raw(self) -> List[Message]:
+        messages = list(self._ring)
         self._ring.clear()
         return messages
 

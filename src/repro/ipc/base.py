@@ -21,7 +21,7 @@ Two orthogonal properties distinguish the primitives (Table 2):
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.messages import Message
 from repro.sim.process import Process
@@ -41,6 +41,13 @@ class Channel(abc.ABC):
     The kernel arbitrates channel creation in the real system, which is
     what makes the pid stamp trustworthy; here the channel is constructed
     bound to a sender pid and stamps it on every message.
+
+    The receive path is split in two so fault injection and the verifier
+    restart path can reach the undecoded transport stream:
+    :meth:`_receive_raw` drains the transport buffer, and
+    :meth:`_validate` applies the primitive's integrity discipline
+    (counter checking, for the AppendWrite family).  ``receive_all`` is
+    their composition and remains the verifier-facing entry point.
     """
 
     #: Primitive key into :data:`repro.ipc.latency.SEND_NS`.
@@ -59,22 +66,64 @@ class Channel(abc.ABC):
         self._counter = 0
         self.sent_total = 0
         self.dropped_total = 0
+        #: Kernel/framework hook invoked when a send finds the buffer
+        #: full: the wired handler drains the verifier so the sender can
+        #: retry instead of failing outright (fail-closed backoff).
+        self._on_full: Optional[Callable[["Channel"], None]] = None
 
     def _next_counter(self) -> int:
         self._counter += 1
         return self._counter
 
-    @abc.abstractmethod
-    def send(self, sender: Process, message: Message) -> None:
-        """Transmit ``message`` from ``sender``, charging its cycle cost."""
+    def _notify_full(self) -> None:
+        """Give the kernel-side drain hook a chance to make room."""
+        if self._on_full is not None:
+            self._on_full(self)
 
     @abc.abstractmethod
+    def send(self, sender: Process, message: Message) -> None:
+        """Transmit ``message`` from ``sender``, charging its cycle cost.
+
+        Raises :class:`ChannelFullError` when the buffer is full and the
+        drain hook could not make room; the sender's runtime maps that
+        to bounded retry and, ultimately, a fail-closed kill.
+        """
+
+    @abc.abstractmethod
+    def _receive_raw(self) -> List[Message]:
+        """Drain the transport buffer without integrity validation."""
+
+    def _validate(self, messages: List[Message]) -> List[Message]:
+        """Apply the primitive's receive-side integrity discipline.
+
+        Raises :class:`ChannelIntegrityError` if the transport detects a
+        counter gap (dropped or overwritten messages).  The base
+        implementation is a no-op: kernel-mediated primitives trust the
+        kernel copy and carry no transport counter discipline.
+        """
+        return messages
+
     def receive_all(self) -> List[Message]:
         """Drain and return all pending messages, in order.
 
         Raises :class:`ChannelIntegrityError` if the transport detects a
         counter gap (dropped or overwritten messages).
         """
+        return self._validate(self._receive_raw())
+
+    def resync(self) -> List[Message]:
+        """Discard in-flight messages and realign integrity state.
+
+        Called by the verifier restart path (section 3.4): whatever was
+        pending at the crash is lost; the channel realigns its receive
+        discipline so post-restart traffic does not trip a spurious
+        counter gap.  Returns the discarded messages so the caller can
+        conservatively kill their senders (fail closed).
+        """
+        try:
+            return self._receive_raw()
+        except ChannelIntegrityError:  # pragma: no cover - raw drains don't check
+            return []
 
     @abc.abstractmethod
     def pending(self) -> int:

@@ -38,13 +38,17 @@ class LightWeightContextChannel(Channel):
 
     def send(self, sender: Process, message: Message) -> None:
         if len(self._queue) >= self.capacity:
+            # A full mailbox switches to the verifier context so it can
+            # drain before the send is retried.
+            self._notify_full()
+        if len(self._queue) >= self.capacity:
             raise ChannelFullError("LWC mailbox full")
         cost = send_cycles(self.primitive) * self.SWITCHES_PER_SEND
         sender.cycles.charge_syscall(cost)
         self._queue.append(message.with_transport(sender.pid, self._next_counter()))
         self.sent_total += 1
 
-    def receive_all(self) -> List[Message]:
+    def _receive_raw(self) -> List[Message]:
         messages = list(self._queue)
         self._queue.clear()
         return messages

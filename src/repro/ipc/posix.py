@@ -44,6 +44,11 @@ class SyscallChannel(Channel):
 
     def send(self, sender: Process, message: Message) -> None:
         if len(self._queue) >= self.capacity:
+            # Let the kernel-side drain hook empty the queue before
+            # failing: the syscall blocks briefly while the verifier
+            # catches up, mirroring mq_send's bounded wait.
+            self._notify_full()
+        if len(self._queue) >= self.capacity:
             raise ChannelFullError(f"{type(self).__name__} queue full")
         # The syscall cost is charged as syscall time: a privilege
         # transition executes in the kernel, on the critical path.
@@ -55,7 +60,7 @@ class SyscallChannel(Channel):
         self._queue.append(stamped)
         self.sent_total += 1
 
-    def receive_all(self) -> List[Message]:
+    def _receive_raw(self) -> List[Message]:
         messages = list(self._queue)
         self._queue.clear()
         return messages

@@ -35,12 +35,16 @@ class SharedMemoryChannel(Channel):
 
     def send(self, sender: Process, message: Message) -> None:
         if len(self._ring) >= self.capacity:
+            # Spin until the verifier drains the ring (drain hook), then
+            # re-check; a still-full ring fails the send.
+            self._notify_full()
+        if len(self._ring) >= self.capacity:
             raise ChannelFullError("shared-memory ring full")
         sender.cycles.charge_ipc(send_cycles(self.primitive))
         self._ring.append(message.with_transport(sender.pid, self._next_counter()))
         self.sent_total += 1
 
-    def receive_all(self) -> List[Message]:
+    def _receive_raw(self) -> List[Message]:
         messages = list(self._ring)
         self._ring.clear()
         return messages

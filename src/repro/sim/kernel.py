@@ -24,7 +24,7 @@ on ``fork``/``clone`` and dropped at exit, as described in section 3.3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.sim.cpu import (
     ProcessKilledError,
@@ -52,6 +52,10 @@ class HQContext:
     syscalls_intercepted: int = 0
     syscalls_waited: int = 0
     killed: bool = False
+    #: Why the module killed this process: "policy violation",
+    #: "synchronization epoch timeout", "verifier-terminated", or a
+    #: fail-closed channel reason recorded by the runtime.
+    kill_reason: Optional[str] = None
 
     def clone_for(self, child_pid: int) -> "HQContext":
         """Context for a fork/clone child (fresh synchronization state)."""
@@ -96,6 +100,11 @@ class HQKernelModule:
         self.sync_exempt_syscalls = sync_exempt_syscalls or set()
         self.contexts: Dict[int, HQContext] = {}
         self.violations_seen: List[str] = []
+        #: Optional per-barrier perturbation of the epoch budget
+        #: (fault-injection hook: scheduling jitter on the epoch timer).
+        self.epoch_jitter: Optional[Callable[[], int]] = None
+        #: Successful verifier restarts mediated by this module.
+        self.verifier_restarts = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -142,8 +151,16 @@ class HQKernelModule:
             process.cycles.charge_wait(ns_to_cycles(self.ROUND_TRIP_NS))
 
         exempt = number in self.sync_exempt_syscalls
-        for attempt in range(self.epoch_polls + 1):
+        for attempt in range(self._epoch_budget() + 1):
+            # A dead verifier can never confirm anything: detect it
+            # before *and* after the poll (the poll itself may observe
+            # the crash) instead of burning the whole epoch budget and
+            # reporting a misleading timeout.
+            if self.verifier.terminated:
+                self._verifier_down(process, context, number)
             self.verifier.poll()
+            if self.verifier.terminated:
+                self._verifier_down(process, context, number)
             if self.verifier.has_violation(process.pid):
                 self.violations_seen.append(
                     f"pid {process.pid}: policy violation at syscall {number}")
@@ -166,8 +183,47 @@ class HQKernelModule:
             f"pid {process.pid}: epoch timeout at syscall {number}")
         self._kill(process, context, "synchronization epoch timeout")
 
+    def _epoch_budget(self) -> int:
+        """Verifier polls granted to this barrier, jitter included."""
+        budget = self.epoch_polls
+        if self.epoch_jitter is not None:
+            budget += int(self.epoch_jitter())
+        return max(1, budget)
+
+    def _verifier_down(self, process: Process, context: HQContext,
+                       number: int) -> None:
+        """The verifier terminated unexpectedly (section 3.4).
+
+        If the verifier implementation offers a restart path
+        (``maybe_restart``, duck-typed like the rest of the liaison
+        interface), give it one chance to come back — the restart
+        conservatively kills pids whose messages were lost.  Otherwise
+        the monitored program dies: a missing verifier must never mean
+        unchecked execution.
+        """
+        restart = getattr(self.verifier, "maybe_restart", None)
+        if restart is not None and restart(self):
+            self.verifier_restarts += 1
+            return
+        self.violations_seen.append(
+            f"pid {process.pid}: verifier terminated at syscall {number}")
+        self._kill(process, context, "verifier-terminated")
+
+    def record_fail_closed(self, pid: int, reason: str) -> None:
+        """Runtime notification: a send path failed closed for ``pid``.
+
+        Mirrors the epoch-timeout bookkeeping so a channel-full kill is
+        visible in the module's statistics, not just the exception.
+        """
+        context = self.contexts.get(pid)
+        if context is not None:
+            context.killed = True
+            context.kill_reason = reason
+        self.violations_seen.append(f"pid {pid}: {reason}")
+
     def _kill(self, process: Process, context: HQContext, reason: str) -> None:
         context.killed = True
+        context.kill_reason = reason
         process.exited = True
         process.killed_reason = reason
         raise ProcessKilledError(reason)

@@ -1,0 +1,140 @@
+"""Integration tests for the chaos harness (repro.chaos): the
+fail-closed invariant holds end to end under injected faults."""
+
+import pytest
+
+from repro import chaos
+from repro.chaos import (
+    OK_VERDICTS,
+    baseline_for,
+    classify,
+    make_plan,
+    run_case,
+    _run_workload,
+)
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("workload", sorted(chaos.WORKLOADS))
+    def test_fault_free_baseline_is_ok(self, workload):
+        result = baseline_for(workload, "model")
+        assert result.ok and result.output
+
+    def test_none_fault_matches_baseline(self):
+        record = run_case("webserver", "model", FaultKind.NONE, 0)
+        assert record.verdict == "tolerated"
+
+
+class TestClassification:
+    def test_output_divergence_is_silent_bypass(self):
+        baseline = baseline_for("webserver", "model")
+        import copy
+        diverged = copy.copy(baseline)
+        diverged.output = list(baseline.output) + [0xBAD]
+        assert classify(diverged, baseline) == "silent-bypass"
+
+    def test_kill_is_detected(self):
+        baseline = baseline_for("webserver", "model")
+        killed = type(baseline)(design=baseline.design, channel="model",
+                                outcome="killed", detail="epoch timeout")
+        assert classify(killed, baseline) == "detected-kill"
+
+
+class TestInvariantUnderFaults:
+    @pytest.mark.parametrize("kind", [
+        FaultKind.DROP, FaultKind.CORRUPT, FaultKind.DUPLICATE,
+        FaultKind.REORDER, FaultKind.DELAY, FaultKind.FORCED_FULL,
+        FaultKind.FORCED_FULL_PERSISTENT, FaultKind.VERIFIER_CRASH,
+        FaultKind.VERIFIER_CRASH_RESTART, FaultKind.SLOW_VERIFIER,
+        FaultKind.EPOCH_JITTER,
+    ])
+    def test_webserver_never_hangs_or_bypasses(self, kind):
+        for seed in range(3):
+            record = run_case("webserver", "model", kind, seed)
+            assert record.verdict in OK_VERDICTS, record
+
+    def test_fork_child_context_survives_drops(self):
+        for seed in range(5):
+            record = run_case("forker", "sim", FaultKind.DROP, seed)
+            assert record.verdict in OK_VERDICTS, record
+
+    def test_persistent_full_fails_closed(self):
+        plan = FaultPlan(1, [FaultKind.FORCED_FULL_PERSISTENT],
+                         scope="t", rate=1.0)
+        injector = FaultInjector(plan)
+        result = _run_workload("webserver", "model", injector)
+        assert result.outcome == "killed"
+        assert "channel full" in result.detail
+        assert "fail closed" in result.detail
+
+    def test_verifier_crash_kills_with_reason(self):
+        plan = FaultPlan(1, [FaultKind.VERIFIER_CRASH], scope="t",
+                         crash_poll_range=(3, 3))
+        injector = FaultInjector(plan)
+        result = _run_workload("webserver", "model", injector)
+        assert result.outcome == "killed"
+        assert result.detail == "verifier-terminated"
+        assert injector.verifier.crashes == 1
+
+    def test_verifier_crash_restart_recovers_or_kills(self):
+        plan = FaultPlan(1, [FaultKind.VERIFIER_CRASH_RESTART], scope="t",
+                         crash_poll_range=(3, 3))
+        injector = FaultInjector(plan)
+        result = _run_workload("webserver", "model", injector)
+        verdict = classify(result, baseline_for("webserver", "model"))
+        assert verdict in OK_VERDICTS
+        assert injector.verifier.crashes == 1
+        assert injector.verifier.restarts_granted == 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", [FaultKind.DROP,
+                                      FaultKind.VERIFIER_CRASH,
+                                      FaultKind.FORCED_FULL])
+    def test_fixed_seed_reproduces_record(self, kind):
+        first = run_case("webserver", "mq", kind, 42)
+        second = run_case("webserver", "mq", kind, 42)
+        assert first == second
+
+    def test_different_seeds_differ_somewhere(self):
+        verdicts = {run_case("webserver", "model", FaultKind.DROP, s).verdict
+                    for s in range(8)}
+        assert len(verdicts) > 1  # drops sometimes tolerated, sometimes kill
+
+    def test_plan_scope_isolates_cells(self):
+        one = make_plan("webserver", "model", FaultKind.DROP, 1)
+        other = make_plan("webserver", "mq", FaultKind.DROP, 1)
+        from repro.core import messages as msg
+        stream = [msg.pointer_define(i, i) for i in range(50)]
+        assert one.mutate(list(stream)) != other.mutate(list(stream))
+
+
+class TestCLI:
+    def test_quick_sweep_exits_zero(self, capsys):
+        code = chaos.main(["--seeds", "1", "--quick",
+                           "--workloads", "webserver",
+                           "--channels", "model",
+                           "--faults", "none,drop,forced-full-persistent",
+                           "--replay-check", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos sweep: 3 runs" in out
+        assert "reproduced identically" in out
+
+    def test_list_flag(self, capsys):
+        assert chaos.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "webserver" in out and "forced-full" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = chaos.main(["--seeds", "1", "--workloads", "forker",
+                           "--channels", "model", "--faults", "drop",
+                           "--replay-check", "0", "--json", str(report)])
+        capsys.readouterr()
+        assert code == 0
+        import json
+        records = json.loads(report.read_text())
+        assert records and records[0]["fault"] == "drop"
+        assert records[0]["verdict"] in OK_VERDICTS

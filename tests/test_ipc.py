@@ -194,11 +194,18 @@ class TestUArch:
         channel.send(process, pointer_check(2, 2))
         assert calls
 
-    def test_unrecovered_full_raises(self, process):
+    def test_unrecovered_full_self_recovers(self, process):
+        """A handler that fails to make room no longer faults through
+        the interpreter: the kernel falls back to drain-and-reset and
+        the stall is cycle-accounted (section 2.3.2 recovery)."""
         channel = AppendWriteUArch(capacity=1, on_full=lambda ch: None)
         channel.send(process, pointer_check(1, 1))
-        with pytest.raises(AMRFullFault):
-            channel.send(process, pointer_check(2, 2))
+        wait_before = process.cycles.wait
+        channel.send(process, pointer_check(2, 2))
+        assert channel.fallback_recoveries == 1
+        assert process.cycles.wait > wait_before  # AMR fault stall charged
+        received = channel.receive_all()
+        assert [m.arg0 for m in received] == [1, 2]  # nothing lost
 
 
 class TestModel:
