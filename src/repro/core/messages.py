@@ -32,8 +32,9 @@ cacheline-aligned FPGA write.  We model that as the ``aux`` field.
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 #: Size of one serialized message, in 8-byte words.
 MESSAGE_WORDS = 4
@@ -41,6 +42,17 @@ MESSAGE_BYTES = MESSAGE_WORDS * 8
 
 _MASK32 = 0xFFFF_FFFF
 _MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class MessageDecodeError(ValueError):
+    """A word stream could not be decoded into messages.
+
+    Raised for truncated streams (length not a multiple of
+    :data:`MESSAGE_WORDS`) and unknown opcodes.  Subclasses
+    ``ValueError`` for compatibility with callers that caught the raw
+    ``Op(...)`` failure; channels map it to ``ChannelIntegrityError`` so
+    the verifier fails closed instead of crashing.
+    """
 
 
 class Op(enum.IntEnum):
@@ -73,6 +85,13 @@ class Op(enum.IntEnum):
     PROCESS_EXIT = 0x52
 
 
+#: Plain-dict opcode lookups for the packed word path — an ``Op(...)``
+#: enum construction per message is measurable at stream rates, a dict
+#: probe is not.
+OP_BY_VALUE = {int(op): op for op in Op}
+OP_NAMES = {int(op): op.name for op in Op}
+
+
 @dataclass(frozen=True)
 class Message:
     """One HerQules message.
@@ -100,12 +119,17 @@ class Message:
         ]
 
     @staticmethod
-    def decode(words: List[int]) -> "Message":
+    def decode(words: Sequence[int]) -> "Message":
         """Deserialize from :data:`MESSAGE_WORDS` 64-bit words."""
         if len(words) != MESSAGE_WORDS:
-            raise ValueError(f"expected {MESSAGE_WORDS} words, got {len(words)}")
+            raise MessageDecodeError(
+                f"expected {MESSAGE_WORDS} words, got {len(words)}")
+        opcode = words[0] & _MASK32
+        op = OP_BY_VALUE.get(opcode)
+        if op is None:
+            raise MessageDecodeError(f"unknown opcode {opcode:#x}")
         return Message(
-            op=Op(words[0] & _MASK32),
+            op=op,
             pid=(words[0] >> 32) & _MASK32,
             arg0=words[1],
             arg1=words[2],
@@ -116,6 +140,43 @@ class Message:
     def with_transport(self, pid: int, counter: int) -> "Message":
         """Return a copy stamped with transport-assigned pid/counter."""
         return Message(self.op, self.arg0, self.arg1, self.aux, pid, counter)
+
+
+def encode_batch(messages: Iterable[Message]) -> array:
+    """Pack messages into one flat ``array('Q')`` word stream."""
+    words = array("Q")
+    append = words.append
+    for m in messages:
+        append((int(m.op) & _MASK32) | ((m.pid & _MASK32) << 32))
+        append(m.arg0 & _MASK64)
+        append(m.arg1 & _MASK64)
+        append((m.aux & _MASK32) | ((m.counter & _MASK32) << 32))
+    return words
+
+
+def decode_batch(words: Sequence[int]) -> List[Message]:
+    """Materialize a flat word stream into :class:`Message` objects.
+
+    Raises :class:`MessageDecodeError` on a truncated stream or an
+    unknown opcode — callers at trust boundaries must treat that as a
+    message-integrity failure, not a crash.
+    """
+    if len(words) % MESSAGE_WORDS:
+        raise MessageDecodeError(
+            f"truncated message stream: {len(words)} words is not a "
+            f"multiple of {MESSAGE_WORDS}")
+    ops = OP_BY_VALUE
+    out: List[Message] = []
+    for i in range(0, len(words), MESSAGE_WORDS):
+        w0 = words[i]
+        opcode = w0 & _MASK32
+        op = ops.get(opcode)
+        if op is None:
+            raise MessageDecodeError(f"unknown opcode {opcode:#x}")
+        w3 = words[i + 3]
+        out.append(Message(op, words[i + 1], words[i + 2], w3 & _MASK32,
+                           (w0 >> 32) & _MASK32, (w3 >> 32) & _MASK32))
+    return out
 
 
 # -- convenience constructors (the compiler runtime uses these) --------------

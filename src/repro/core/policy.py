@@ -9,7 +9,7 @@ copies policy contexts when a monitored process clones, section 3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Sized
 
 from repro.core.messages import Message
 
@@ -27,6 +27,11 @@ class Violation:
         return f"[pid {self.pid}] {self.kind}: {self.detail}"
 
 
+#: One entry in a policy's per-op dispatch table: called with the
+#: message's ``(arg0, arg1, aux)`` payload, returns a violation or None.
+Handler = Callable[[int, int, int], Optional[Violation]]
+
+
 class Policy:
     """Base class for verifier-side execution policies."""
 
@@ -36,6 +41,26 @@ class Policy:
         """Process one message; return a violation if the check failed."""
         return None
 
+    def handlers(self) -> Optional[Dict[int, Handler]]:
+        """Per-op dispatch table for the verifier's batched word path.
+
+        Contract: the returned dict maps ``int(op)`` to a callable
+        taking the message payload ``(arg0, arg1, aux)`` and returning
+        an optional :class:`Violation`.  The table must cover **every**
+        op the policy reacts to — an op absent from the table is a
+        no-op for the policy (though the verifier still counts it in
+        ``PolicyStats``).  Returned violations may leave ``pid`` as 0
+        and ``message`` as None; the dispatcher stamps the sender pid
+        and lazily materializes the message.  Handlers are bound
+        closures over live policy state, so the table must be built
+        per-instance (never shared across :meth:`clone` children).
+
+        Returning None (the default) keeps the policy on the legacy
+        adapter: the verifier materializes a
+        :class:`~repro.core.messages.Message` and calls :meth:`handle`.
+        """
+        return None
+
     def clone(self) -> "Policy":
         """Deep-copy the policy context for a forked child (section 3.4)."""
         raise NotImplementedError
@@ -43,6 +68,18 @@ class Policy:
     def entry_count(self) -> int:
         """Number of metadata entries held (the section 5.4 metric)."""
         return 0
+
+    def entries_ref(self) -> Optional[Sized]:
+        """The container whose ``len`` *is* :meth:`entry_count`, or None.
+
+        The batch dispatcher samples the entry count once per message
+        for the section 5.4 high-water mark; returning the live
+        container lets it take a C-level ``len`` instead of a Python
+        call.  Policies whose count is not the length of one container
+        (or that rebind the container) return None and pay the
+        :meth:`entry_count` call.
+        """
+        return None
 
 
 @dataclass

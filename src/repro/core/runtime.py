@@ -17,12 +17,29 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.core import messages as msg
-from repro.core.messages import Message
+from repro.core.messages import Message, Op
 from repro.ipc.base import Channel, ChannelFullError
 from repro.sim.cpu import ProcessKilledError, Runtime
 from repro.sim.cycles import ns_to_cycles
 from repro.sim.loader import Image
+
+# Flat opcode constants for the word-path sends; an Op(...) enum
+# construction per message is measurable at instrumentation rates.
+_POINTER_DEFINE = int(Op.POINTER_DEFINE)
+_POINTER_CHECK = int(Op.POINTER_CHECK)
+_POINTER_INVALIDATE = int(Op.POINTER_INVALIDATE)
+_POINTER_CHECK_INVALIDATE = int(Op.POINTER_CHECK_INVALIDATE)
+_POINTER_BLOCK_COPY = int(Op.POINTER_BLOCK_COPY)
+_POINTER_BLOCK_MOVE = int(Op.POINTER_BLOCK_MOVE)
+_POINTER_BLOCK_INVALIDATE = int(Op.POINTER_BLOCK_INVALIDATE)
+_SYSCALL = int(Op.SYSCALL)
+_EVENT = int(Op.EVENT)
+_ALLOCATION_CREATE = int(Op.ALLOCATION_CREATE)
+_ALLOCATION_CHECK = int(Op.ALLOCATION_CHECK)
+_ALLOCATION_CHECK_BASE = int(Op.ALLOCATION_CHECK_BASE)
+_ALLOCATION_EXTEND = int(Op.ALLOCATION_EXTEND)
+_ALLOCATION_DESTROY = int(Op.ALLOCATION_DESTROY)
+_ALLOCATION_DESTROY_ALL = int(Op.ALLOCATION_DESTROY_ALL)
 
 
 class HQRuntime(Runtime):
@@ -59,6 +76,11 @@ class HQRuntime(Runtime):
         self.full_retries = 0
 
     def _send(self, message: Message) -> None:
+        self._send_raw(int(message.op), message.arg0, message.arg1,
+                       message.aux)
+
+    def _send_raw(self, op: int, arg0: int = 0, arg1: int = 0,
+                  aux: int = 0) -> None:
         process = self.interpreter.process
         overhead = (self.INLINED_CALL_CYCLES if self.inlined
                     else self.LIBRARY_CALL_CYCLES)
@@ -66,7 +88,7 @@ class HQRuntime(Runtime):
         last_error: Optional[ChannelFullError] = None
         for attempt in range(self.SEND_RETRY_BUDGET + 1):
             try:
-                self.channel.send(process, message)
+                self.channel.send_raw(process, op, arg0, arg1, aux)
             except ChannelFullError as error:
                 last_error = error
                 self.full_retries += 1
@@ -93,52 +115,53 @@ class HQRuntime(Runtime):
     def on_program_start(self, image: Image) -> None:
         """Send defines for relocated global code pointers (init array)."""
         for slot, value in image.initialized_code_pointers().items():
-            self._send(msg.pointer_define(slot, value))
+            self._send_raw(_POINTER_DEFINE, slot, value)
 
     def call(self, name: str, args: List[int]) -> int:
         if name == "hq_pointer_define":
-            self._send(msg.pointer_define(args[0], args[1]))
+            self._send_raw(_POINTER_DEFINE, args[0], args[1])
         elif name == "hq_pointer_check":
-            self._send(msg.pointer_check(args[0], args[1]))
+            self._send_raw(_POINTER_CHECK, args[0], args[1])
         elif name == "hq_pointer_invalidate":
-            self._send(msg.pointer_invalidate(args[0]))
+            self._send_raw(_POINTER_INVALIDATE, args[0])
         elif name == "hq_pointer_check_invalidate":
-            self._send(msg.pointer_check_invalidate(args[0], args[1]))
+            self._send_raw(_POINTER_CHECK_INVALIDATE, args[0], args[1])
         elif name == "hq_pointer_block_copy":
-            self._send(msg.pointer_block_copy(args[0], args[1], args[2]))
+            self._send_raw(_POINTER_BLOCK_COPY, args[0], args[1], args[2])
         elif name == "hq_pointer_block_move":
-            self._send(msg.pointer_block_move(args[0], args[1], args[2]))
+            self._send_raw(_POINTER_BLOCK_MOVE, args[0], args[1], args[2])
         elif name == "hq_pointer_block_invalidate":
-            self._send(msg.pointer_block_invalidate(args[0], args[1]))
+            self._send_raw(_POINTER_BLOCK_INVALIDATE, args[0], 0, args[1])
         elif name == "hq_syscall":
-            self._send(msg.syscall_message(args[0] if args else 0))
+            self._send_raw(_SYSCALL, args[0] if args else 0)
         elif name == "hq_event":
-            self._send(msg.event(args[0], args[1] if len(args) > 1 else 1))
+            self._send_raw(_EVENT, args[0],
+                           args[1] if len(args) > 1 else 1)
         elif name == "hq_allocation_create":
-            self._send(msg.allocation_create(args[0], args[1]))
+            self._send_raw(_ALLOCATION_CREATE, args[0], args[1])
         elif name == "hq_allocation_check":
-            self._send(msg.allocation_check(args[0]))
+            self._send_raw(_ALLOCATION_CHECK, args[0])
         elif name == "hq_allocation_check_base":
-            self._send(msg.allocation_check_base(args[0], args[1]))
+            self._send_raw(_ALLOCATION_CHECK_BASE, args[0], args[1])
         elif name == "hq_allocation_extend":
-            self._send(msg.allocation_extend(args[0], args[1], args[2]))
+            self._send_raw(_ALLOCATION_EXTEND, args[0], args[1], args[2])
         elif name == "hq_allocation_destroy":
-            self._send(msg.allocation_destroy(args[0]))
+            self._send_raw(_ALLOCATION_DESTROY, args[0])
         elif name == "hq_allocation_destroy_all":
-            self._send(msg.allocation_destroy_all(args[0], args[1]))
+            self._send_raw(_ALLOCATION_DESTROY_ALL, args[0], 0, args[1])
         elif name == "hq_event3":
             # Three-argument policy event (kind, value, aux) — used by
             # richer policies like data-flow integrity.
-            self._send(Message(msg.Op.EVENT, args[0], args[1],
-                               args[2] if len(args) > 2 else 0))
+            self._send_raw(_EVENT, args[0], args[1],
+                           args[2] if len(args) > 2 else 0)
         elif name == "hq_dfi_block_store":
             # DFI block write: pack (size, def id) into the aux field.
             address, size, def_id = args[0], args[1], args[2]
-            self._send(Message(msg.Op.EVENT, 21, address,
-                               ((size & 0xFFFF) << 16) | (def_id & 0xFFFF)))
+            self._send_raw(_EVENT, 21, address,
+                           ((size & 0xFFFF) << 16) | (def_id & 0xFFFF))
         elif name == "hq_heartbeat":
             self._heartbeat_seq = getattr(self, "_heartbeat_seq", 0) + 1
-            self._send(msg.event(2, self._heartbeat_seq))
+            self._send_raw(_EVENT, 2, self._heartbeat_seq)
         elif name == "hq_free_hook":
             self._free_hook(args[0])
         elif name == "hq_realloc_hook":
@@ -166,21 +189,21 @@ class HQRuntime(Runtime):
         allocation = self.interpreter.process.heap.live.get(pointer)
         size = allocation.size if allocation is not None else 0
         if size:
-            self._send(msg.pointer_block_invalidate(pointer, size))
+            self._send_raw(_POINTER_BLOCK_INVALIDATE, pointer, 0, size)
 
     def _realloc_hook(self, old: int, new: int, size: int) -> None:
         """After ``realloc``: move tracked pointers if the block moved."""
         if old != new:
-            self._send(msg.pointer_block_move(old, new, size))
+            self._send_raw(_POINTER_BLOCK_MOVE, old, new, size)
 
     # -- jmp_buf hooks (section 4.1.3: the internal setjmp pointer) -----------
 
     def _jmp_buf_hook(self, buf: int, define: bool) -> None:
         value = self.interpreter.process.memory.load(buf)
         if define:
-            self._send(msg.pointer_define(buf, value))
+            self._send_raw(_POINTER_DEFINE, buf, value)
         else:
-            self._send(msg.pointer_check(buf, value))
+            self._send_raw(_POINTER_CHECK, buf, value)
 
     # -- return-pointer messaging (HQ-CFI-RetPtr, section 4.1.6) ---------------
 
@@ -196,9 +219,9 @@ class HQRuntime(Runtime):
         slot, _ = self.interpreter.call_stack[-1]
         value = self.interpreter.process.memory.load(slot)
         if define:
-            self._send(msg.pointer_define(slot, value))
+            self._send_raw(_POINTER_DEFINE, slot, value)
         else:
-            self._send(msg.pointer_check_invalidate(slot, value))
+            self._send_raw(_POINTER_CHECK_INVALIDATE, slot, value)
 
     # -- store-to-load-forwarding recursion guards (section 4.1.4) ----------
 

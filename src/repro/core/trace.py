@@ -37,7 +37,13 @@ def semantic(message: Message) -> Semantic:
 
 
 class RecordingChannel(Channel):
-    """Transparent channel wrapper that records every message."""
+    """Transparent channel wrapper that records every message.
+
+    Recording happens at word granularity: each send appends its flat
+    ``(op, arg0, arg1, aux)`` payload, and :attr:`trace` materializes
+    ``Message`` objects lazily — the recording tax on the hot send path
+    is one tuple, not a dataclass.
+    """
 
     def __init__(self, inner: Channel) -> None:
         super().__init__(inner.capacity)
@@ -46,17 +52,36 @@ class RecordingChannel(Channel):
         self.append_only = inner.append_only
         self.async_validation = inner.async_validation
         self.primary_cost = inner.primary_cost
-        self.trace: List[Message] = []
+        self._raw_trace: List[Tuple[int, int, int, int]] = []
+
+    @property
+    def trace(self) -> List[Message]:
+        """The recorded messages (unstamped), materialized on demand."""
+        from repro.core.messages import OP_BY_VALUE
+        return [Message(OP_BY_VALUE[op], arg0, arg1, aux)
+                for op, arg0, arg1, aux in self._raw_trace]
 
     def send(self, sender: Process, message: Message) -> None:
-        self.trace.append(message)
+        self._raw_trace.append((int(message.op), message.arg0,
+                                message.arg1, message.aux))
         self.inner.send(sender, message)
+
+    def send_raw(self, sender: Process, op: int, arg0: int = 0,
+                 arg1: int = 0, aux: int = 0) -> None:
+        self._raw_trace.append((op, arg0, arg1, aux))
+        self.inner.send_raw(sender, op, arg0, arg1, aux)
 
     def _receive_raw(self) -> List[Message]:
         return self.inner._receive_raw()
 
+    def _receive_raw_words(self):
+        return self.inner._receive_raw_words()
+
     def _validate(self, messages: List[Message]) -> List[Message]:
         return self.inner._validate(messages)
+
+    def _validate_words(self, words):
+        return self.inner._validate_words(words)
 
     def resync(self) -> List[Message]:
         return self.inner.resync()

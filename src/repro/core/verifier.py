@@ -18,9 +18,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
-from repro.core.messages import Message, Op
+from repro.core.messages import (MESSAGE_WORDS, Message, MessageDecodeError,
+                                 Op, OP_BY_VALUE, OP_NAMES, decode_batch)
 from repro.core.policy import Policy, PolicyStats, Violation
 from repro.ipc.base import Channel, ChannelIntegrityError
+
+_OP_SYSCALL = int(Op.SYSCALL)
+_MASK32 = 0xFFFF_FFFF
 
 
 class Verifier:
@@ -84,8 +88,18 @@ class Verifier:
         self._syscall_tokens[child_pid] = 0
 
     def unregister_process(self, pid: int) -> None:
-        """Kernel notification: the process terminated."""
+        """Kernel notification: the process terminated.
+
+        Live state — the policy context, the pending-violation flag,
+        unconsumed syscall tokens — is dropped with the process;
+        fork-heavy sweeps would otherwise grow those maps without
+        bound.  Reporting history (``stats``, ``violations``) survives:
+        it describes what already happened and is what the framework
+        reads after the run.
+        """
         self.contexts.pop(pid, None)
+        self._pending_violation.pop(pid, None)
+        self._syscall_tokens.pop(pid, None)
 
     # -- the main loop --------------------------------------------------------------
 
@@ -118,12 +132,23 @@ class Verifier:
             processed += 1
         for channel in self.channels:
             try:
-                messages = channel.receive_all()
+                words = channel.receive_words()
             except ChannelIntegrityError as error:
-                self.integrity_failures.append(str(error))
-                for pid in self.contexts:
-                    self._record_violation(Violation(
-                        pid, "message-integrity", str(error)))
+                self._integrity_violation(str(error))
+                continue
+            if max_messages is None:
+                # Unbounded poll (the common case): the backlog is
+                # already empty, so the batch dispatches straight off
+                # the word stream with no Message materialization.
+                processed += self._dispatch_words(words)
+                continue
+            # Bounded poll (a slow verifier under backpressure):
+            # materialize so the overflow can queue in the backlog.
+            try:
+                messages = decode_batch(words)
+            except MessageDecodeError as error:
+                self._integrity_violation(
+                    f"undecodable message stream: {error}")
                 continue
             for message in messages:
                 if budget_left():
@@ -136,6 +161,170 @@ class Verifier:
     def backlog_size(self) -> int:
         """Messages drained but not yet dispatched (backpressure)."""
         return len(self._backlog)
+
+    def _integrity_violation(self, detail: str) -> None:
+        """Transport integrity failure: violation for every live pid."""
+        self.integrity_failures.append(detail)
+        for pid in self.contexts:
+            self._record_violation(Violation(pid, "message-integrity",
+                                             detail))
+
+    def _dispatch_words(self, words) -> int:
+        """Dispatch one packed word batch without materializing messages.
+
+        Consecutive same-pid runs share the per-pid lookups (context,
+        dispatch table, stats) — channel streams are single-writer, so
+        one resolution usually covers the whole batch.  Per message the
+        hot path is: opcode probe, handler call with the raw payload,
+        inline stats update.  ``Message`` objects exist only when a
+        policy has no dispatch table (legacy adapter) or a violation
+        needs its evidence attached.
+
+        An opcode the wire codec does not know is message-integrity
+        evidence: the batch is abandoned and every live pid is marked
+        violated (fail closed), exactly as if the transport had
+        reported the corruption itself.
+
+        The per-message stats (processed count, entry high-water mark)
+        accumulate in run-local variables and flush into
+        :class:`PolicyStats` at run boundaries and before anything that
+        can observe the stats (a violation record, an integrity abort,
+        returning) — final stats are identical to per-message updates.
+        """
+        n = len(words)
+        if n & 3:
+            # A partial trailing message must not be silently skipped
+            # (nor crash the verifier): it is transport corruption.
+            self._integrity_violation(
+                f"undecodable message stream: truncated message stream: "
+                f"{n} words is not a multiple of 4")
+            return 0
+        op_names = OP_NAMES
+        op_by_value = OP_BY_VALUE
+        contexts = self.contexts
+        stats = self.stats
+        current_pid = -1
+        context: Optional[Policy] = None
+        handlers = None
+        st: Optional[PolicyStats] = None
+        by_op = None
+        sized = None
+        run_mp = 0        # messages processed since the last flush
+        run_max = -1      # entry-count high-water mark since the flush
+        processed = 0     # only maintained for the abort path
+        # One C-level iterator per word column: no index arithmetic or
+        # bounds checks in the loop body.
+        for w0, arg0, arg1, w3 in zip(words[0::4], words[1::4],
+                                      words[2::4], words[3::4]):
+            pid = w0 >> 32
+            if pid != current_pid:
+                if run_mp:
+                    st.messages_processed += run_mp
+                    if run_max > st.max_entries:
+                        st.max_entries = run_max
+                    run_mp = 0
+                    run_max = -1
+                current_pid = pid
+                context = contexts.get(pid)
+                handlers = context.handlers() if context is not None else None
+                st = stats.get(pid)
+                by_op = st.by_op if st is not None else None
+                sized = (context.entries_ref()
+                         if context is not None else None)
+            op = w0 & _MASK32
+            name = op_names.get(op)
+            if name is None:
+                if run_mp:
+                    st.messages_processed += run_mp
+                    if run_max > st.max_entries:
+                        st.max_entries = run_max
+                self._integrity_violation(
+                    f"undecodable message stream: unknown opcode {op:#x}")
+                return processed
+            if op == _OP_SYSCALL:
+                # All outstanding messages from this pid have been
+                # processed (channel ordering): hand the kernel a
+                # resume token.
+                self._syscall_tokens[pid] = \
+                    self._syscall_tokens.get(pid, 0) + 1
+                if st is not None:
+                    run_mp += 1
+                    try:
+                        by_op[name] += 1
+                    except KeyError:
+                        by_op[name] = 1
+                    if sized is not None:
+                        entries = len(sized)
+                    else:
+                        entries = (context.entry_count()
+                                   if context is not None else 0)
+                    if entries > run_max:
+                        run_max = entries
+                processed += 1
+                continue
+            if context is None:
+                # Message from an unregistered pid: ignore (cannot
+                # happen with kernel-arbitrated channels).
+                processed += 1
+                continue
+            aux = w3 & _MASK32
+            malformed = False
+            if handlers is not None:
+                handler = handlers.get(op)
+                if handler is not None:
+                    try:
+                        violation = handler(arg0, arg1, aux)
+                    except Exception as error:
+                        violation = Violation(
+                            pid, "malformed-message",
+                            f"policy {getattr(context, 'name', '?')} "
+                            f"raised {error!r} while handling "
+                            f"{op_by_value[op]!r} (fail closed)")
+                        malformed = True
+                else:
+                    violation = None
+            else:
+                message = Message(op_by_value[op], arg0, arg1, aux, pid,
+                                  w3 >> 32)
+                try:
+                    violation = context.handle(message)
+                except Exception as error:
+                    violation = Violation(
+                        pid, "malformed-message",
+                        f"policy {getattr(context, 'name', '?')} raised "
+                        f"{error!r} while handling {message.op!r} "
+                        f"(fail closed)")
+                    malformed = True
+            run_mp += 1
+            try:
+                by_op[name] += 1
+            except KeyError:
+                by_op[name] = 1
+            entries = len(sized) if sized is not None \
+                else context.entry_count()
+            if entries > run_max:
+                run_max = entries
+            if violation is not None:
+                st.violations += 1
+                # Flush before recording: kill hooks and restart logic
+                # may read the stats for this pid.
+                st.messages_processed += run_mp
+                if run_max > st.max_entries:
+                    st.max_entries = run_max
+                run_mp = 0
+                run_max = -1
+                if not malformed:
+                    violation.pid = pid
+                    if violation.message is None:
+                        violation.message = Message(op_by_value[op], arg0,
+                                                    arg1, aux, pid, w3 >> 32)
+                self._record_violation(violation)
+            processed += 1
+        if run_mp:
+            st.messages_processed += run_mp
+            if run_max > st.max_entries:
+                st.max_entries = run_max
+        return processed
 
     def _dispatch(self, message: Message) -> None:
         pid = message.pid

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.core.messages import Message
+from repro.core.messages import Message, encode_batch
 from repro.faults.plan import FaultPlan
 from repro.ipc.base import Channel, ChannelFullError
 from repro.sim.process import Process
@@ -69,6 +69,19 @@ class FaultyChannel(Channel):
             raise ChannelFullError(
                 f"injected channel-full on {self.primitive or 'channel'}")
         self.inner.send(sender, message)
+
+    # send_raw is intentionally NOT overridden: the base bridge routes
+    # word-path sends through send(), which is this wrapper's (and its
+    # test subclasses') injection point — one forced_full() draw per
+    # attempt either way, so fault plans stay deterministic.
+
+    def receive_words(self):
+        # Fault injection operates on Message objects, and mutated
+        # streams (reorders especially) must face the inner primitive's
+        # *strict* per-message validation — never the word path's batch
+        # range check, which a reordering with intact endpoints could
+        # slip past.  Validation happens inside receive_all.
+        return encode_batch(self.receive_all())
 
     def _receive_raw(self) -> List[Message]:
         self._round += 1

@@ -27,13 +27,21 @@ implementations are modelled:
   It lacks hardware append-only enforcement (the paper notes it "should
   not actually be deployed") but gives a lower-bound performance
   estimate.
+
+All three are *word-native*: sends write packed 64-bit words straight
+into the ring/AMR in the ``repro.core.messages`` wire format and the
+receive side hands the verifier the same flat stream — ``Message``
+objects only exist at API boundaries (object-path callers, tests,
+fault injection).
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, List, Optional
 
-from repro.core.messages import MESSAGE_BYTES, MESSAGE_WORDS, Message
+from repro.core.messages import (MESSAGE_BYTES, MESSAGE_WORDS, Message,
+                                 _MASK32, _MASK64)
 from repro.ipc.base import Channel, ChannelFullError, ChannelIntegrityError
 from repro.ipc.latency import send_cycles
 from repro.sim.cycles import ns_to_cycles
@@ -65,6 +73,39 @@ class _CounterChecked(Channel):
 
     def _validate(self, messages: List[Message]) -> List[Message]:
         return self._check_counters(messages)
+
+    def _validate_words(self, words: array) -> array:
+        """Batch counter check over a packed word stream.
+
+        The transports in this family append strictly consecutive
+        counters, so a whole healthy batch is provable with one range
+        comparison: first counter is the expected one and the last is
+        ``expected + n - 1``.  Anything else falls back to the
+        per-message walk, which pinpoints the gap with the same error
+        the object path raises.
+        """
+        n_words = len(words)
+        if not n_words:
+            return words
+        if n_words % MESSAGE_WORDS:
+            raise ChannelIntegrityError(
+                f"undecodable message stream: truncated message stream: "
+                f"{n_words} words is not a multiple of {MESSAGE_WORDS}")
+        count = n_words // MESSAGE_WORDS
+        expected = self._expected_counter
+        if (words[3] >> 32 == expected
+                and words[n_words - 1] >> 32 == expected + count - 1):
+            self._expected_counter = expected + count
+            return words
+        for i in range(3, n_words, MESSAGE_WORDS):
+            counter = words[i] >> 32
+            if counter != self._expected_counter:
+                raise ChannelIntegrityError(
+                    f"counter gap: expected {self._expected_counter}, "
+                    f"got {counter} (messages dropped or tampered)"
+                )
+            self._expected_counter += 1
+        return words
 
     def resync(self) -> List[Message]:
         """Discard in-flight messages and realign the counter check.
@@ -100,8 +141,10 @@ class AppendWriteFPGA(_CounterChecked):
     def __init__(self, capacity: int = 1 << 20,
                  on_full: Optional[Callable[["AppendWriteFPGA"], None]] = None) -> None:
         super().__init__(capacity)
-        self._ring: List[Message] = []
+        self._ring = array("Q")
         self._on_full = on_full
+        self._send_cost = send_cycles(self.primitive)
+        self._capacity_words = capacity * MESSAGE_WORDS
         #: Kernel-managed PID register, updated on context switch; this
         #: is what makes the pid stamp unforgeable by the sender.
         self.pid_register: Optional[int] = None
@@ -110,18 +153,22 @@ class AppendWriteFPGA(_CounterChecked):
         """Kernel hook: update the AFU PID register on a context switch."""
         self.pid_register = pid
 
-    def send(self, sender: Process, message: Message) -> None:
+    def send_raw(self, sender: Process, op: int, arg0: int = 0,
+                 arg1: int = 0, aux: int = 0) -> None:
         if self.pid_register is None:
             # The kernel switched this process in before it ran.
             self.pid_register = sender.pid
-        sender.cycles.charge_ipc(send_cycles(self.primitive))
-        counter = self._next_counter()
+        sender.cycles.charge_ipc(self._send_cost)
+        counter = self._counter + 1
+        self._counter = counter
         self.sent_total += 1
-        if len(self._ring) >= self.capacity:
+        if len(self._ring) >= self._capacity_words:
             # The AFU has no back-pressure, but the kernel driver can
             # drain the verifier when the ring-full interrupt fires.
             self._notify_full()
-        if len(self._ring) >= self.capacity:
+        # Draining swaps the ring out, so re-read it after the hook.
+        ring = self._ring
+        if len(ring) >= self._capacity_words:
             # Still full: the message is lost, leaving a counter gap
             # that the verifier will observe (an integrity violation
             # that kills the monitored program — fail closed).
@@ -129,15 +176,18 @@ class AppendWriteFPGA(_CounterChecked):
             return
         # The AFU, not the sender, stamps pid: a compromised program that
         # claims another pid in its message payload is overridden here.
-        self._ring.append(message.with_transport(self.pid_register, counter))
+        ring.append((op & _MASK32) | ((self.pid_register & _MASK32) << 32))
+        ring.append(arg0 & _MASK64)
+        ring.append(arg1 & _MASK64)
+        ring.append((aux & _MASK32) | ((counter & _MASK32) << 32))
 
-    def _receive_raw(self) -> List[Message]:
-        messages = list(self._ring)
-        self._ring.clear()
-        return messages
+    def _receive_raw_words(self) -> array:
+        words = self._ring
+        self._ring = array("Q")
+        return words
 
     def pending(self) -> int:
-        return len(self._ring)
+        return len(self._ring) // MESSAGE_WORDS
 
 
 class AMRFullFault(Exception):
@@ -184,20 +234,30 @@ class AppendWriteUArch(_CounterChecked):
         size = align_up(capacity * MESSAGE_BYTES)
         self.memory.map_region(base, size, PROT_READ | PROT_AMR, "amr")
         self.base = base
+        #: Per-send cycle cost, fixed for the primitive — hoisted out of
+        #: the send path.
+        self._send_cost = send_cycles(self.primitive)
+        #: The datapath validated the whole AMR span at this protection
+        #: epoch; while it is current, stores skip the per-page checks.
+        self._amr_epoch = self.memory.prot_epoch
         #: Privileged per-core registers (section 2.3.2).
         self.append_addr = base
         self.max_append_addr = base + capacity * MESSAGE_BYTES
         #: Verifier's read cursor.
         self.read_addr = base
         self._on_full = on_full
-        self._staged: List[Message] = []
+        self._staged = array("Q")
         self.faults = 0
         #: Faults the configured handler failed to resolve, recovered by
         #: the fallback drain-and-reset path instead of raising.
         self.fallback_recoveries = 0
 
-    def send(self, sender: Process, message: Message) -> None:
-        sender.cycles.charge_ipc(send_cycles(self.primitive))
+    def send_raw(self, sender: Process, op: int, arg0: int = 0,
+                 arg1: int = 0, aux: int = 0) -> None:
+        # charge_ipc inlined (it is a bare ``ipc += cycles``): one send
+        # is a single simulated store, so the accounting call would be
+        # a third of the datapath's cost.
+        sender.cycles.ipc += self._send_cost
         if self.append_addr + MESSAGE_BYTES > self.max_append_addr:
             # AMR-exhaustion fault: the kernel handles it while the
             # faulting AppendWrite stalls — cycle-accounted, never
@@ -215,41 +275,67 @@ class AppendWriteUArch(_CounterChecked):
                 self.reset_registers()
                 if self._on_full is not None:
                     self.fallback_recoveries += 1
-        stamped = message.with_transport(sender.pid, self._next_counter())
-        for i, word in enumerate(stamped.encode()):
-            # The AppendWrite datapath store: permitted on AMR pages where
-            # ordinary stores are rejected by the MMU.
-            self.memory.append_store(self.append_addr + i * WORD_SIZE, word)
-        self.append_addr += MESSAGE_BYTES
+        counter = self._counter + 1
+        self._counter = counter
+        memory = self.memory
+        address = self.append_addr
+        if memory.prot_epoch == self._amr_epoch:
+            # The AppendWrite datapath store, page checks pre-validated
+            # for the whole span at the current protection epoch.
+            words = memory._words
+            words[address] = (op & _MASK32) | ((sender.pid & _MASK32) << 32)
+            words[address + 8] = arg0 & _MASK64
+            words[address + 16] = arg1 & _MASK64
+            words[address + 24] = (aux & _MASK32) | ((counter & _MASK32) << 32)
+        elif memory.span_is_amr(self.base, self.max_append_addr):
+            # Protections changed but the whole span is still AMR:
+            # revalidate once and retake the fast path.
+            self._amr_epoch = memory.prot_epoch
+            words = memory._words
+            words[address] = (op & _MASK32) | ((sender.pid & _MASK32) << 32)
+            words[address + 8] = arg0 & _MASK64
+            words[address + 16] = arg1 & _MASK64
+            words[address + 24] = (aux & _MASK32) | ((counter & _MASK32) << 32)
+        else:
+            # The span is no longer wholly AMR: take the per-page-checked
+            # store for exact fault semantics (stores onto a still-AMR
+            # prefix succeed, others fault).
+            memory.append_store_words(address, (
+                (op & _MASK32) | ((sender.pid & _MASK32) << 32),
+                arg0 & _MASK64,
+                arg1 & _MASK64,
+                (aux & _MASK32) | ((counter & _MASK32) << 32),
+            ))
+        self.append_addr = address + MESSAGE_BYTES
         self.sent_total += 1
 
     def _drain_to_staging(self) -> None:
         """Kernel-side: move unread AMR contents aside before a reset."""
-        self._staged.extend(self._read_amr())
+        self._staged.extend(self._read_amr_words())
 
     def reset_registers(self) -> None:
         """Kernel-side: rewind AppendAddr once the AMR has been read."""
         self.append_addr = self.base
         self.read_addr = self.base
 
-    def _read_amr(self) -> List[Message]:
-        messages = []
-        address = self.read_addr
-        while address < self.append_addr:
-            words = [self.memory.load_physical(address + i * WORD_SIZE)
-                     for i in range(MESSAGE_WORDS)]
-            messages.append(Message.decode(words))
-            address += MESSAGE_BYTES
-        self.read_addr = address
-        return messages
+    def _read_amr_words(self) -> array:
+        """Verifier-side bulk AMR read: one ranged load, not a word loop."""
+        n_words = (self.append_addr - self.read_addr) // WORD_SIZE
+        words = self.memory.load_words(self.read_addr, n_words)
+        self.read_addr = self.append_addr
+        return words
 
-    def _receive_raw(self) -> List[Message]:
-        messages = self._staged + self._read_amr()
-        self._staged = []
-        return messages
+    def _receive_raw_words(self) -> array:
+        if self._staged:
+            words = self._staged
+            self._staged = array("Q")
+            words.extend(self._read_amr_words())
+            return words
+        return self._read_amr_words()
 
     def pending(self) -> int:
-        return len(self._staged) + (self.append_addr - self.read_addr) // MESSAGE_BYTES
+        return (len(self._staged) // MESSAGE_WORDS
+                + (self.append_addr - self.read_addr) // MESSAGE_BYTES)
 
 
 class AppendWriteModel(_CounterChecked):
@@ -276,26 +362,35 @@ class AppendWriteModel(_CounterChecked):
     def __init__(self, capacity: int = 1 << 16,
                  on_full: Optional[Callable[["AppendWriteModel"], None]] = None) -> None:
         super().__init__(capacity)
-        self._ring: List[Message] = []
+        self._ring = array("Q")
         self._on_full = on_full
+        self._send_cost = send_cycles(self.primitive)
+        self._capacity_words = capacity * MESSAGE_WORDS
         self.full_waits = 0
 
-    def send(self, sender: Process, message: Message) -> None:
-        sender.cycles.charge_ipc(send_cycles(self.primitive))
-        if len(self._ring) >= self.capacity:
+    def send_raw(self, sender: Process, op: int, arg0: int = 0,
+                 arg1: int = 0, aux: int = 0) -> None:
+        sender.cycles.charge_ipc(self._send_cost)
+        if len(self._ring) >= self._capacity_words:
             self.full_waits += 1
             sender.cycles.charge_wait(ns_to_cycles(self.FULL_WAIT_NS))
             if self._on_full is not None:
                 self._on_full(self)
-            if len(self._ring) >= self.capacity:
+            if len(self._ring) >= self._capacity_words:
                 raise ChannelFullError("model buffer full and verifier absent")
-        self._ring.append(message.with_transport(sender.pid, self._next_counter()))
+        ring = self._ring
+        counter = self._counter + 1
+        self._counter = counter
+        ring.append((op & _MASK32) | ((sender.pid & _MASK32) << 32))
+        ring.append(arg0 & _MASK64)
+        ring.append(arg1 & _MASK64)
+        ring.append((aux & _MASK32) | ((counter & _MASK32) << 32))
         self.sent_total += 1
 
-    def _receive_raw(self) -> List[Message]:
-        messages = list(self._ring)
-        self._ring.clear()
-        return messages
+    def _receive_raw_words(self) -> array:
+        words = self._ring
+        self._ring = array("Q")
+        return words
 
     def pending(self) -> int:
-        return len(self._ring)
+        return len(self._ring) // MESSAGE_WORDS

@@ -2,10 +2,10 @@
 
 Every primitive from paper Table 2 implements this interface so the
 framework, micro-benchmarks, and security tests can swap transports.
-A channel moves :class:`~repro.core.messages.Message` objects from a
-*monitored program* to the *verifier*, stamping each with the sender's
-pid (authenticity) and a transport counter (drop/integrity detection),
-and charging the sender the primitive's per-send cycle cost.
+A channel moves HerQules messages from a *monitored program* to the
+*verifier*, stamping each with the sender's pid (authenticity) and a
+transport counter (drop/integrity detection), and charging the sender
+the primitive's per-send cycle cost.
 
 Two orthogonal properties distinguish the primitives (Table 2):
 
@@ -16,14 +16,33 @@ Two orthogonal properties distinguish the primitives (Table 2):
 * ``async_validation`` — a send does not block the sender on the
   receiver; cost stays off the critical path (memory write vs system
   call / context switch).
+
+The channel API is *dual-surface*: every channel speaks both the packed
+word-stream protocol (``send_raw`` / ``receive_words``, flat
+``array('Q')`` batches in the 4-words-per-message wire format of
+``repro.core.messages``) and the object protocol (``send`` /
+``receive_all``, :class:`~repro.core.messages.Message` lists).  The
+base class bridges each surface to the other, so a subclass implements
+exactly one side and gets the other for free:
+
+* word-native channels (the AppendWrite family, rings) override
+  ``send_raw`` and ``_receive_raw_words`` — the hot path never
+  allocates a ``Message``;
+* wrapper channels (trace recording, fault injection) override ``send``
+  and ``_receive_raw`` and keep operating on objects.
+
+A subclass must override at least one method of each bridged pair;
+overriding neither would leave the defaults calling each other.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Optional
+from array import array
+from typing import Callable, List, Optional, Sequence
 
-from repro.core.messages import Message
+from repro.core.messages import (Message, MessageDecodeError, Op, decode_batch,
+                                 encode_batch)
 from repro.sim.process import Process
 
 
@@ -44,10 +63,11 @@ class Channel(abc.ABC):
 
     The receive path is split in two so fault injection and the verifier
     restart path can reach the undecoded transport stream:
-    :meth:`_receive_raw` drains the transport buffer, and
-    :meth:`_validate` applies the primitive's integrity discipline
-    (counter checking, for the AppendWrite family).  ``receive_all`` is
-    their composition and remains the verifier-facing entry point.
+    :meth:`_receive_raw_words` / :meth:`_receive_raw` drain the
+    transport buffer, and :meth:`_validate_words` / :meth:`_validate`
+    apply the primitive's integrity discipline (counter checking, for
+    the AppendWrite family).  ``receive_words`` / ``receive_all`` are
+    their compositions and remain the verifier-facing entry points.
     """
 
     #: Primitive key into :data:`repro.ipc.latency.SEND_NS`.
@@ -80,7 +100,8 @@ class Channel(abc.ABC):
         if self._on_full is not None:
             self._on_full(self)
 
-    @abc.abstractmethod
+    # -- send surface -------------------------------------------------------
+
     def send(self, sender: Process, message: Message) -> None:
         """Transmit ``message`` from ``sender``, charging its cycle cost.
 
@@ -88,10 +109,39 @@ class Channel(abc.ABC):
         drain hook could not make room; the sender's runtime maps that
         to bounded retry and, ultimately, a fail-closed kill.
         """
+        self.send_raw(sender, int(message.op), message.arg0, message.arg1,
+                      message.aux)
 
-    @abc.abstractmethod
+    def send_raw(self, sender: Process, op: int, arg0: int = 0,
+                 arg1: int = 0, aux: int = 0) -> None:
+        """Word-path send: the flat-field twin of :meth:`send`.
+
+        Word-native channels override this and stamp pid/counter by
+        writing words directly — no ``Message`` allocation, no
+        ``with_transport`` copy.  The bridge default routes through
+        :meth:`send` for wrapper channels that only speak objects.
+        """
+        self.send(sender, Message(Op(op), arg0, arg1, aux))
+
+    # -- receive surface ----------------------------------------------------
+
+    def _receive_raw_words(self) -> array:
+        """Drain the transport buffer as a flat word stream, unvalidated."""
+        return encode_batch(self._receive_raw())
+
     def _receive_raw(self) -> List[Message]:
         """Drain the transport buffer without integrity validation."""
+        try:
+            return decode_batch(self._receive_raw_words())
+        except MessageDecodeError as error:
+            # Fail closed: a stream the trusted codec cannot decode is
+            # integrity evidence, never a crash.
+            raise ChannelIntegrityError(
+                f"undecodable message stream: {error}") from error
+
+    def _validate_words(self, words: array) -> array:
+        """Word-path integrity discipline; see :meth:`_validate`."""
+        return words
 
     def _validate(self, messages: List[Message]) -> List[Message]:
         """Apply the primitive's receive-side integrity discipline.
@@ -102,6 +152,15 @@ class Channel(abc.ABC):
         kernel copy and carry no transport counter discipline.
         """
         return messages
+
+    def receive_words(self) -> array:
+        """Drain all pending traffic as one packed word stream.
+
+        The verifier's batch dispatcher consumes this directly; word
+        order is send order.  Raises :class:`ChannelIntegrityError` on a
+        counter gap, exactly like :meth:`receive_all`.
+        """
+        return self._validate_words(self._receive_raw_words())
 
     def receive_all(self) -> List[Message]:
         """Drain and return all pending messages, in order.
@@ -122,7 +181,7 @@ class Channel(abc.ABC):
         """
         try:
             return self._receive_raw()
-        except ChannelIntegrityError:  # pragma: no cover - raw drains don't check
+        except ChannelIntegrityError:
             return []
 
     @abc.abstractmethod

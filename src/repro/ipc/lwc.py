@@ -12,10 +12,9 @@ send is fully synchronous.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, List
+from array import array
 
-from repro.core.messages import Message
+from repro.core.messages import MESSAGE_WORDS, _MASK32, _MASK64
 from repro.ipc.base import Channel, ChannelFullError
 from repro.ipc.latency import send_cycles
 from repro.sim.process import Process
@@ -34,24 +33,33 @@ class LightWeightContextChannel(Channel):
 
     def __init__(self, capacity: int = 1 << 16) -> None:
         super().__init__(capacity)
-        self._queue: Deque[Message] = deque()
+        self._queue = array("Q")
+        self._send_cost = send_cycles(self.primitive) * self.SWITCHES_PER_SEND
+        self._capacity_words = capacity * MESSAGE_WORDS
 
-    def send(self, sender: Process, message: Message) -> None:
-        if len(self._queue) >= self.capacity:
+    def send_raw(self, sender: Process, op: int, arg0: int = 0,
+                 arg1: int = 0, aux: int = 0) -> None:
+        if len(self._queue) >= self._capacity_words:
             # A full mailbox switches to the verifier context so it can
             # drain before the send is retried.
             self._notify_full()
-        if len(self._queue) >= self.capacity:
+        # Draining swaps the queue out, so re-read it after the hook.
+        queue = self._queue
+        if len(queue) >= self._capacity_words:
             raise ChannelFullError("LWC mailbox full")
-        cost = send_cycles(self.primitive) * self.SWITCHES_PER_SEND
-        sender.cycles.charge_syscall(cost)
-        self._queue.append(message.with_transport(sender.pid, self._next_counter()))
+        sender.cycles.charge_syscall(self._send_cost)
+        counter = self._counter + 1
+        self._counter = counter
+        queue.append((op & _MASK32) | ((sender.pid & _MASK32) << 32))
+        queue.append(arg0 & _MASK64)
+        queue.append(arg1 & _MASK64)
+        queue.append((aux & _MASK32) | ((counter & _MASK32) << 32))
         self.sent_total += 1
 
-    def _receive_raw(self) -> List[Message]:
-        messages = list(self._queue)
-        self._queue.clear()
-        return messages
+    def _receive_raw_words(self) -> array:
+        words = self._queue
+        self._queue = array("Q")
+        return words
 
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._queue) // MESSAGE_WORDS

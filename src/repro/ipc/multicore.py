@@ -75,10 +75,9 @@ class PerCoreAMRs:
         error, exactly as the hardware's core-local registers make them."""
         if not 0 <= core < self.cores:
             raise IndexError(f"core {core} has no AMR (have {self.cores})")
-        if self.order_by_timestamp:
-            message = Message(message.op, message.arg0, message.arg1,
-                              self.tsc.read(), message.pid, message.counter)
-        self.channels[core].send(sender, message)
+        aux = self.tsc.read() if self.order_by_timestamp else message.aux
+        self.channels[core].send_raw(sender, int(message.op), message.arg0,
+                                     message.arg1, aux)
 
     def receive_all(self) -> List[Message]:
         """Drain every core's AMR; globally ordered if timestamping."""

@@ -11,12 +11,12 @@ performance in Figure 3.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, List
+from array import array
 
-from repro.core.messages import Message
+from repro.core.messages import MESSAGE_WORDS, _MASK32, _MASK64
 from repro.ipc.base import Channel, ChannelFullError
 from repro.ipc.latency import send_cycles
+from repro.sim.cycles import ns_to_cycles
 from repro.sim.process import Process
 
 
@@ -40,33 +40,42 @@ class SyscallChannel(Channel):
 
     def __init__(self, capacity: int = 1 << 16) -> None:
         super().__init__(capacity)
-        self._queue: Deque[Message] = deque()
+        self._queue = array("Q")
+        self._send_cost = send_cycles(self.primitive)
+        self._kpti_cost = ns_to_cycles(self.KPTI_REFILL_NS)
+        self._capacity_words = capacity * MESSAGE_WORDS
 
-    def send(self, sender: Process, message: Message) -> None:
-        if len(self._queue) >= self.capacity:
+    def send_raw(self, sender: Process, op: int, arg0: int = 0,
+                 arg1: int = 0, aux: int = 0) -> None:
+        if len(self._queue) >= self._capacity_words:
             # Let the kernel-side drain hook empty the queue before
             # failing: the syscall blocks briefly while the verifier
             # catches up, mirroring mq_send's bounded wait.
             self._notify_full()
-        if len(self._queue) >= self.capacity:
+        # Draining swaps the queue out, so re-read it after the hook.
+        queue = self._queue
+        if len(queue) >= self._capacity_words:
             raise ChannelFullError(f"{type(self).__name__} queue full")
         # The syscall cost is charged as syscall time: a privilege
         # transition executes in the kernel, on the critical path.
-        sender.cycles.charge_syscall(send_cycles(self.primitive))
-        from repro.sim.cycles import ns_to_cycles
-        sender.cycles.charge_user(ns_to_cycles(self.KPTI_REFILL_NS),
-                                  category="kpti-refill")
-        stamped = message.with_transport(sender.pid, self._next_counter())
-        self._queue.append(stamped)
+        cycles = sender.cycles
+        cycles.charge_syscall(self._send_cost)
+        cycles.charge_user(self._kpti_cost, category="kpti-refill")
+        counter = self._counter + 1
+        self._counter = counter
+        queue.append((op & _MASK32) | ((sender.pid & _MASK32) << 32))
+        queue.append(arg0 & _MASK64)
+        queue.append(arg1 & _MASK64)
+        queue.append((aux & _MASK32) | ((counter & _MASK32) << 32))
         self.sent_total += 1
 
-    def _receive_raw(self) -> List[Message]:
-        messages = list(self._queue)
-        self._queue.clear()
-        return messages
+    def _receive_raw_words(self) -> array:
+        words = self._queue
+        self._queue = array("Q")
+        return words
 
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._queue) // MESSAGE_WORDS
 
 
 class MessageQueueChannel(SyscallChannel):

@@ -13,9 +13,10 @@ prevent.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from array import array
+from typing import Optional
 
-from repro.core.messages import Message
+from repro.core.messages import MESSAGE_WORDS, Message, _MASK32, _MASK64
 from repro.ipc.base import Channel, ChannelFullError
 from repro.ipc.latency import send_cycles
 from repro.sim.process import Process
@@ -31,26 +32,36 @@ class SharedMemoryChannel(Channel):
 
     def __init__(self, capacity: int = 1 << 16) -> None:
         super().__init__(capacity)
-        self._ring: List[Message] = []
+        self._ring = array("Q")
+        self._send_cost = send_cycles(self.primitive)
+        self._capacity_words = capacity * MESSAGE_WORDS
 
-    def send(self, sender: Process, message: Message) -> None:
-        if len(self._ring) >= self.capacity:
+    def send_raw(self, sender: Process, op: int, arg0: int = 0,
+                 arg1: int = 0, aux: int = 0) -> None:
+        if len(self._ring) >= self._capacity_words:
             # Spin until the verifier drains the ring (drain hook), then
             # re-check; a still-full ring fails the send.
             self._notify_full()
-        if len(self._ring) >= self.capacity:
+        # Draining swaps the ring out, so re-read it after the hook.
+        ring = self._ring
+        if len(ring) >= self._capacity_words:
             raise ChannelFullError("shared-memory ring full")
-        sender.cycles.charge_ipc(send_cycles(self.primitive))
-        self._ring.append(message.with_transport(sender.pid, self._next_counter()))
+        sender.cycles.charge_ipc(self._send_cost)
+        counter = self._counter + 1
+        self._counter = counter
+        ring.append((op & _MASK32) | ((sender.pid & _MASK32) << 32))
+        ring.append(arg0 & _MASK64)
+        ring.append(arg1 & _MASK64)
+        ring.append((aux & _MASK32) | ((counter & _MASK32) << 32))
         self.sent_total += 1
 
-    def _receive_raw(self) -> List[Message]:
-        messages = list(self._ring)
-        self._ring.clear()
-        return messages
+    def _receive_raw_words(self) -> array:
+        words = self._ring
+        self._ring = array("Q")
+        return words
 
     def pending(self) -> int:
-        return len(self._ring)
+        return len(self._ring) // MESSAGE_WORDS
 
     # -- the attack surface --------------------------------------------------
 
@@ -61,8 +72,18 @@ class SharedMemoryChannel(Channel):
         indistinguishable from a legitimate message: the counter value is
         reused, so the verifier sees no gap.
         """
-        original = self._ring[index]
-        self._ring[index] = message.with_transport(original.pid, original.counter)
+        ring = self._ring
+        base = index * MESSAGE_WORDS
+        if index < 0:
+            base += len(ring)
+        if base < 0 or base + MESSAGE_WORDS > len(ring):
+            raise IndexError("message index out of range")
+        pid = ring[base] >> 32
+        counter = ring[base + 3] >> 32
+        ring[base] = (int(message.op) & _MASK32) | (pid << 32)
+        ring[base + 1] = message.arg0 & _MASK64
+        ring[base + 2] = message.arg1 & _MASK64
+        ring[base + 3] = (message.aux & _MASK32) | (counter << 32)
 
     def erase(self, count: Optional[int] = None) -> None:
         """Erase the most recent ``count`` pending messages (all if None).
@@ -71,10 +92,11 @@ class SharedMemoryChannel(Channel):
         verifier simply never observes the erased messages.  Counters are
         rewound too, so no gap is detectable.
         """
+        pending = len(self._ring) // MESSAGE_WORDS
         if count is None:
-            count = len(self._ring)
-        if count < 0 or count > len(self._ring):
+            count = pending
+        if count < 0 or count > pending:
             raise ValueError("erase count out of range")
-        for _ in range(count):
-            self._ring.pop()
-            self._counter -= 1
+        if count:
+            del self._ring[-count * MESSAGE_WORDS:]
+            self._counter -= count

@@ -51,6 +51,7 @@ class CallCounterPolicy(Policy):
     def __init__(self, limit: Optional[int] = None) -> None:
         self.count = 0
         self.limit = limit
+        self._handlers = None
 
     def handle(self, message: Message) -> Optional[Violation]:
         if message.op is not Op.EVENT or message.arg0 != EVENT_CALL:
@@ -61,6 +62,20 @@ class CallCounterPolicy(Policy):
                              f"call count {self.count} exceeds limit "
                              f"{self.limit}", message)
         return None
+
+    def handlers(self) -> dict:
+        if self._handlers is None:
+            def event(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+                if arg0 != EVENT_CALL:
+                    return None
+                self.count += arg1
+                if self.limit is not None and self.count > self.limit:
+                    return Violation(0, "call-counter",
+                                     f"call count {self.count} exceeds "
+                                     f"limit {self.limit}")
+                return None
+            self._handlers = {int(Op.EVENT): event}
+        return self._handlers
 
     def clone(self) -> "CallCounterPolicy":
         child = CallCounterPolicy(self.limit)

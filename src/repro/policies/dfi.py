@@ -58,6 +58,7 @@ class DFIPolicy(Policy):
         self.reaching_sets = dict(reaching_sets or {})
         self.last_writer: Dict[int, int] = {}
         self.checks = 0
+        self._handlers = None
 
     def handle(self, message: Message) -> Optional[Violation]:
         if message.op is not Op.EVENT:
@@ -84,6 +85,35 @@ class DFIPolicy(Policy):
                     f"allowed set {set_id} is {sorted(allowed)}", message)
         return None
 
+    def handlers(self) -> dict:
+        if self._handlers is not None:
+            return self._handlers
+        last_writer = self.last_writer
+        reaching_sets = self.reaching_sets
+
+        def event(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+            if arg0 == DFI_STORE:
+                last_writer[arg1] = aux
+                return None
+            if arg0 == DFI_BLOCK_STORE:
+                size, def_id = aux >> 16, aux & 0xFFFF
+                for offset in range(0, size, 8):
+                    last_writer[arg1 + offset] = def_id
+                return None
+            if arg0 == DFI_CHECK:
+                self.checks += 1
+                writer = last_writer.get(arg1, DEF_INITIAL)
+                allowed = reaching_sets.get(aux, frozenset())
+                if writer not in allowed:
+                    return Violation(
+                        0, "dfi",
+                        f"load at {arg1:#x} saw definition {writer}, "
+                        f"allowed set {aux} is {sorted(allowed)}")
+            return None
+
+        self._handlers = {int(Op.EVENT): event}
+        return self._handlers
+
     def clone(self) -> "DFIPolicy":
         child = DFIPolicy(self.reaching_sets)
         child.last_writer = dict(self.last_writer)
@@ -91,6 +121,9 @@ class DFIPolicy(Policy):
 
     def entry_count(self) -> int:
         return len(self.last_writer)
+
+    def entries_ref(self):
+        return self.last_writer
 
 
 class DFIPass(ModulePass):

@@ -95,6 +95,7 @@ class MemorySafetyPolicy(Policy):
     def __init__(self) -> None:
         self.allocations = AllocationMap()
         self.checks = 0
+        self._handlers = None
 
     def handle(self, message: Message) -> Optional[Violation]:
         op = message.op
@@ -124,6 +125,54 @@ class MemorySafetyPolicy(Policy):
             return None
         return Violation(message.pid, "memory-safety", error, message)
 
+    def handlers(self) -> dict:
+        if self._handlers is not None:
+            return self._handlers
+        allocations = self.allocations
+
+        def _violation(error: Optional[str]) -> Optional[Violation]:
+            if error is None:
+                return None
+            return Violation(0, "memory-safety", error)
+
+        def create(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+            return _violation(allocations.create(arg0, arg1))
+
+        def check(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+            self.checks += 1
+            if allocations.containing(arg0) is None:
+                return _violation(f"access at {arg0:#x} is out-of-bounds "
+                                  f"or use-after-free")
+            return None
+
+        def check_base(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+            self.checks += 1
+            first = allocations.containing(arg0)
+            second = allocations.containing(arg1)
+            if first is None or second is None or first != second:
+                return _violation(f"addresses {arg0:#x} and {arg1:#x} "
+                                  f"are not within the same live allocation")
+            return None
+
+        def extend(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+            return _violation(allocations.extend(arg0, arg1, aux))
+
+        def destroy(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+            return _violation(allocations.destroy(arg0))
+
+        def destroy_all(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+            return _violation(allocations.destroy_all(arg0, aux))
+
+        self._handlers = {
+            int(Op.ALLOCATION_CREATE): create,
+            int(Op.ALLOCATION_CHECK): check,
+            int(Op.ALLOCATION_CHECK_BASE): check_base,
+            int(Op.ALLOCATION_EXTEND): extend,
+            int(Op.ALLOCATION_DESTROY): destroy,
+            int(Op.ALLOCATION_DESTROY_ALL): destroy_all,
+        }
+        return self._handlers
+
     def clone(self) -> "MemorySafetyPolicy":
         child = MemorySafetyPolicy()
         child.allocations = self.allocations.copy()
@@ -131,3 +180,6 @@ class MemorySafetyPolicy(Policy):
 
     def entry_count(self) -> int:
         return len(self.allocations)
+
+    def entries_ref(self):
+        return self.allocations

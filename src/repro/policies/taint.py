@@ -44,6 +44,7 @@ class TaintPolicy(Policy):
     def __init__(self) -> None:
         self.tainted: Set[int] = set()
         self.sink_checks = 0
+        self._handlers = None
 
     def handle(self, message: Message) -> Optional[Violation]:
         if message.op is Op.POINTER_BLOCK_COPY:
@@ -68,6 +69,36 @@ class TaintPolicy(Policy):
                                  f"a security-sensitive sink", message)
         return None
 
+    def handlers(self) -> dict:
+        if self._handlers is not None:
+            return self._handlers
+        tainted = self.tainted
+
+        def block_copy(arg0: int, arg1: int, aux: int) -> None:
+            # Copies propagate taint (shared message vocabulary).
+            carried = [a for a in tainted if arg0 <= a < arg0 + aux]
+            for address in carried:
+                tainted.add(arg1 + (address - arg0))
+
+        def event(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+            if arg0 == TAINT_SOURCE:
+                tainted.add(arg1)
+            elif arg0 == TAINT_CLEAR:
+                tainted.discard(arg1)
+            elif arg0 == TAINT_SINK:
+                self.sink_checks += 1
+                if arg1 in tainted:
+                    return Violation(0, "taint",
+                                     f"tainted value at {arg1:#x} reached "
+                                     f"a security-sensitive sink")
+            return None
+
+        self._handlers = {
+            int(Op.POINTER_BLOCK_COPY): block_copy,
+            int(Op.EVENT): event,
+        }
+        return self._handlers
+
     def clone(self) -> "TaintPolicy":
         child = TaintPolicy()
         child.tainted = set(self.tainted)
@@ -75,6 +106,9 @@ class TaintPolicy(Policy):
 
     def entry_count(self) -> int:
         return len(self.tainted)
+
+    def entries_ref(self):
+        return self.tainted
 
 
 class TaintPass(ModulePass):

@@ -60,6 +60,7 @@ class WatchdogPolicy(Policy):
     def __init__(self) -> None:
         self.last_sequence = 0
         self.beats = 0
+        self._handlers = None
 
     def handle(self, message: Message) -> Optional[Violation]:
         if message.op is not Op.EVENT or message.arg0 != EVENT_HEARTBEAT:
@@ -72,6 +73,21 @@ class WatchdogPolicy(Policy):
                              f"{self.last_sequence} (replay?)", message)
         self.last_sequence = sequence
         return None
+
+    def handlers(self) -> dict:
+        if self._handlers is None:
+            def event(arg0: int, arg1: int, aux: int) -> Optional[Violation]:
+                if arg0 != EVENT_HEARTBEAT:
+                    return None
+                self.beats += 1
+                if arg1 <= self.last_sequence:
+                    return Violation(0, "watchdog",
+                                     f"non-monotonic heartbeat {arg1} after "
+                                     f"{self.last_sequence} (replay?)")
+                self.last_sequence = arg1
+                return None
+            self._handlers = {int(Op.EVENT): event}
+        return self._handlers
 
     def clone(self) -> "WatchdogPolicy":
         child = WatchdogPolicy()

@@ -13,8 +13,9 @@ every policy in the paper, all of which reason about pointer-sized values.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 PAGE_SIZE = 4096
 WORD_SIZE = 8
@@ -103,6 +104,10 @@ class Memory:
         self._words: Dict[int, int] = {}
         self._page_prot: Dict[int, int] = {}
         self._mappings: List[Mapping] = []
+        #: Bumped on every protection change (map/unmap/mprotect) so
+        #: callers that pre-validated a page range — the AppendWrite
+        #: datapath — know when their validation went stale.
+        self.prot_epoch = 0
 
     # -- mapping management -------------------------------------------------
 
@@ -127,6 +132,7 @@ class Memory:
         self._mappings.append(new)
         for page in range(page_of(start), page_of(start + size - 1) + 1):
             self._page_prot[page] = prot
+        self.prot_epoch += 1
         return new
 
     def unmap_region(self, start: int) -> None:
@@ -139,6 +145,7 @@ class Memory:
                     base = page * PAGE_SIZE
                     for word in range(base, base + PAGE_SIZE, WORD_SIZE):
                         self._words.pop(word, None)
+                self.prot_epoch += 1
                 return
         raise ValueError(f"no mapping starts at {start:#x}")
 
@@ -148,6 +155,7 @@ class Memory:
             if page not in self._page_prot:
                 raise SegmentationFault(page * PAGE_SIZE, "mprotect", "unmapped")
             self._page_prot[page] = prot
+        self.prot_epoch += 1
 
     def mapping_at(self, address: int) -> Optional[Mapping]:
         """Return the mapping containing ``address``, if any."""
@@ -162,6 +170,16 @@ class Memory:
     def prot_of(self, address: int) -> int:
         """Return protection bits of the page containing ``address``."""
         return self._page_prot.get(page_of(address), PROT_NONE)
+
+    def span_is_amr(self, start: int, end: int) -> bool:
+        """True iff every page of ``[start, end)`` is ``PROT_AMR``.
+
+        Lets the AppendWrite datapath validate its whole region once per
+        :attr:`prot_epoch` instead of re-checking pages on every store.
+        """
+        page_prot = self._page_prot
+        return all(page_prot.get(page, PROT_NONE) & PROT_AMR
+                   for page in range(page_of(start), page_of(end - 1) + 1))
 
     # -- protected accessors (what program instructions use) ----------------
 
@@ -213,6 +231,68 @@ class Memory:
     def store_physical(self, address: int, value: int) -> None:
         """Privileged write bypassing protections (kernel or device DMA)."""
         self._words[align_word(address)] = value
+
+    # -- bulk word accessors (message-stream fast paths) ----------------------
+
+    def load_words(self, address: int, n_words: int) -> "array":
+        """Privileged bulk read of ``n_words`` consecutive words.
+
+        The verifier's AMR drain: one ranged read replaces a
+        :meth:`load_physical` call per word.  Returns a packed
+        ``array('Q')``.
+        """
+        address = align_word(address)
+        words = self._words
+        span = range(address, address + n_words * WORD_SIZE, WORD_SIZE)
+        try:
+            # Fast path: every word present (always true for a region the
+            # append datapath filled) — C-level map, no per-word bytecode.
+            return array("Q", map(words.__getitem__, span))
+        except KeyError:
+            return array("Q", [words.get(a, 0) for a in span])
+
+    def store_words(self, address: int, values: Sequence[int]) -> None:
+        """Protection-checked bulk write of consecutive words.
+
+        Checks each page boundary once instead of re-deriving the
+        protection per word; AMR pages reject the whole write, like
+        :meth:`store`.
+        """
+        if not values:
+            return
+        address = align_word(address)
+        end = address + len(values) * WORD_SIZE
+        for page in range(page_of(address), page_of(end - 1) + 1):
+            prot = self._page_prot.get(page, PROT_NONE)
+            if prot & PROT_AMR:
+                raise AMRWriteFault(page * PAGE_SIZE)
+            if not prot & PROT_WRITE:
+                raise SegmentationFault(page * PAGE_SIZE, "write",
+                                        "page not writable")
+        words = self._words
+        for i, value in enumerate(values):
+            words[address + i * WORD_SIZE] = value
+
+    def append_store_words(self, address: int, values: Sequence[int]) -> None:
+        """AppendWrite datapath bulk store: one message (or more) of
+        consecutive words onto AMR pages.
+
+        Page protections are checked per page touched rather than per
+        word; any non-AMR page in the range rejects the whole store,
+        mirroring :meth:`append_store`.
+        """
+        if not values:
+            return
+        address = align_word(address)
+        end = address + len(values) * WORD_SIZE
+        page_prot = self._page_prot
+        for page in range(page_of(address), page_of(end - 1) + 1):
+            if not page_prot.get(page, PROT_NONE) & PROT_AMR:
+                raise SegmentationFault(page * PAGE_SIZE, "append",
+                                        "target is not an AMR page")
+        words = self._words
+        for i, value in enumerate(values):
+            words[address + i * WORD_SIZE] = value
 
     # -- block helpers --------------------------------------------------------
 

@@ -1,0 +1,135 @@
+"""Property test: the packed word path and the legacy Message path
+produce identical verifier decisions.
+
+Three production dispatch paths exist for the same wire stream:
+
+* **words** — ``Verifier.poll()`` unbounded: batched
+  ``_dispatch_words`` with per-op handler tables;
+* **bounded** — ``Verifier.poll(max_messages=...)``: materialized
+  ``Message`` objects through the legacy ``_dispatch``;
+* **adapter** — ``_dispatch_words`` with a policy whose ``handlers()``
+  returns None, forcing the per-message ``handle`` adapter.
+
+For any stream, all three must agree on violations (kind, detail),
+:class:`PolicyStats`, syscall tokens, and the policy's end
+state — that is the refactor's core safety contract.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfi.hq_cfi import HQCFIPolicy
+from repro.core.messages import Op
+from repro.core.verifier import Verifier
+from repro.ipc.registry import create_channel
+from repro.policies.call_counter import CallCounterPolicy
+from repro.policies.dfi import DFIPolicy
+from repro.policies.memory_safety import MemorySafetyPolicy
+from repro.policies.taint import TaintPolicy
+from repro.policies.watchdog import WatchdogPolicy
+from repro.sim.process import Process
+
+POLICY_FACTORIES = {
+    "hq-cfi": HQCFIPolicy,
+    "memory-safety": MemorySafetyPolicy,
+    "call-counter": CallCounterPolicy,
+    "dfi": lambda: DFIPolicy({1: frozenset({0, 5})}),
+    "taint": TaintPolicy,
+    "watchdog": WatchdogPolicy,
+}
+
+#: Small pools so defines/checks (and stores/loads, sources/sinks)
+#: collide often enough to exercise both accept and violate branches.
+_ADDRESSES = st.sampled_from([0x10, 0x20, 0x30, 0x1000])
+_VALUES = st.sampled_from([0, 1, 0x40, 0xDEAD, 2 ** 63])
+_KINDS = st.sampled_from([1, 2, 10, 11, 12, 20, 21, 22])
+
+_EVENTS = st.one_of(
+    st.tuples(st.sampled_from([int(op) for op in Op
+                               if op is not Op.SYSCALL]),
+              _ADDRESSES, _VALUES,
+              st.integers(min_value=0, max_value=2 ** 32 - 1)),
+    st.tuples(st.just(int(Op.EVENT)), _KINDS, _ADDRESSES,
+              st.integers(min_value=0, max_value=2 ** 20)),
+    st.tuples(st.just(int(Op.SYSCALL)), st.sampled_from([0, 1, 60]),
+              st.just(0), st.just(0)),
+)
+
+
+def _run(policy_name, events, mode):
+    """Feed ``events`` through one dispatch path; snapshot the verdicts."""
+    factory = POLICY_FACTORIES[policy_name]
+    if mode == "adapter":
+        base_factory = factory
+
+        def factory():
+            policy = base_factory()
+            policy.handlers = lambda: None
+            return policy
+
+    verifier = Verifier(factory)
+    channel = create_channel("uarch", capacity=1 << 12)
+    verifier.attach_channel(channel)
+    process = Process(name=f"equiv-{policy_name}")
+    verifier.register_process(process.pid)
+    for op, arg0, arg1, aux in events:
+        channel.send_raw(process, op, arg0, arg1, aux)
+        if channel.pending() >= 1024:
+            verifier.poll(max_messages=10 ** 9 if mode == "bounded"
+                          else None)
+    verifier.poll(max_messages=10 ** 9 if mode == "bounded" else None)
+    pid = process.pid
+    stats = verifier.stats[pid]
+    context = verifier.contexts[pid]
+    return {
+        # pid is excluded: each _run allocates a fresh Process, so pids
+        # differ across otherwise-identical runs by construction.
+        "violations": [(v.kind, v.detail)
+                       for v in verifier.all_violations(pid)],
+        "stats": (stats.messages_processed, stats.violations,
+                  stats.max_entries, dict(stats.by_op)),
+        "tokens": verifier._syscall_tokens.get(pid, 0),
+        "entries": context.entry_count(),
+        "integrity": list(verifier.integrity_failures),
+    }
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_FACTORIES))
+@settings(max_examples=25, deadline=None)
+@given(events=st.lists(_EVENTS, min_size=0, max_size=60))
+def test_word_path_matches_legacy_paths(policy_name, events):
+    words = _run(policy_name, events, "words")
+    bounded = _run(policy_name, events, "bounded")
+    adapter = _run(policy_name, events, "adapter")
+    assert words == bounded
+    assert words == adapter
+
+
+class TestDesignLevelEquivalence:
+    """Full run_program equivalence for both CFI variants.
+
+    The legacy path is forced by disabling the dispatch tables, so the
+    whole pipeline (compiler passes, runtime, kernel, verifier) runs
+    against the per-message adapter; outcomes must be identical.
+    """
+
+    @pytest.mark.parametrize("design", ["hq-sfestk", "hq-retptr"])
+    def test_run_results_identical(self, design, monkeypatch):
+        from repro.core.framework import run_program
+        from repro.workloads.generator import build_module
+        from repro.workloads.profiles import get_profile
+
+        def execute():
+            module = build_module(get_profile("471.omnetpp"),
+                                  dataset="train")
+            result = run_program(module, design=design, channel="uarch",
+                                 kill_on_violation=False)
+            return (result.outcome, result.exit_status, result.output,
+                    result.messages_sent, result.max_entries,
+                    result.steps,
+                    [(v.kind, v.detail) for v in result.violations])
+
+        fast = execute()
+        monkeypatch.setattr(HQCFIPolicy, "handlers", lambda self: None)
+        legacy = execute()
+        assert fast == legacy
