@@ -12,7 +12,6 @@ with one round): the interesting measurement is the experiment's
 *output*, not the harness's wall-clock.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -12,10 +12,8 @@ is, by switching individual mechanisms off:
 4. **Inlined vs library runtime** (section 3.2).
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
-from repro.bench.harness import run_benchmark
 from repro.compiler.passes.cfi_finalize import CFIFinalLoweringPass
 from repro.compiler.passes.cfi_initial import CFIInitialLoweringPass
 from repro.compiler.passes.devirtualize import DevirtualizationPass

@@ -45,7 +45,7 @@ return-into-libc-style target that type-based CFI must allow) and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import argparse
 import os
-import sys
 from typing import Optional
 
 
@@ -123,7 +122,15 @@ def main(argv=None) -> int:
                         metavar="PATH",
                         help="where to write per-phase wall times "
                              "(default: %(default)s; '-' to skip)")
+    parser.add_argument("--observe", action="store_true",
+                        help="run every benchmark with the observability "
+                             "layer on (metrics reports persist through "
+                             "the run cache; separate cache keys)")
     args = parser.parse_args(argv)
+
+    if args.observe:
+        # Via the environment so parallel sweep workers inherit it.
+        os.environ["REPRO_OBS"] = "1"
 
     requested = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in requested if name not in EXPERIMENTS]

@@ -41,7 +41,7 @@ import os
 import pickle
 import tempfile
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterator, Optional
 
 from repro.core.framework import RunResult, run_program

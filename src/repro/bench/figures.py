@@ -20,8 +20,8 @@ rendering of a bar chart in a terminal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.bench.harness import PerfPoint, perf_sweep, sweep_geomean
 from repro.sim.cycles import AccountingMode

@@ -19,8 +19,9 @@ Key conventions from the paper:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 from repro.bench.cache import cached_run_program, run_key
 from repro.cfi.designs import get_design
@@ -44,6 +45,19 @@ def compiler_for(design: str) -> str:
     return "legacy" if design in LEGACY_DESIGNS else "modern"
 
 
+def observe_enabled(observe: Optional[bool] = None) -> bool:
+    """Resolve the harness-wide observability switch.
+
+    Explicit ``observe`` wins; otherwise the ``REPRO_OBS`` environment
+    variable (set by ``python -m repro.bench --observe``) decides.  The
+    env-var path is what lets parallel sweep workers inherit the switch
+    without plumbing it through every call site.
+    """
+    if observe is not None:
+        return observe
+    return os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
 def real_design(design: str) -> str:
     """Resolve Table 4 baseline aliases to the underlying design."""
     if design in ("baseline-ccfi", "baseline-cpi"):
@@ -53,29 +67,39 @@ def real_design(design: str) -> str:
 
 def run_benchmark(name: str, design: str, channel: str = "model",
                   dataset: str = "ref",
-                  max_steps: int = HARNESS_MAX_STEPS) -> RunResult:
+                  max_steps: int = HARNESS_MAX_STEPS,
+                  observe: Optional[bool] = None) -> RunResult:
     """Run one benchmark under one design (continue-on-violation mode).
 
     Served through the run-result cache when one is active.  The cache
     key drops the channel for unmonitored designs (in-process defenses
     ignore it), so e.g. a ``ccfi`` run is one entry regardless of the
     channel the caller happened to pass.
+
+    With observability on (``observe=True`` or ``REPRO_OBS``), the run
+    carries an :class:`repro.obs.Observer` and the resulting
+    ``RunResult.obs_report`` persists through the cache; the knob joins
+    the cache key only when enabled, so unobserved runs keep their
+    existing keys.
     """
     profile = get_profile(name)
     compiler = compiler_for(design)
     resolved = real_design(design)
     key_channel = channel if get_design(resolved).monitored else None
+    observed = observe_enabled(observe)
+    knobs = {"observe": True} if observed else {}
     key = run_key(profile, dataset, compiler, resolved, key_channel,
-                  kill_on_violation=False, max_steps=max_steps)
+                  kill_on_violation=False, max_steps=max_steps, **knobs)
     return cached_run_program(
         lambda: build_module(profile, dataset=dataset, compiler=compiler),
         key, design=resolved, channel=channel,
-        kill_on_violation=False, max_steps=max_steps)
+        kill_on_violation=False, max_steps=max_steps, observe=observed)
 
 
 def baseline_run(name: str, dataset: str = "ref",
                  compiler: str = "modern",
-                 max_steps: int = HARNESS_MAX_STEPS) -> RunResult:
+                 max_steps: int = HARNESS_MAX_STEPS,
+                 observe: Optional[bool] = None) -> RunResult:
     """The version-specific uninstrumented baseline for one benchmark.
 
     Exactly one execution per (benchmark, dataset, compiler) when the
@@ -83,12 +107,14 @@ def baseline_run(name: str, dataset: str = "ref",
     output, and the section-5.4 metrics all share it.
     """
     profile = get_profile(name)
+    observed = observe_enabled(observe)
+    knobs = {"observe": True} if observed else {}
     key = run_key(profile, dataset, compiler, "baseline", None,
-                  kill_on_violation=False, max_steps=max_steps)
+                  kill_on_violation=False, max_steps=max_steps, **knobs)
     return cached_run_program(
         lambda: build_module(profile, dataset=dataset, compiler=compiler),
         key, design="baseline", kill_on_violation=False,
-        max_steps=max_steps)
+        max_steps=max_steps, observe=observed)
 
 
 @dataclass

@@ -89,7 +89,6 @@ def _median(values: List[float]) -> float:
 def summarize(metrics: List[BenchmarkMetrics]) -> MetricsSummary:
     """Aggregate the per-benchmark numbers the way section 5.4 does."""
     rates = [m.messages_per_second for m in metrics]
-    totals = [m.messages_total for m in metrics]
     entries = [m.max_entries for m in metrics]
     positive_rates = [r for r in rates if r > 0] or [1.0]
     by_rate = max(metrics, key=lambda m: m.messages_per_second)

@@ -17,7 +17,6 @@ safety subsumes CFI — at a price.
 from __future__ import annotations
 
 import dataclasses
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.core.messages import pointer_check
-from repro.ipc.registry import available_primitives, create_channel
+from repro.ipc.registry import create_channel
 from repro.sim.cycles import CLOCK_GHZ
 from repro.sim.process import Process
 

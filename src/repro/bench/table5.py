@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.attacks.ripe import ORIGINS, run_ripe
+from repro.attacks.ripe import run_ripe
 
 #: Table 5's designs, top to bottom.
 TABLE5_DESIGNS = ["baseline", "clang-cfi", "ccfi", "cpi",

@@ -28,7 +28,7 @@ from repro.compiler import ir
 from repro.compiler.analysis import store_defines_function_pointer
 from repro.compiler.passes.base import ModulePass
 from repro.compiler.types import I64, is_function_pointer
-from repro.sim.cpu import ProgramCrash, Runtime
+from repro.sim.cpu import Runtime
 
 #: Safe-store access: address translation into the hidden region plus a
 #: load/store that typically misses cache (the 4 TB sparse region).

@@ -20,7 +20,7 @@ name               design
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.cfi.ccfi import CCFIPass, CCFIRuntime

@@ -25,6 +25,7 @@ Usage::
     python -m repro.chaos --seeds 20 --quick    # CI job
     python -m repro.chaos --faults drop,corrupt --channels model,mq
     python -m repro.chaos --json report.json --jobs 4
+    python -m repro.chaos --observe             # per-verdict obs counters
 
 Every verdict is replayable: the runner re-executes a sample of cases
 (``--replay-check``) and fails if any verdict is not reproduced.
@@ -58,6 +59,11 @@ DEFAULT_CHANNELS = ("model", "sim", "fpga", "mq", "shm")
 QUICK_CHANNELS = ("model", "sim", "mq")
 
 DEFAULT_DESIGN = "hq-sfestk"
+
+#: Process-wide observability switch, set by ``--observe``.  A module
+#: global (not a parameter threaded through the case tuples) so replay
+#: determinism is trivial and fork-started pool workers inherit it.
+_OBSERVE = False
 
 
 # ---------------------------------------------------------------------------
@@ -134,6 +140,10 @@ class ChaosRecord:
     verifier_restarts: int
     injected_full: int
     delay_episodes: int
+    #: Observability counter snapshot (``--observe`` runs only): the
+    #: run's ``obs_report`` counters, fully deterministic per case, so
+    #: replay equality covers them too.
+    obs: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -149,11 +159,12 @@ _BASELINES: Dict[Tuple[str, str], RunResult] = {}
 
 
 def _run_workload(workload: str, channel: str,
-                  injector: Optional[FaultInjector]) -> RunResult:
+                  injector: Optional[FaultInjector],
+                  observe: bool = False) -> RunResult:
     factory, pre_run = WORKLOADS[workload]
     return run_program(factory(), design=DEFAULT_DESIGN, channel=channel,
                        pre_run=pre_run, fault_injector=injector,
-                       max_steps=2_000_000)
+                       max_steps=2_000_000, observe=observe)
 
 
 def baseline_for(workload: str, channel: str) -> RunResult:
@@ -192,12 +203,16 @@ def run_case(workload: str, channel: str, fault: FaultKind,
     """Execute and classify one cell of the sweep."""
     baseline = baseline_for(workload, channel)
     injector = FaultInjector(make_plan(workload, channel, fault, seed))
+    obs_counters: Optional[Dict[str, int]] = None
     try:
-        result = _run_workload(workload, channel, injector)
+        result = _run_workload(workload, channel, injector,
+                               observe=_OBSERVE)
         verdict = classify(result, baseline)
         outcome, detail = result.outcome, result.detail
         output_len = len(result.output)
         messages = result.messages_sent
+        if _OBSERVE and result.obs_report is not None:
+            obs_counters = dict(result.obs_report["metrics"]["counters"])
     except Exception as error:  # the invariant says this must not happen
         verdict, outcome = "uncaught", "exception"
         detail = f"{type(error).__name__}: {error}"
@@ -213,7 +228,8 @@ def run_case(workload: str, channel: str, fault: FaultKind,
         verifier_restarts=(faulty_verifier.restarts_granted
                            if faulty_verifier else 0),
         injected_full=faulty_channel.injected_full if faulty_channel else 0,
-        delay_episodes=faulty_channel.delay_episodes if faulty_channel else 0)
+        delay_episodes=faulty_channel.delay_episodes if faulty_channel else 0,
+        obs=obs_counters)
 
 
 def _run_case_tuple(case: Tuple[str, str, str, int]) -> ChaosRecord:
@@ -296,6 +312,39 @@ def render_summary(records: List[ChaosRecord]) -> str:
     return "\n".join(lines)
 
 
+def obs_by_verdict(records: List[ChaosRecord]
+                   ) -> Dict[str, Dict[str, int]]:
+    """Sum each observability counter per verdict (``--observe`` runs)."""
+    table: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        if record.obs is None:
+            continue
+        row = table.setdefault(record.verdict, {})
+        for name, value in record.obs.items():
+            row[name] = row.get(name, 0) + value
+    return table
+
+
+def render_obs_summary(records: List[ChaosRecord]) -> str:
+    """Per-verdict counter totals — which layers fired on which verdicts.
+
+    Only nonzero counters are shown; e.g. ``detected-kill`` rows carry
+    ``kernel.kills`` / ``verifier.violations`` while ``tolerated`` rows
+    must not.
+    """
+    table = obs_by_verdict(records)
+    if not table:
+        return "obs: no observed records"
+    lines = ["obs counters by verdict:"]
+    for verdict in sorted(table):
+        row = table[verdict]
+        lines.append(f"  [{verdict}]")
+        for name in sorted(row):
+            if row[name]:
+                lines.append(f"    {name}  {row[name]}")
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -330,9 +379,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "reproducibility (0 disables)")
     parser.add_argument("--json", metavar="PATH",
                         help="write all records as JSON ('-' for stdout)")
+    parser.add_argument("--observe", action="store_true",
+                        help="attach the observability layer to every "
+                             "fault run and report per-verdict counter "
+                             "totals (baselines stay unobserved)")
     parser.add_argument("--list", action="store_true",
                         help="list workloads, channels, and fault kinds")
     args = parser.parse_args(argv)
+
+    if args.observe:
+        global _OBSERVE
+        _OBSERVE = True
 
     all_faults = [k for k in FaultKind]
     if args.list:
@@ -369,6 +426,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          args.seed_base)
     records = run_sweep(cases, jobs=args.jobs)
     print(render_summary(records))
+    if args.observe:
+        print()
+        print(render_obs_summary(records))
 
     mismatches = replay_check(records, args.replay_check)
     if mismatches:

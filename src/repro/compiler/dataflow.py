@@ -27,14 +27,7 @@ Facts are immutable (``frozenset``) so states can be compared with
 
 from __future__ import annotations
 
-from typing import (
-    Dict,
-    FrozenSet,
-    Iterable,
-    List,
-    Optional,
-    Tuple,
-)
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.compiler import ir
 from repro.compiler.cfg import predecessors, reverse_postorder

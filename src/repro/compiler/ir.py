@@ -12,7 +12,7 @@ and :mod:`repro.sim.cpu` interprets it against a simulated process.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.compiler.types import (
     FunctionType,

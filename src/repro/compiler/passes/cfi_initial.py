@@ -22,16 +22,13 @@ value are cast to function-pointer type.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Set
 
 from repro.compiler import ir
-from repro.compiler.analysis import (
-    is_function_pointer_value,
-    pointer_feeds_icall,
-    store_defines_function_pointer,
-)
+from repro.compiler.analysis import (pointer_feeds_icall,
+                                     store_defines_function_pointer)
 from repro.compiler.passes.base import ModulePass
-from repro.compiler.types import I64, contains_function_pointer, is_function_pointer
+from repro.compiler.types import I64, is_function_pointer
 
 
 class CFIInitialLoweringPass(ModulePass):

@@ -20,7 +20,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.compiler import ir
 from repro.compiler.analysis import EscapeAnalysis
-from repro.compiler.cfg import DominatorTree
 from repro.compiler.dataflow import slot_key
 from repro.compiler.passes.base import ModulePass
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.cfi.ccfi import CompilationError
-from repro.cfi.designs import DesignConfig, get_design
+from repro.cfi.designs import get_design
 from repro.cfi.hq_cfi import HQCFIPolicy
 from repro.compiler import ir
 from repro.compiler.passes.base import PassManager
@@ -76,6 +76,11 @@ class RunResult:
     #: Violations recorded by in-process runtimes (Clang CFI / CCFI) in
     #: continue-after-violation mode.
     runtime_violations: int = 0
+    #: Per-run observability report (``run_program(observe=...)`` only;
+    #: None when observability is disabled).  JSON-serializable, so it
+    #: pickles through the bench run-result cache with the rest of the
+    #: result.
+    obs_report: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -127,7 +132,8 @@ def run_program(module: ir.Module,
                 pre_run: Optional[Callable[[Image, Interpreter], None]] = None,
                 passes_override: Optional[list] = None,
                 naive_synchronization: bool = False,
-                fault_injector=None) -> RunResult:
+                fault_injector=None,
+                observe=None) -> RunResult:
     """Compile ``module`` under ``design`` and execute it end to end.
 
     ``module`` is mutated by the instrumentation passes; build a fresh
@@ -146,8 +152,24 @@ def run_program(module: ir.Module,
     ``configure_kernel`` surface) interposes deterministic faults on
     the verifier, the message channel, and the kernel epoch timer —
     the chaos harness uses it to prove the fail-closed invariant.
+
+    ``observe`` enables the observability layer: pass ``True`` for a
+    fresh :class:`repro.obs.Observer` or an existing instance to reuse
+    its tracer/registry.  The run's metrics report lands in
+    ``result.obs_report``; the default (None) keeps every instrumented
+    path to a single disabled-predicate check.
     """
     config = get_design(design)
+
+    observer = None
+    if observe:
+        from repro.obs.observer import Observer
+        observer = observe if isinstance(observe, Observer) else Observer()
+        observer.meta.setdefault("design", design)
+        observer.meta.setdefault("channel",
+                                 channel if config.monitored else None)
+        observer.meta.setdefault("module", module.name)
+        observer.meta.setdefault("seed", seed)
 
     # 1. Compiler instrumentation.  ``passes_override`` substitutes a
     # custom pipeline (the optimization-ablation benchmarks use it).
@@ -162,17 +184,26 @@ def run_program(module: ir.Module,
 
     # 2. Process / kernel / verifier wiring (Figure 1).
     process = Process(name=module.name)
+    if observer is not None:
+        # Timestamps derive from this process's cycle totals: monotonic
+        # sim time, deterministic across same-seed runs.
+        observer.bind_clock(process)
     verifier: Optional[Verifier] = None
     hq_channel: Optional[Channel] = None
     kernel = Kernel()
     hq_module = None
     if config.monitored:
         verifier = Verifier(policy_factory)
+        # The observer rides on the *inner* verifier/transport so fault
+        # wrappers (which delegate to them) are observed for free and
+        # nothing is double-counted.
+        verifier.observer = observer
         if fault_injector is not None:
             # Wrap the verifier first so every liaison path — the drain
             # hooks wired below included — goes through the injector.
             verifier = fault_injector.wrap_verifier(verifier)
         hq_channel = _wire_channel(channel, verifier, **(channel_kwargs or {}))
+        hq_channel.observer = observer
         if fault_injector is not None:
             hq_channel = fault_injector.wrap_channel(hq_channel)
         verifier.attach_channel(hq_channel)
@@ -181,6 +212,7 @@ def run_program(module: ir.Module,
             kill_on_violation=kill_on_violation,
             sync_exempt_syscalls=sync_exempt_syscalls,
             force_round_trip=naive_synchronization)
+        hq_module.observer = observer
         if fault_injector is not None:
             fault_injector.configure_kernel(hq_module)
         kernel.hq = hq_module
@@ -208,12 +240,15 @@ def run_program(module: ir.Module,
     image = Image(module, process)
     interpreter = Interpreter(
         image, runtime, options, kernel.syscall,
-        on_step=(verifier.poll if verifier is not None else None))
+        on_step=(verifier.poll if verifier is not None else None),
+        observer=observer)
 
     # 3. Execute.
     result = RunResult(design=design,
                        channel=channel if config.monitored else None,
                        outcome="ok", pass_stats=pass_stats)
+    if observer is not None:
+        observer.run_start(design, result.channel)
     try:
         if pre_run is not None:
             pre_run(image, interpreter)
@@ -247,4 +282,11 @@ def run_program(module: ir.Module,
     result.hijacks = len(interpreter.hijacks)
     result.win_executed = process.pid in kernel.win_executed
     result.steps = interpreter.steps
+    if observer is not None:
+        observer.finalize_run(
+            steps=interpreter.steps,
+            runtime=runtime if isinstance(runtime, HQRuntime) else None,
+            channel=hq_channel, verifier=verifier,
+            outcome=result.outcome)
+        result.obs_report = observer.report()
     return result

@@ -34,7 +34,7 @@ from __future__ import annotations
 import enum
 from array import array
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 #: Size of one serialized message, in 8-byte words.
 MESSAGE_WORDS = 4

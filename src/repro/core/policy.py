@@ -9,7 +9,7 @@ copies policy contexts when a monitored process clones, section 3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sized
+from typing import Callable, Dict, Optional, Sized
 
 from repro.core.messages import Message
 

@@ -21,7 +21,7 @@ properties — a violation in one program never affects another's context
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cfi.designs import get_design

@@ -38,6 +38,11 @@ class Verifier:
     :meth:`has_violation`.
     """
 
+    #: Observability hook (:class:`repro.obs.Observer`); wired per run
+    #: by the framework.  Kept on the *inner* verifier so fault-injection
+    #: wrappers (which delegate ``poll``) are observed transparently.
+    observer = None
+
     def __init__(self, policy_factory: Callable[[], Policy],
                  kill_callback: Optional[Callable[[int], None]] = None) -> None:
         self._policy_factory = policy_factory
@@ -120,6 +125,8 @@ class Verifier:
         """
         if self.terminated:
             return 0
+        obs = self.observer
+        poll_start = obs.now() if obs is not None else 0.0
         processed = 0
 
         def budget_left() -> bool:
@@ -136,6 +143,10 @@ class Verifier:
             except ChannelIntegrityError as error:
                 self._integrity_violation(str(error))
                 continue
+            if obs is not None and words:
+                # The receive boundary sees every transport — wrapped
+                # or not — so IPC batch metrics are emitted here.
+                obs.ipc_batch(len(words) // MESSAGE_WORDS)
             if max_messages is None:
                 # Unbounded poll (the common case): the backlog is
                 # already empty, so the batch dispatches straight off
@@ -156,6 +167,9 @@ class Verifier:
                     processed += 1
                 else:
                     self._backlog.append(message)
+        if obs is not None:
+            obs.verifier_poll_event(processed, poll_start)
+            obs.note_backlog(len(self._backlog))
         return processed
 
     def backlog_size(self) -> int:
@@ -164,6 +178,8 @@ class Verifier:
 
     def _integrity_violation(self, detail: str) -> None:
         """Transport integrity failure: violation for every live pid."""
+        if self.observer is not None:
+            self.observer.integrity_failure(detail)
         self.integrity_failures.append(detail)
         for pid in self.contexts:
             self._record_violation(Violation(pid, "message-integrity",
@@ -203,6 +219,8 @@ class Verifier:
         op_by_value = OP_BY_VALUE
         contexts = self.contexts
         stats = self.stats
+        obs = self.observer
+        runs = 0          # distinct same-pid runs in this batch
         current_pid = -1
         context: Optional[Policy] = None
         handlers = None
@@ -224,6 +242,7 @@ class Verifier:
                         st.max_entries = run_max
                     run_mp = 0
                     run_max = -1
+                runs += 1
                 current_pid = pid
                 context = contexts.get(pid)
                 handlers = context.handlers() if context is not None else None
@@ -324,6 +343,8 @@ class Verifier:
             st.messages_processed += run_mp
             if run_max > st.max_entries:
                 st.max_entries = run_max
+        if obs is not None and runs:
+            obs.verifier_dispatch_runs.value += runs
         return processed
 
     def _dispatch(self, message: Message) -> None:
@@ -360,6 +381,8 @@ class Verifier:
         return context.entry_count() if context is not None else 0
 
     def _record_violation(self, violation: Violation) -> None:
+        if self.observer is not None:
+            self.observer.violation(violation.pid, violation.kind)
         self.violations.setdefault(violation.pid, []).append(violation)
         self._pending_violation[violation.pid] = True
         if self._kill_callback is not None:

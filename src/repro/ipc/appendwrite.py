@@ -97,6 +97,8 @@ class _CounterChecked(Channel):
                 and words[n_words - 1] >> 32 == expected + count - 1):
             self._expected_counter = expected + count
             return words
+        if self.observer is not None:
+            self.observer.ipc_counter_fallback()
         for i in range(3, n_words, MESSAGE_WORDS):
             counter = words[i] >> 32
             if counter != self._expected_counter:
@@ -163,17 +165,18 @@ class AppendWriteFPGA(_CounterChecked):
         self._counter = counter
         self.sent_total += 1
         if len(self._ring) >= self._capacity_words:
-            # The AFU has no back-pressure, but the kernel driver can
-            # drain the verifier when the ring-full interrupt fires.
-            self._notify_full()
-        # Draining swaps the ring out, so re-read it after the hook.
-        ring = self._ring
-        if len(ring) >= self._capacity_words:
-            # Still full: the message is lost, leaving a counter gap
-            # that the verifier will observe (an integrity violation
-            # that kills the monitored program — fail closed).
+            # The AFU has no back-pressure: the in-flight message is
+            # already lost by the time the ring-full interrupt fires,
+            # leaving a counter gap that the verifier will observe (an
+            # integrity violation that kills the monitored program —
+            # fail closed).  The interrupt still lets the kernel driver
+            # drain the verifier so *subsequent* sends find room.
             self.dropped_total += 1
+            if self.observer is not None:
+                self.observer.ipc_drop()
+            self._notify_full()
             return
+        ring = self._ring
         # The AFU, not the sender, stamps pid: a compromised program that
         # claims another pid in its message payload is overridden here.
         ring.append((op & _MASK32) | ((self.pid_register & _MASK32) << 32))
@@ -263,6 +266,8 @@ class AppendWriteUArch(_CounterChecked):
             # faulting AppendWrite stalls — cycle-accounted, never
             # surfaced to the program (section 2.3.2).
             self.faults += 1
+            if self.observer is not None:
+                self.observer.ipc_amr_fault()
             sender.cycles.charge_wait(ns_to_cycles(self.AMR_FAULT_NS))
             if self._on_full is not None:
                 self._on_full(self)
@@ -290,6 +295,8 @@ class AppendWriteUArch(_CounterChecked):
         elif memory.span_is_amr(self.base, self.max_append_addr):
             # Protections changed but the whole span is still AMR:
             # revalidate once and retake the fast path.
+            if self.observer is not None:
+                self.observer.ipc_amr_revalidations.value += 1
             self._amr_epoch = memory.prot_epoch
             words = memory._words
             words[address] = (op & _MASK32) | ((sender.pid & _MASK32) << 32)
@@ -374,8 +381,7 @@ class AppendWriteModel(_CounterChecked):
         if len(self._ring) >= self._capacity_words:
             self.full_waits += 1
             sender.cycles.charge_wait(ns_to_cycles(self.FULL_WAIT_NS))
-            if self._on_full is not None:
-                self._on_full(self)
+            self._notify_full()
             if len(self._ring) >= self._capacity_words:
                 raise ChannelFullError("model buffer full and verifier absent")
         ring = self._ring

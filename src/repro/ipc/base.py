@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import abc
 from array import array
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 from repro.core.messages import (Message, MessageDecodeError, Op, decode_batch,
                                  encode_batch)
@@ -78,6 +78,12 @@ class Channel(abc.ABC):
     async_validation: bool = True
     #: Human-readable primary cost, as in Table 2.
     primary_cost: str = ""
+    #: Observability hook (:class:`repro.obs.Observer`); the framework
+    #: wires it onto the transport channel per run.  None keeps every
+    #: transport emit site at a single predicate — the send datapath
+    #: itself is never instrumented (send totals are collected as
+    #: end-of-run gauges instead).
+    observer = None
 
     def __init__(self, capacity: int = 1 << 16) -> None:
         if capacity <= 0:
@@ -97,6 +103,8 @@ class Channel(abc.ABC):
 
     def _notify_full(self) -> None:
         """Give the kernel-side drain hook a chance to make room."""
+        if self.observer is not None:
+            self.observer.ipc_full()
         if self._on_full is not None:
             self._on_full(self)
 

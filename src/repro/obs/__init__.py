@@ -1,0 +1,35 @@
+"""Observability layer: structured tracing + per-run metrics.
+
+Public surface:
+
+* :class:`~repro.obs.observer.Observer` — per-run hub handed to
+  ``run_program(observe=...)``; owns a ring-buffered
+  :class:`~repro.obs.tracer.Tracer` and a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+* :func:`~repro.obs.export.chrome_trace` — Chrome ``trace_event``
+  rendering of a tracer's events.
+* :func:`~repro.obs.diff.diff_reports` — tolerance-aware comparison of
+  two metric reports (CI's obs gate).
+* ``python -m repro.obs`` — ``summary`` / ``export`` / ``diff`` CLI.
+
+Everything is zero-cost when disabled: instrumented components carry an
+``observer`` attribute that defaults to ``None``, and every emit site
+is one ``is not None`` predicate.
+"""
+
+from repro.obs.diff import diff_reports
+from repro.obs.export import chrome_trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import Observer
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "Tracer",
+    "chrome_trace",
+    "diff_reports",
+]

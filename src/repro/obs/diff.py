@@ -1,0 +1,108 @@
+"""Compare two observability metric reports with tolerances.
+
+The comparison contract (used by CI's obs gate against the committed
+``BENCH_obs.json`` reference):
+
+* ``meta`` keys present in the reference must match exactly (the
+  reference pins design/channel/profile; extras in the new report are
+  allowed so the reference doesn't have to anticipate new fields);
+* **counters and gauges are exact** — they are pure functions of the
+  deterministic simulation, so any drift is a real behaviour change;
+* **timing histograms** (names ending in ``_ns``) compare with a
+  relative tolerance on ``sum``/``min``/``max`` and allow per-bucket
+  drift up to ``ceil(tolerance × count)`` — timing distributions shift
+  when constants are retuned without that being a correctness bug;
+* all other histograms are exact, field for field.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+TIMING_SUFFIX = "_ns"
+
+
+def _close(a: float, b: float, tolerance: float) -> bool:
+    if a == b:
+        return True
+    if a is None or b is None:
+        return False
+    scale = max(abs(a), abs(b))
+    return abs(a - b) <= tolerance * scale
+
+
+def _diff_scalars(kind: str, ref: Dict[str, object],
+                  new: Dict[str, object]) -> List[str]:
+    problems = []
+    for name in sorted(set(ref) | set(new)):
+        if name not in new:
+            problems.append(f"{kind} {name}: missing from new report "
+                            f"(reference {ref[name]})")
+        elif name not in ref:
+            problems.append(f"{kind} {name}: not in reference "
+                            f"(new {new[name]})")
+        elif ref[name] != new[name]:
+            problems.append(f"{kind} {name}: {ref[name]} != {new[name]}")
+    return problems
+
+
+def _diff_histogram(name: str, ref: dict, new: dict,
+                    tolerance: float) -> List[str]:
+    problems = []
+    if ref.get("edges") != new.get("edges"):
+        return [f"histogram {name}: bucket edges differ "
+                f"({ref.get('edges')} vs {new.get('edges')})"]
+    timing = name.endswith(TIMING_SUFFIX)
+    if ref.get("count") != new.get("count"):
+        problems.append(f"histogram {name}: count {ref.get('count')} != "
+                        f"{new.get('count')}")
+    if timing:
+        slack = math.ceil(tolerance * max(ref.get("count", 0), 1))
+        for i, (a, b) in enumerate(zip(ref.get("counts", []),
+                                       new.get("counts", []))):
+            if abs(a - b) > slack:
+                problems.append(f"histogram {name}: bucket {i} drifted "
+                                f"beyond tolerance ({a} vs {b})")
+        for field in ("sum", "min", "max"):
+            a, b = ref.get(field), new.get(field)
+            if a is None and b is None:
+                continue
+            if a is None or b is None or not _close(a, b, tolerance):
+                problems.append(f"histogram {name}: {field} {a} vs {b} "
+                                f"(tolerance {tolerance})")
+    else:
+        for field in ("counts", "sum", "min", "max"):
+            if ref.get(field) != new.get(field):
+                problems.append(f"histogram {name}: {field} "
+                                f"{ref.get(field)} != {new.get(field)}")
+    return problems
+
+
+def diff_reports(reference: dict, new: dict,
+                 tolerance: float = 0.1) -> List[str]:
+    """All mismatches between two reports (empty list = compatible)."""
+    problems: List[str] = []
+    ref_meta = reference.get("meta", {})
+    new_meta = new.get("meta", {})
+    for key in sorted(ref_meta):
+        if new_meta.get(key) != ref_meta[key]:
+            problems.append(f"meta {key}: {ref_meta[key]!r} != "
+                            f"{new_meta.get(key)!r}")
+    ref_metrics = reference.get("metrics", {})
+    new_metrics = new.get("metrics", {})
+    problems += _diff_scalars("counter", ref_metrics.get("counters", {}),
+                              new_metrics.get("counters", {}))
+    problems += _diff_scalars("gauge", ref_metrics.get("gauges", {}),
+                              new_metrics.get("gauges", {}))
+    ref_hists = ref_metrics.get("histograms", {})
+    new_hists = new_metrics.get("histograms", {})
+    for name in sorted(set(ref_hists) | set(new_hists)):
+        if name not in new_hists:
+            problems.append(f"histogram {name}: missing from new report")
+        elif name not in ref_hists:
+            problems.append(f"histogram {name}: not in reference")
+        else:
+            problems += _diff_histogram(name, ref_hists[name],
+                                        new_hists[name], tolerance)
+    return problems

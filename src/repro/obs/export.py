@@ -1,0 +1,54 @@
+"""Chrome ``trace_event`` exporter.
+
+Converts a :class:`~repro.obs.tracer.Tracer`'s event ring into the
+JSON object format consumed by ``chrome://tracing`` and Perfetto:
+one process, one thread per layer, microsecond timestamps.
+
+Reference: the Trace Event Format document (the ``traceEvents`` array
+with ``ph`` phase letters); only the two phases the tracer records are
+emitted — ``"X"`` complete spans and ``"i"`` instant events — plus
+``"M"`` metadata records naming each layer's thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.tracer import Tracer
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, object]:
+    """Render the tracer's events as a Chrome trace_event object."""
+    layer_tids: Dict[str, int] = {}
+    trace_events: List[dict] = []
+    for ts_ns, dur_ns, layer, name, kind, args in tracer.events():
+        tid = layer_tids.get(layer)
+        if tid is None:
+            tid = layer_tids[layer] = len(layer_tids) + 1
+        event = {
+            "name": name,
+            "cat": layer,
+            "ph": kind,
+            "ts": ts_ns / 1000.0,       # trace_event wants microseconds
+            "pid": 1,
+            "tid": tid,
+        }
+        if kind == "X":
+            event["dur"] = dur_ns / 1000.0
+        elif kind == "i":
+            event["s"] = "t"            # thread-scoped instant
+        if args:
+            event["args"] = args
+        trace_events.append(event)
+    metadata = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "repro-run"}},
+    ]
+    for layer, tid in sorted(layer_tids.items(), key=lambda kv: kv[1]):
+        metadata.append({"name": "thread_name", "ph": "M", "pid": 1,
+                         "tid": tid, "args": {"name": layer}})
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped_events": tracer.dropped},
+    }

@@ -1,0 +1,152 @@
+"""Per-run metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the aggregation side of the observability layer
+(:mod:`repro.obs`): every instrumented component increments counters or
+observes histogram samples while a run executes, and the whole registry
+exports as one JSON-serializable dict at the end of the run.
+
+Design constraints, in order of importance:
+
+1. **Determinism** — every metric must be a pure function of the
+   simulation state, never of wall-clock time or memory layout, so two
+   same-seed runs produce byte-identical reports (this is tested and is
+   what makes CI's ``python -m repro.obs diff`` gate meaningful).
+2. **Cheap when enabled** — hot emit sites hold direct references to
+   :class:`Counter` objects and bump ``.value`` inline; histogram
+   observation is a linear scan over a handful of edges.
+3. **Nonexistent when disabled** — nothing in this module is imported
+   or instantiated unless a run passes ``observe=``; disabled emit
+   sites are a single ``is not None`` predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time reading (set, not accumulated)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = 0) -> None:
+        self.value = value
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summary stats.
+
+    ``edges`` are inclusive upper bounds: a sample lands in the first
+    bucket whose edge is >= the value, or in the overflow bucket past
+    the last edge — ``counts`` therefore has ``len(edges) + 1`` slots.
+    Edges are fixed at construction so two runs of the same code always
+    bucket identically (a prerequisite for exact cross-run diffs).
+    """
+
+    __slots__ = ("edges", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, edges: Sequence[Number]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be non-empty and sorted")
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        index = 0
+        for edge in self.edges:
+            if value <= edge:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed store of all metrics for one run.
+
+    Names are dot-separated with the owning layer as the first segment
+    (``cpu.``, ``kernel.``, ``ipc.``, ``verifier.``, ``runtime.``);
+    :meth:`layers` groups on that prefix, which is how the summary CLI
+    renders a per-layer breakdown.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors -------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str, value: Optional[Number] = None) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        if value is not None:
+            gauge.value = value
+        return gauge
+
+    def histogram(self, name: str, edges: Sequence[Number]) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(edges)
+        return histogram
+
+    # -- export -------------------------------------------------------------
+
+    def layers(self) -> List[str]:
+        """Distinct layer prefixes with at least one metric, sorted."""
+        names = (list(self.counters) + list(self.gauges)
+                 + list(self.histograms))
+        return sorted({name.split(".", 1)[0] for name in names})
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self.gauges.items())},
+            "histograms": {name: h.as_dict()
+                           for name, h in sorted(self.histograms.items())},
+        }

@@ -1,0 +1,84 @@
+"""Ring-buffered structured event tracer.
+
+Records *instant events* and *spans* with monotonic sim-time timestamps
+(nanoseconds derived from the monitored process's cycle totals — never
+wall clock, so traces are deterministic and diffable across runs).
+
+The buffer is a fixed-capacity ring: when full, the oldest events are
+overwritten and ``dropped`` counts how many were lost.  Keeping the
+*last* N events is the right policy for a post-mortem trace — the
+interesting part of a run (the violation, the kill, the final drain) is
+at the end.
+
+Events are plain tuples ``(ts_ns, dur_ns, layer, name, kind, args)``
+with ``kind`` following the Chrome ``trace_event`` phase letters that
+:mod:`repro.obs.export` emits: ``"i"`` (instant) and ``"X"``
+(complete span, duration attached).  ``args`` is a small dict or None.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: (ts_ns, dur_ns, layer, name, kind, args)
+Event = Tuple[float, float, str, str, str, Optional[dict]]
+
+DEFAULT_CAPACITY = 4096
+
+
+class Tracer:
+    """Fixed-capacity ring buffer of trace events.
+
+    ``clock`` returns the current sim time in nanoseconds; when absent
+    a per-tracer sequence number is used, which preserves ordering (for
+    unit tests that exercise the ring without a simulation attached).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.clock = clock if clock is not None else self._seq_clock
+        self._events: List[Event] = []
+        self._head = 0          # next overwrite slot once the ring is full
+        self.dropped = 0
+        self._seq = 0.0
+
+    def _seq_clock(self) -> float:
+        self._seq += 1.0
+        return self._seq
+
+    # -- recording -----------------------------------------------------------
+
+    def _record(self, event: Event) -> None:
+        if len(self._events) < self.capacity:
+            self._events.append(event)
+            return
+        self._events[self._head] = event
+        self._head = (self._head + 1) % self.capacity
+        self.dropped += 1
+
+    def instant(self, layer: str, name: str,
+                args: Optional[dict] = None) -> None:
+        self._record((self.clock(), 0.0, layer, name, "i", args))
+
+    def complete(self, layer: str, name: str, ts_ns: float, dur_ns: float,
+                 args: Optional[dict] = None) -> None:
+        """Record a finished span: start timestamp plus duration."""
+        self._record((ts_ns, dur_ns, layer, name, "X", args))
+
+    # -- reading -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[Event]:
+        """Events in chronological (recording) order."""
+        if len(self._events) < self.capacity:
+            return list(self._events)
+        return self._events[self._head:] + self._events[:self._head]
+
+    def summary(self) -> Dict[str, int]:
+        return {"events": len(self._events), "dropped": self.dropped,
+                "capacity": self.capacity}

@@ -27,7 +27,7 @@ embeds its sets in the binary.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.compiler import ir
 from repro.compiler.passes.base import ModulePass

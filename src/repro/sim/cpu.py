@@ -24,7 +24,7 @@ attacks abuse:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.compiler import ir
@@ -279,13 +279,17 @@ class Interpreter:
     def __init__(self, image: Image, runtime: Optional[Runtime] = None,
                  options: Optional[ExecOptions] = None,
                  syscall_dispatcher: Optional[SyscallDispatcher] = None,
-                 on_step: Optional[Callable[[], None]] = None) -> None:
+                 on_step: Optional[Callable[[], None]] = None,
+                 observer=None) -> None:
         self.image = image
         self.process = image.process
         self.runtime = runtime or Runtime()
         self.options = options or ExecOptions()
         self.syscall_dispatcher = syscall_dispatcher or default_syscall_dispatcher
         self._on_step = on_step
+        #: Observability hook (:class:`repro.obs.Observer`); None keeps
+        #: the block-dispatch loop at one predicate check of overhead.
+        self.observer = observer
         self.steps = 0
         self.hijacks: List[HijackEvent] = []
         #: (ret_slot, return_address) per active call; instrumentation
@@ -450,9 +454,17 @@ class Interpreter:
                     previous: Optional[ir.BasicBlock],
                     frame: Dict[str, int]):
         decoded = self._block_cache.get(id(block))
+        obs = self.observer
         if decoded is None:
             decoded = self._decode_block(function, block)
             self._block_cache[id(block)] = decoded
+            if obs is not None:
+                obs.cpu_decode_miss(function.name, block.name)
+        elif obs is not None:
+            obs.cpu_decode_hits.value += 1
+        if obs is not None:
+            obs.cpu_blocks.value += 1
+            obs.cpu_block_size.observe(len(decoded.entries))
 
         # A longjmp landing in this block resumes just after its setjmp
         # (see the "setjmp_resume" handling below).

@@ -23,7 +23,7 @@ on ``fork``/``clone`` and dropped at exit, as described in section 3.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.sim.cpu import (
@@ -84,6 +84,10 @@ class HQKernelModule:
     #: (section 3.3; eliminating it is listed as future work in 5.3.3).
     INTERCEPT_NS = 40.0
 
+    #: Observability hook (:class:`repro.obs.Observer`); wired per run
+    #: by the framework, None means every emit site is one predicate.
+    observer = None
+
     def __init__(self, verifier=None, epoch_polls: int = DEFAULT_EPOCH_POLLS,
                  kill_on_violation: bool = True,
                  sync_exempt_syscalls: Optional[Set[int]] = None,
@@ -142,6 +146,9 @@ class HQKernelModule:
         context = self.contexts.get(process.pid)
         if context is None or self.verifier is None:
             return
+        obs = self.observer
+        if obs is not None:
+            obs.kernel_syscalls.value += 1
         context.syscalls_intercepted += 1
         process.cycles.charge_wait(ns_to_cycles(self.INTERCEPT_NS))
         if self.force_round_trip:
@@ -170,9 +177,18 @@ class HQKernelModule:
                 # the pending flag so execution proceeds.
                 self.verifier.acknowledge_violation(process.pid)
             if exempt:
+                if obs is not None:
+                    obs.kernel_barrier(number, attempt,
+                                       attempt * self.ROUND_TRIP_NS)
                 return
             if self.verifier.consume_syscall_token(process.pid):
                 context.syscall_ok = False  # reset upon resumption
+                if obs is not None:
+                    # ``attempt`` failed iterations each charged one
+                    # round trip before the token arrived: that product
+                    # is this barrier's wait time.
+                    obs.kernel_barrier(number, attempt,
+                                       attempt * self.ROUND_TRIP_NS)
                 return
             # The sync message has not been processed yet: wait one
             # round trip and poll again.
@@ -204,6 +220,8 @@ class HQKernelModule:
         restart = getattr(self.verifier, "maybe_restart", None)
         if restart is not None and restart(self):
             self.verifier_restarts += 1
+            if self.observer is not None:
+                self.observer.kernel_verifier_restart()
             return
         self.violations_seen.append(
             f"pid {process.pid}: verifier terminated at syscall {number}")
@@ -219,6 +237,8 @@ class HQKernelModule:
         if context is not None:
             context.killed = True
             context.kill_reason = reason
+        if self.observer is not None:
+            self.observer.kernel_fail_closed_event(pid, reason)
         self.violations_seen.append(f"pid {pid}: {reason}")
 
     def _kill(self, process: Process, context: HQContext, reason: str) -> None:
@@ -226,6 +246,8 @@ class HQKernelModule:
         context.kill_reason = reason
         process.exited = True
         process.killed_reason = reason
+        if self.observer is not None:
+            self.observer.kernel_kill(process.pid, reason)
         raise ProcessKilledError(reason)
 
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.compiler import ir
-from repro.compiler.types import ArrayType, StructType
 from repro.sim.memory import WORD_SIZE
 from repro.sim.process import Process, TEXT_BASE
 

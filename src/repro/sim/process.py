@@ -11,7 +11,7 @@ can target each overflow origin the paper's Table 5 distinguishes.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.sim.cycles import CycleAccount

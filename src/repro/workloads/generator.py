@@ -18,7 +18,7 @@ genuinely miscompiled late-iteration memory access.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
@@ -464,7 +464,8 @@ def _emit_main(module: ir.Module, profile: BenchmarkProfile,
     preheader = b.block
     b.br(loop)
     b.position_at_end(loop)
-    i = ir.Phi(I64, "i"); loop.append(i)
+    i = ir.Phi(I64, "i")
+    loop.append(i)
     i.add_incoming(b.const(0), preheader)
 
     emitter = _WorkEmitter(module, profile, iterations, compiler,

@@ -40,7 +40,7 @@ flags, each of which makes the generator emit a specific construct:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 

@@ -1,6 +1,5 @@
 """Tests for compiler analyses (repro.compiler.analysis)."""
 
-import pytest
 
 from repro.compiler import ir
 from repro.compiler.analysis import (

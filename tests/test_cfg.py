@@ -1,6 +1,5 @@
 """Tests for dominator / post-dominator analyses (repro.compiler.cfg)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler import ir

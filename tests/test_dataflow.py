@@ -4,17 +4,14 @@ import pytest
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
-from repro.compiler.dataflow import (
-    CLOBBER,
-    UNDEF,
-    Liveness,
-    ReachingStores,
-    liveness,
-    may_clobber_memory,
-    reaching_stores,
-    slot_key,
-    solve,
-)
+from repro.compiler.dataflow import (CLOBBER,
+                                     UNDEF,
+                                     ReachingStores,
+                                     liveness,
+                                     may_clobber_memory,
+                                     reaching_stores,
+                                     slot_key,
+                                     solve)
 from repro.compiler.types import I64, StructType, func, ptr
 
 SIG = func(I64, [I64])

@@ -1,12 +1,11 @@
 """Tests for the data-flow-integrity policy (repro.policies.dfi)."""
 
-import pytest
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
 from repro.compiler.passes.base import PassManager
 from repro.compiler.passes.syscall_sync import SyscallSyncPass
-from repro.compiler.types import ArrayType, I64, func, ptr
+from repro.compiler.types import ArrayType, I64, func
 from repro.core.framework import run_program
 from repro.core.messages import Message, Op
 from repro.policies.dfi import (

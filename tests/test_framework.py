@@ -7,7 +7,6 @@ from repro.compiler.builder import IRBuilder
 from repro.compiler.types import F64, I64, func, ptr
 from repro.core.framework import run_program
 from repro.cfi.designs import DESIGNS, get_design
-from repro.sim.cpu import SYS_WIN
 from repro.sim.cycles import AccountingMode
 
 

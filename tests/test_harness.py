@@ -1,20 +1,16 @@
 """Tests for the experiment harness (repro.bench.harness) and the
 table/figure plumbing (repro.bench.*)."""
 
-import math
 
 import pytest
 
-from repro.bench.harness import (
-    classify_correctness,
-    compiler_for,
-    geometric_mean,
-    perf_sweep,
-    real_design,
-    relative_performance,
-    run_benchmark,
-    sweep_geomean,
-)
+from repro.bench.harness import (classify_correctness,
+                                 compiler_for,
+                                 geometric_mean,
+                                 perf_sweep,
+                                 real_design,
+                                 relative_performance,
+                                 sweep_geomean)
 from repro.bench.metrics import collect_metrics, summarize
 from repro.bench.table2 import TABLE2_ORDER, measure_send_ns, table2
 from repro.bench.table6 import COMPONENT_MODULES, count_source_lines, table6

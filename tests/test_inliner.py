@@ -1,6 +1,5 @@
 """Tests for the function inliner (repro.compiler.passes.inliner)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler import ir

@@ -96,8 +96,10 @@ class TestControlFlow:
         done = mainf.add_block("done")
         b.br(loop)
         b.position_at_end(loop)
-        i = ir.Phi(I64, "i"); loop.append(i)
-        total = ir.Phi(I64, "total"); loop.append(total)
+        i = ir.Phi(I64, "i")
+        loop.append(i)
+        total = ir.Phi(I64, "total")
+        loop.append(total)
         i.add_incoming(b.const(0), entry)
         total.add_incoming(b.const(0), entry)
         total2 = b.add(total, i)

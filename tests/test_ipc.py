@@ -3,12 +3,9 @@
 import pytest
 
 from repro.core.messages import Message, Op, pointer_check, pointer_define
-from repro.ipc.appendwrite import (
-    AMRFullFault,
-    AppendWriteFPGA,
-    AppendWriteModel,
-    AppendWriteUArch,
-)
+from repro.ipc.appendwrite import (AppendWriteFPGA,
+                                   AppendWriteModel,
+                                   AppendWriteUArch)
 from repro.ipc.base import ChannelFullError, ChannelIntegrityError
 from repro.ipc.latency import SEND_NS, send_cycles
 from repro.ipc.lwc import LightWeightContextChannel
@@ -152,6 +149,25 @@ class TestFPGA:
             channel.send(process, pointer_check(i, i))
         assert channel.dropped_total == 0
         assert len(channel.receive_all()) == 100
+
+    def test_drops_happen_even_with_drain_hook(self, process):
+        """The AFU has no back-pressure: the in-flight message is lost
+        *before* the ring-full interrupt fires, so a kernel drain hook
+        rescues subsequent sends but never the dropping one — and the
+        counter gap it leaves must surface as an integrity violation.
+        """
+        channel = AppendWriteFPGA(capacity=2)
+        drained = []
+        channel._on_full = lambda ch: drained.append(len(ch.receive_all()))
+        for i in range(3):
+            channel.send(process, pointer_check(i, i))
+        assert channel.dropped_total == 1
+        assert drained == [2]  # hook ran, after the drop, and made room
+        # Post-drain sends succeed, but the gap from the dropped message
+        # trips the receive-side counter discipline.
+        channel.send(process, pointer_check(9, 9))
+        with pytest.raises(ChannelIntegrityError):
+            channel.receive_all()
 
 
 class TestUArch:

@@ -5,21 +5,17 @@ from hypothesis import given, settings, strategies as st
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
-from repro.compiler.types import (
-    ArrayType,
-    F64,
-    FunctionType,
-    I64,
-    PointerType,
-    StructType,
-    VOID,
-    contains_function_pointer,
-    func,
-    is_function_pointer,
-    is_vtable_pointer,
-    pointer_slot_offsets,
-    ptr,
-)
+from repro.compiler.types import (ArrayType,
+                                  F64,
+                                  I64,
+                                  StructType,
+                                  VOID,
+                                  contains_function_pointer,
+                                  func,
+                                  is_function_pointer,
+                                  is_vtable_pointer,
+                                  pointer_slot_offsets,
+                                  ptr)
 
 
 class TestTypes:

@@ -20,7 +20,7 @@ import pytest
 from repro.cfi.designs import get_design
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
-from repro.compiler.diagnostics import ERROR, WARNING, render_text
+from repro.compiler.diagnostics import WARNING, render_text
 from repro.compiler.lint import audit_function, audit_module
 from repro.compiler.passes.base import PassManager
 from repro.compiler.types import I64, func, ptr
@@ -195,7 +195,7 @@ class TestDefineAudit:
         module, f, fref = new_module()
         g = module.add_global("handler", FNPTR)
         b = IRBuilder(f.add_block("entry"))
-        store = b.store(fref, g)
+        b.store(fref, g)
         b.block.append(ir.RuntimeCall("hq_pointer_define", [g, fref]))
         b.ret(b.const(0))
         result = audit_function(f)
@@ -206,7 +206,7 @@ class TestDefineAudit:
         module, f, fref = new_module()
         g = module.add_global("handler", FNPTR)
         b = IRBuilder(f.add_block("entry"))
-        store = b.store(fref, g)
+        b.store(fref, g)
         b.ret(b.const(0))
         result = audit_function(f)
         assert rules(result) == {"fnptr-define-missing"}

@@ -6,7 +6,6 @@ import pytest
 from array import array
 
 from repro.cfi.hq_cfi import HQCFIPolicy
-from repro.core import messages as msg
 from repro.core.messages import (
     MESSAGE_WORDS,
     Message,

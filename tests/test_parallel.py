@@ -9,7 +9,6 @@ statistics.
 import os
 import pickle
 
-import pytest
 
 from repro.bench.cache import cache_enabled
 from repro.bench.harness import correctness_table, perf_sweep

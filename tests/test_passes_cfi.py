@@ -1,7 +1,6 @@
 """Tests for the HQ-CFI instrumentation passes (initial/final lowering,
 return pointers, syscall synchronization)."""
 
-import pytest
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
@@ -295,7 +294,8 @@ class TestSyscallSync:
         b = IRBuilder(entry)
         b.br(loop)
         b.position_at_end(loop)
-        i = ir.Phi(I64, "i"); loop.append(i)
+        i = ir.Phi(I64, "i")
+        loop.append(i)
         i.add_incoming(b.const(0), entry)
         i2 = b.add(i, b.const(1))
         i.add_incoming(i2, loop)

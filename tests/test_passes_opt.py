@@ -273,7 +273,8 @@ class TestDevirtualization:
         IRBuilder(a).br(join)
         IRBuilder(c).br(join)
         b.position_at_end(join)
-        phi = ir.Phi(ptr(SIG)); join.instructions.insert(0, phi)
+        phi = ir.Phi(ptr(SIG))
+        join.instructions.insert(0, phi)
         phi.block = join
         phi.add_incoming(ir.FunctionRef(target), a)
         phi.add_incoming(ir.FunctionRef(other), c)

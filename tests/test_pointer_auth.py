@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.cfi.ccfi import CCFIPass, CCFIRuntime
+from repro.cfi.ccfi import CCFIRuntime
 from repro.cfi.pointer_auth import (
     PointerAuthPass,
     PointerAuthRuntime,
@@ -13,10 +13,8 @@ from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
 from repro.compiler.types import I64, func, ptr
 from repro.core.framework import run_program
-from repro.sim.cpu import Interpreter, PolicyViolationError, SYS_WIN
-from repro.sim.loader import Image
+from repro.sim.cpu import PolicyViolationError, SYS_WIN
 from repro.sim.memory import WORD_SIZE
-from repro.sim.process import Process
 
 SIG = func(I64, [I64])
 

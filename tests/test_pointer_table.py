@@ -1,6 +1,5 @@
 """Tests for the verifier's pointer table and HQ-CFI policy."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cfi.hq_cfi import HQCFIPolicy

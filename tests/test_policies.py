@@ -1,7 +1,6 @@
 """Tests for the non-CFI execution policies: memory safety, the toy
 call counter, and the watchdog (repro.policies.*)."""
 
-import pytest
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
@@ -120,8 +119,7 @@ class TestMemorySafetyEndToEnd:
         b = IRBuilder(mainf.add_block("entry"))
         block = b.malloc(b.const(16))
         index = 2 if overflow else 1  # 16 bytes = words 0..1
-        target = b.gep_index(b.cast(block, ptr(ArrayType(I64, 4))),
-                             b.const(0))
+        b.gep_index(b.cast(block, ptr(ArrayType(I64, 4))), b.const(0))
         word = b.cast(block, ptr(I64))
         address = b.add(b.cast(word, I64), b.const(index * 8))
         b.store(b.const(7), b.cast(address, ptr(I64)))
@@ -152,7 +150,6 @@ class TestMemorySafetyEndToEnd:
     def test_overflow_detected_by_policy(self):
         """Full pipeline: instrument, run monitored, verifier flags the
         out-of-bounds store."""
-        from repro.cfi.designs import DESIGNS
         from repro.compiler.passes.base import PassManager
         from repro.compiler.passes.syscall_sync import SyscallSyncPass
         from repro.core.framework import run_program

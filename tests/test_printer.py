@@ -1,6 +1,5 @@
 """Tests for the IR printer (repro.compiler.printer)."""
 
-import pytest
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
@@ -71,7 +70,7 @@ class TestInstructions:
     def test_control_flow(self):
         module, _ = sample_module()
         f = module.add_function("f", func(I64, [I64]))
-        a = f.add_block("a")
+        f.add_block("a")
         c = f.add_block("c")
         d = f.add_block("d")
         br = ir.Br(c)

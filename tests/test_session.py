@@ -3,8 +3,6 @@
 import pytest
 
 from repro.core.session import HQSession
-from repro.workloads.generator import build_module
-from repro.workloads.profiles import get_profile
 from repro.attacks.ripe import Attack, build_victim
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder

@@ -1,6 +1,5 @@
 """Tests for the taint-tracking policy (repro.policies.taint)."""
 
-import pytest
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder

@@ -1,12 +1,11 @@
 """Tests for trace recording/replay and redundant fault detection
 (repro.core.trace, repro.policies.redundancy)."""
 
-import pytest
 
 from repro.cfi.hq_cfi import HQCFIPolicy
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
-from repro.compiler.types import ArrayType, I64, func, ptr
+from repro.compiler.types import I64, func, ptr
 from repro.core import messages as msg
 from repro.core.trace import (
     RecordingChannel,

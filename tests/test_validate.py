@@ -6,14 +6,14 @@ from repro.cfi.designs import get_design
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
 from repro.compiler.passes.base import PassManager
-from repro.compiler.types import I64, func, ptr
+from repro.compiler.types import I64, func
 from repro.compiler.validate import (
     ValidationError,
     validate_function,
     validate_module,
 )
 from repro.workloads.generator import build_module
-from repro.workloads.profiles import PROFILES, get_profile
+from repro.workloads.profiles import get_profile
 
 SIG = func(I64, [I64])
 

@@ -1,7 +1,6 @@
 """Tests for the miniature web server workload
 (repro.workloads.webserver)."""
 
-import pytest
 
 from repro.workloads.webserver import (
     HEADER_WORDS,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.compiler import ir
 from repro.core.framework import run_program
 from repro.workloads.generator import build_module
 from repro.workloads.profiles import (
