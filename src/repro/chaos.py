@@ -140,6 +140,11 @@ class ChaosRecord:
     verifier_restarts: int
     injected_full: int
     delay_episodes: int
+    #: Shard-crash cells only (``shard-crash`` runs use the sharded
+    #: runtime): injections performed, and kills that were *not* scoped
+    #: to the dead shard's pids — any nonzero mis-scope fails the sweep.
+    shard_crashes: int = 0
+    mis_scoped_kills: int = 0
     #: Observability counter snapshot (``--observe`` runs only): the
     #: run's ``obs_report`` counters, fully deterministic per case, so
     #: replay equality covers them too.
@@ -160,11 +165,12 @@ _BASELINES: Dict[Tuple[str, str], RunResult] = {}
 
 def _run_workload(workload: str, channel: str,
                   injector: Optional[FaultInjector],
-                  observe: bool = False) -> RunResult:
+                  observe: bool = False,
+                  shards: Optional[int] = None) -> RunResult:
     factory, pre_run = WORKLOADS[workload]
     return run_program(factory(), design=DEFAULT_DESIGN, channel=channel,
                        pre_run=pre_run, fault_injector=injector,
-                       max_steps=2_000_000, observe=observe)
+                       max_steps=2_000_000, observe=observe, shards=shards)
 
 
 def baseline_for(workload: str, channel: str) -> RunResult:
@@ -198,19 +204,39 @@ def classify(result: RunResult, baseline: RunResult) -> str:
     return "error"
 
 
+#: Shard count used for ``shard-crash`` sweep cells: enough shards that
+#: the root pid usually survives the crash (tolerated) but sometimes
+#: does not (detected-kill), so both arms of the scoping argument are
+#: exercised across seeds.
+SHARD_CRASH_SHARDS = 3
+
+
 def run_case(workload: str, channel: str, fault: FaultKind,
              seed: int) -> ChaosRecord:
     """Execute and classify one cell of the sweep."""
     baseline = baseline_for(workload, channel)
     injector = FaultInjector(make_plan(workload, channel, fault, seed))
     obs_counters: Optional[Dict[str, int]] = None
+    shards = SHARD_CRASH_SHARDS if fault is FaultKind.SHARD_CRASH else None
+    mis_scoped = 0
     try:
         result = _run_workload(workload, channel, injector,
-                               observe=_OBSERVE)
+                               observe=_OBSERVE, shards=shards)
         verdict = classify(result, baseline)
         outcome, detail = result.outcome, result.detail
         output_len = len(result.output)
         messages = result.messages_sent
+        if (fault is FaultKind.SHARD_CRASH and outcome == "killed"
+                and detail == "verifier-terminated"):
+            # Scoping audit: a shard-death kill is legitimate only for a
+            # pid the dead shard owned — crash_shard records a
+            # ``shard-terminated`` violation for exactly those pids, so
+            # its absence means a surviving shard's pid was killed.
+            if not any(v.kind == "shard-terminated"
+                       for v in result.violations):
+                mis_scoped = 1
+                verdict = "error"
+                detail += " [mis-scoped: killed pid not on dead shard]"
         if _OBSERVE and result.obs_report is not None:
             obs_counters = dict(result.obs_report["metrics"]["counters"])
     except Exception as error:  # the invariant says this must not happen
@@ -229,6 +255,9 @@ def run_case(workload: str, channel: str, fault: FaultKind,
                            if faulty_verifier else 0),
         injected_full=faulty_channel.injected_full if faulty_channel else 0,
         delay_episodes=faulty_channel.delay_episodes if faulty_channel else 0,
+        shard_crashes=(faulty_verifier.shard_crashes
+                       if faulty_verifier else 0),
+        mis_scoped_kills=mis_scoped,
         obs=obs_counters)
 
 
@@ -401,7 +430,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.quick:
         faults = [FaultKind.NONE, FaultKind.DROP, FaultKind.CORRUPT,
                   FaultKind.DELAY, FaultKind.FORCED_FULL_PERSISTENT,
-                  FaultKind.VERIFIER_CRASH_RESTART, FaultKind.SLOW_VERIFIER]
+                  FaultKind.VERIFIER_CRASH_RESTART, FaultKind.SLOW_VERIFIER,
+                  FaultKind.SHARD_CRASH]
         channels: Tuple[str, ...] = QUICK_CHANNELS
         workloads: Tuple[str, ...] = QUICK_WORKLOADS
     else:

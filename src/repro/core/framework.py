@@ -133,7 +133,8 @@ def run_program(module: ir.Module,
                 passes_override: Optional[list] = None,
                 naive_synchronization: bool = False,
                 fault_injector=None,
-                observe=None) -> RunResult:
+                observe=None,
+                shards: Optional[int] = None) -> RunResult:
     """Compile ``module`` under ``design`` and execute it end to end.
 
     ``module`` is mutated by the instrumentation passes; build a fresh
@@ -158,6 +159,13 @@ def run_program(module: ir.Module,
     its tracer/registry.  The run's metrics report lands in
     ``result.obs_report``; the default (None) keeps every instrumented
     path to a single disabled-predicate check.
+
+    ``shards`` (>= 2) replaces the single verifier with the sharded
+    runtime (:class:`repro.core.shard_verifier.ShardedVerifier`): pids
+    partition across that many verifier shards, each draining its own
+    shared-memory SPSC ring.  Verdicts are identical to the
+    single-verifier path — sharding is a throughput structure, not a
+    semantic one.  The default (None or 1) keeps the plain verifier.
     """
     config = get_design(design)
 
@@ -188,12 +196,16 @@ def run_program(module: ir.Module,
         # Timestamps derive from this process's cycle totals: monotonic
         # sim time, deterministic across same-seed runs.
         observer.bind_clock(process)
-    verifier: Optional[Verifier] = None
+    verifier = None  # Verifier or ShardedVerifier (duck-typed liaison)
     hq_channel: Optional[Channel] = None
     kernel = Kernel()
     hq_module = None
     if config.monitored:
-        verifier = Verifier(policy_factory)
+        if shards is not None and shards > 1:
+            from repro.core.shard_verifier import ShardedVerifier
+            verifier = ShardedVerifier(policy_factory, shards)
+        else:
+            verifier = Verifier(policy_factory)
         # The observer rides on the *inner* verifier/transport so fault
         # wrappers (which delegate to them) are observed for free and
         # nothing is double-counted.
@@ -289,4 +301,11 @@ def run_program(module: ir.Module,
             channel=hq_channel, verifier=verifier,
             outcome=result.outcome)
         result.obs_report = observer.report()
+    # 5. Release OS resources (SPSC rings hold real /dev/shm segments;
+    # in-process channels make these no-ops).
+    if hq_channel is not None:
+        hq_channel.close()
+    close_verifier = getattr(verifier, "close", None)
+    if close_verifier is not None:
+        close_verifier()
     return result

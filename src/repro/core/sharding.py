@@ -1,0 +1,83 @@
+"""Pid → verifier-shard assignment by consistent hashing.
+
+The sharded verifier runtime partitions monitored pids across N
+verifier shards, each draining its own SPSC ring.  The partition must
+be:
+
+* **sticky** — all messages from one pid land on one shard, because
+  policy contexts are per-pid and per-pid message order is the only
+  ordering the verifier relies on (channel streams are single-writer);
+* **balanced** — pids spread evenly so no shard becomes the bottleneck;
+* **stable under resizing** — growing the fleet from N to N+1 shards
+  moves only ~1/(N+1) of the pid space, so a future elastic verifier
+  can rebalance without invalidating most shard-local policy state.
+
+The classic consistent-hashing ring gives all three: each shard owns
+``vnodes`` pseudo-random points on a 64-bit circle (blake2b of
+``"shard:{id}:{vnode}"`` — stable across processes and Python
+versions, unlike ``hash()``), and a pid is assigned to the owner of
+the first point at or clockwise-after ``blake2b("pid:{pid}")``.
+
+Assignments are memoized per pid (*affinity*): once a pid has been
+seen, its shard never changes for the lifetime of this map, even if
+the ring is edited afterwards.  Fork children are hashed
+independently — a child may well land on a different shard than its
+parent, which is why the coordinator copies the parent's policy
+context across shards on fork.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from typing import Dict, List, Tuple
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit position on the hash circle."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("ascii"), digest_size=8).digest(), "big")
+
+
+class ShardMap:
+    """Consistent-hash ring mapping pids to ``num_shards`` shards."""
+
+    def __init__(self, num_shards: int, vnodes: int = 64) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per shard")
+        self.num_shards = num_shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            for vnode in range(vnodes):
+                points.append((_point(f"shard:{shard}:{vnode}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+        #: Per-pid affinity: the memoized, never-changing assignment.
+        self._affinity: Dict[int, int] = {}
+
+    def assign(self, pid: int) -> int:
+        """The shard owning ``pid`` (memoized on first use)."""
+        shard = self._affinity.get(pid)
+        if shard is None:
+            index = bisect_left(self._points, _point(f"pid:{pid}"))
+            if index == len(self._points):
+                index = 0  # wrap: past the last point owns from the top
+            shard = self._owners[index]
+            self._affinity[pid] = shard
+        return shard
+
+    def forget(self, pid: int) -> None:
+        """Drop the memoized assignment (process exit)."""
+        self._affinity.pop(pid, None)
+
+    def pids_on(self, shard: int) -> List[int]:
+        """Currently-memoized pids assigned to ``shard``."""
+        return sorted(pid for pid, s in self._affinity.items()
+                      if s == shard)
+
+    def __len__(self) -> int:
+        return self.num_shards

@@ -116,6 +116,11 @@ class FaultyChannel(Channel):
     def pending(self) -> int:
         return len(self._held) + self.inner.pending()
 
+    def close(self) -> None:
+        # Real OS resources (SPSC ring segments) live on the inner
+        # channel; a chaos run must release them like a clean run would.
+        self.inner.close()
+
     # -- attack surface pass-through -------------------------------------------
 
     def corrupt(self, index: int, message: Message) -> None:

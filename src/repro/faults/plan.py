@@ -30,6 +30,8 @@ kind                         what it models
                              from kernel state (section 3.4)
 ``slow-verifier``            the verifier processes only a few messages
                              per time slice (backpressure)
+``shard-crash``              one shard of the sharded verifier runtime
+                             dies; only its pids may be condemned
 ``epoch-jitter``             the kernel epoch budget wobbles around its
                              nominal value (scheduling noise)
 ===========================  ==================================================
@@ -58,6 +60,7 @@ class FaultKind(enum.Enum):
     VERIFIER_CRASH = "verifier-crash"
     VERIFIER_CRASH_RESTART = "verifier-crash-restart"
     SLOW_VERIFIER = "slow-verifier"
+    SHARD_CRASH = "shard-crash"
     EPOCH_JITTER = "epoch-jitter"
 
     @classmethod
@@ -80,7 +83,7 @@ STREAM_KINDS: FrozenSet[FaultKind] = frozenset({
 #: Kinds that perturb the verifier process itself.
 VERIFIER_KINDS: FrozenSet[FaultKind] = frozenset({
     FaultKind.VERIFIER_CRASH, FaultKind.VERIFIER_CRASH_RESTART,
-    FaultKind.SLOW_VERIFIER,
+    FaultKind.SLOW_VERIFIER, FaultKind.SHARD_CRASH,
 })
 
 
@@ -137,6 +140,15 @@ class FaultPlan:
         self.poll_limit: Optional[int] = None
         if FaultKind.SLOW_VERIFIER in self.kinds:
             self.poll_limit = setup.randint(*poll_limit_range)
+        #: Poll count at which one verifier shard dies (sharded runtime
+        #: only; on a single verifier the fault is inert), and the
+        #: pseudo-random pick the coordinator reduces modulo its shard
+        #: count — decided here so the schedule replays exactly.
+        self.shard_crash_at: Optional[int] = None
+        self.shard_pick: int = 0
+        if FaultKind.SHARD_CRASH in self.kinds:
+            self.shard_crash_at = setup.randint(*crash_poll_range)
+            self.shard_pick = setup.randrange(1 << 16)
         self._delay_rounds_range = delay_rounds_range
         self._forced_full_remaining = 0
         self._persistent_full = False

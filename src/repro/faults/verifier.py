@@ -38,6 +38,10 @@ class FaultyVerifier:
         self.polls = 0
         self.crashes = 0
         self.restarts_granted = 0
+        #: Shard-crash injections performed / which shard died (sharded
+        #: runtime only; inert against a single verifier).
+        self.shard_crashes = 0
+        self.crashed_shard: Optional[int] = None
 
     def poll(self, max_messages: Optional[int] = None) -> int:
         self.polls += 1
@@ -49,6 +53,17 @@ class FaultyVerifier:
             self.crashes += 1
             self.inner.terminated = True
             return 0
+        if (self.plan.shard_crash_at is not None
+                and self.shard_crashes == 0
+                and self.polls >= self.plan.shard_crash_at):
+            # Partial failure: one shard of a sharded runtime dies; the
+            # coordinator and the other shards keep running.  Against a
+            # single verifier the kind is inert by design (the sweep
+            # asserts scoping, and there is nothing to scope to).
+            crash = getattr(self.inner, "crash_shard", None)
+            if crash is not None:
+                self.shard_crashes += 1
+                self.crashed_shard = crash(self.plan.shard_pick)
         limit = self.plan.poll_limit
         if limit is not None:
             max_messages = limit if max_messages is None \

@@ -196,6 +196,15 @@ class Channel(abc.ABC):
     def pending(self) -> int:
         """Number of messages waiting to be received."""
 
+    def close(self) -> None:
+        """Release transport resources held outside this process.
+
+        Most channels are pure in-process models and hold nothing; the
+        base implementation is a no-op.  Channels backed by real OS
+        objects (the SPSC shared-memory ring) override this to close
+        and unlink their segments.  Idempotent.
+        """
+
     # -- integrity-attack surface (non-append-only channels only) ----------
 
     def corrupt(self, index: int, message: Message) -> None:

@@ -28,6 +28,11 @@ SEND_NS = {
     # by the shm write (12 ns) plus bookkeeping.  Calibrated so that the
     # MODEL-vs-SIM gap of Figure 4 is reproduced.
     "model": 11.0,
+    # Lock-free SPSC ring over OS shared memory (the sharded-verifier
+    # transport): same raw-store send path as shm — the ring index
+    # bookkeeping is register arithmetic, not an extra memory round
+    # trip — so it inherits the Table 2 shared-memory cost.
+    "spsc": 12.0,
 }
 
 

@@ -16,6 +16,7 @@ from repro.ipc.base import Channel
 from repro.ipc.lwc import LightWeightContextChannel
 from repro.ipc.posix import MessageQueueChannel, NamedPipeChannel, SocketChannel
 from repro.ipc.shared_memory import SharedMemoryChannel
+from repro.ipc.spsc_ring import SpscRingChannel
 
 _FACTORIES: Dict[str, Callable[..., Channel]] = {
     "mq": MessageQueueChannel,
@@ -27,6 +28,7 @@ _FACTORIES: Dict[str, Callable[..., Channel]] = {
     "sim": AppendWriteUArch,
     "uarch": AppendWriteUArch,
     "model": AppendWriteModel,
+    "spsc": SpscRingChannel,
 }
 
 

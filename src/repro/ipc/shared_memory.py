@@ -13,13 +13,143 @@ prevent.
 
 from __future__ import annotations
 
+import atexit
+import os
 from array import array
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.messages import MESSAGE_WORDS, Message, _MASK32, _MASK64
 from repro.ipc.base import Channel, ChannelFullError
 from repro.ipc.latency import send_cycles
 from repro.sim.process import Process
+
+# ---------------------------------------------------------------------------
+# OS shared-memory segment lifecycle
+# ---------------------------------------------------------------------------
+#
+# Everything in this repository that maps a real
+# ``multiprocessing.shared_memory.SharedMemory`` block (the SPSC rings
+# of :mod:`repro.ipc.spsc_ring`, and through them the sharded verifier
+# and its bench) allocates it through :func:`create_segment` and maps an
+# existing block through :func:`attach_segment`.  Centralizing the
+# lifecycle fixes two failure modes of the stdlib defaults:
+#
+# * **Creator leak** — a segment whose owner exits without ``unlink()``
+#   stays in ``/dev/shm`` forever.  Created segments are tracked here
+#   and an ``atexit`` hook closes *and unlinks* whatever is still
+#   mapped, so even an abnormal-but-orderly exit (an uncaught
+#   exception, a chaos run aborting mid-sweep) leaves nothing behind.
+# * **Attacher double-accounting** — before Python 3.13 every
+#   ``SharedMemory(name=...)`` *attach* also registers the segment with
+#   the process's ``resource_tracker``, so a consumer process that dies
+#   mid-drain (a killed verifier shard) triggers a "leaked
+#   shared_memory" warning at tracker shutdown and — worse — unlinks a
+#   segment it never owned out from under the creator.
+#   :func:`attach_segment` unregisters the mapping immediately:
+#   ownership stays with the creator, and killing an attached shard is
+#   silent and safe.
+
+#: Segments created (and therefore owned) by this process, by name.
+#: Values are ``(segment, creator_pid)``: a forked child inherits this
+#: dict but must never unlink the parent's segments, so ownership is
+#: pid-qualified and checked at release time.
+_OWNED_SEGMENTS: Dict[str, tuple] = {}
+_CLEANUP_REGISTERED = False
+
+
+def _shared_memory_module():
+    # Imported lazily so merely importing repro.ipc never drags in
+    # multiprocessing (and its resource tracker) for runs that use only
+    # the in-process channel models.
+    from multiprocessing import shared_memory
+    return shared_memory
+
+
+def _cleanup_owned_segments() -> None:
+    """atexit hook: release every still-owned segment, best effort."""
+    for name in list(_OWNED_SEGMENTS):
+        release_segment(_OWNED_SEGMENTS[name][0])
+
+
+def create_segment(size: int, name: Optional[str] = None):
+    """Create and own a shared-memory block; unlinked at process exit.
+
+    The returned object is a ``SharedMemory`` instance.  Call
+    :func:`release_segment` when done; anything still owned when the
+    process exits is closed and unlinked by the atexit hook, so chaos
+    runs that abort mid-sweep cannot leak ``/dev/shm`` entries.
+    """
+    global _CLEANUP_REGISTERED
+    shared_memory = _shared_memory_module()
+    if name is None:
+        # Collision-proof default: pid-qualified, process-local counter.
+        base = f"repro-{os.getpid()}"
+        suffix = len(_OWNED_SEGMENTS)
+        while f"{base}-{suffix}" in _OWNED_SEGMENTS:
+            suffix += 1
+        name = f"{base}-{suffix}"
+    segment = shared_memory.SharedMemory(name=name, create=True, size=size)
+    _OWNED_SEGMENTS[segment.name] = (segment, os.getpid())
+    if not _CLEANUP_REGISTERED:
+        atexit.register(_cleanup_owned_segments)
+        _CLEANUP_REGISTERED = True
+    return segment
+
+
+def attach_segment(name: str):
+    """Map an existing segment without taking ownership of its lifetime.
+
+    Unregisters the mapping from this process's ``resource_tracker`` so
+    a consumer that dies (or is killed) mid-drain neither warns about a
+    "leaked" segment nor unlinks the creator's block behind its back.
+    """
+    shared_memory = _shared_memory_module()
+    segment = shared_memory.SharedMemory(name=name)
+    if segment.name not in _OWNED_SEGMENTS:
+        # Foreign-process attach (fresh resource tracker): drop the
+        # tracker registration.  But a *forked child* attaching to its
+        # parent's segment shares the parent's tracker daemon — the
+        # registration it would drop is the creator's, so there the
+        # attach must leave tracker state alone (the inherited
+        # ``_OWNED_SEGMENTS`` entry is how we tell the cases apart).
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            # Python >= 3.13 (track= keyword) or exotic platforms: the
+            # attach either was not tracked or cannot be untracked; the
+            # creator-side unlink still guarantees cleanup.
+            pass
+    return segment
+
+
+def release_segment(segment, unlink: Optional[bool] = None) -> None:
+    """Close a mapping; unlink it too if this process owns it.
+
+    Safe to call twice and safe on segments another process already
+    unlinked (a crashed peer, a chaos kill): every error that only
+    means "already gone" is swallowed.
+    """
+    entry = _OWNED_SEGMENTS.pop(segment.name, None)
+    # A forked child inherits the owner dict; only the creating process
+    # itself may unlink (the parent still has the block mapped).
+    owned = entry is not None and entry[1] == os.getpid()
+    if unlink is None:
+        unlink = owned
+    try:
+        segment.close()
+    except (OSError, BufferError):
+        pass
+    if unlink:
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def owned_segment_names():
+    """Names of segments this process currently owns (for tests)."""
+    return sorted(_OWNED_SEGMENTS)
 
 
 class SharedMemoryChannel(Channel):

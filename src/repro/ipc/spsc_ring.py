@@ -1,0 +1,330 @@
+"""Lock-free SPSC ring over OS shared memory: the shard transport.
+
+The flat message path (``repro.core.messages``) makes every HerQules
+message exactly four packed 64-bit words — the shape that maps directly
+onto a single-producer / single-consumer ring buffer in a
+``multiprocessing.shared_memory`` block.  :class:`SpscRing` is that
+ring: the monitored side (or the sharding coordinator acting for it)
+publishes word batches, and a verifier shard — possibly a different OS
+process — consumes them, with no lock on either side.
+
+Layout of the backing segment (64-bit little-endian words)::
+
+    word 0   head     consumer position  (words consumed, ever-rising)
+    word 1   acked    consumer dispatch position (words validated)
+    word 8   tail     producer position  (words published, ever-rising)
+    word 9   stop     producer -> consumer shutdown flag
+    word 16+ data     capacity_words payload slots (power of two)
+
+``head``/``acked`` share a cache line written only by the consumer;
+``tail``/``stop`` share one written only by the producer — the classic
+SPSC split, so steady-state operation ping-pongs no lines beyond the
+payload itself.  Positions are free-running 64-bit counters; the slot
+index is ``position & (capacity_words - 1)``.
+
+Memory-ordering contract (the lock-free part): the producer copies the
+payload words *before* the single 8-byte store that advances ``tail``,
+and the consumer reads ``tail`` *before* copying payload — on x86-64's
+total store order (and via the GIL-free C ``memcpy`` CPython performs
+for memoryview slice assignment) a consumer therefore never observes a
+partially-written message.  Whole messages only: both
+:meth:`publish_words` and the free-space computation round down to a
+multiple of :data:`~repro.core.messages.MESSAGE_WORDS`, so ``tail``
+always lands on a message boundary and torn *messages* are impossible
+by construction (``tests/test_spsc_ring.py`` hammers this with a real
+producer process).
+
+Both endpoints keep *cached* copies of the opposite index and refresh
+lazily — the producer re-reads ``head`` only when its cached view says
+the ring is full, the consumer re-reads ``tail`` only when its cached
+view says the ring is empty — so an uncontended publish or consume
+touches the shared header exactly once (its own release store).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from repro.core.messages import MESSAGE_WORDS, Message, _MASK32, _MASK64
+from repro.ipc.base import Channel, ChannelFullError
+from repro.ipc.latency import send_cycles
+from repro.ipc.shared_memory import (attach_segment, create_segment,
+                                     release_segment)
+from repro.sim.process import Process
+
+#: Header words reserved ahead of the payload (two cache lines).
+HEADER_WORDS = 16
+_HEAD = 0
+_ACKED = 1
+_TAIL = 8
+_STOP = 9
+
+_EMPTY = array("Q")
+
+
+class SpscRing:
+    """One single-producer / single-consumer shared-memory word ring."""
+
+    def __init__(self, segment, capacity_words: int, owner: bool) -> None:
+        if capacity_words < MESSAGE_WORDS or \
+                capacity_words & (capacity_words - 1):
+            raise ValueError("capacity_words must be a power of two >= "
+                             f"{MESSAGE_WORDS}, got {capacity_words}")
+        self._segment = segment
+        self._owner = owner
+        self.capacity_words = capacity_words
+        self._mask = capacity_words - 1
+        #: Raw byte view (for bulk copy-out) and word view (for header
+        #: stores and bulk copy-in) over the same mapping.
+        self._raw = segment.buf
+        self._words = memoryview(segment.buf).cast("Q")
+        #: Producer-local: its own tail plus a lazy view of head.
+        self._tail_local = self._words[_TAIL]
+        self._cached_head = self._words[_HEAD]
+        #: Consumer-local: its own head plus a lazy view of tail.
+        self._head_local = self._words[_HEAD]
+        self._cached_tail = self._words[_TAIL]
+        self._closed = False
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity_words: int = 1 << 15,
+               name: Optional[str] = None) -> "SpscRing":
+        """Allocate a fresh ring; the creating process owns the segment."""
+        size = (HEADER_WORDS + capacity_words) * 8
+        return cls(create_segment(size, name=name), capacity_words,
+                   owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity_words: int) -> "SpscRing":
+        """Map an existing ring (the consumer side of a worker process)."""
+        return cls(attach_segment(name), capacity_words, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    # -- producer side ------------------------------------------------------
+
+    def publish_words(self, words, start: int = 0) -> int:
+        """Copy whole messages from ``words[start:]`` into the ring.
+
+        Returns the number of words published (a multiple of
+        :data:`MESSAGE_WORDS`; zero when the ring is full).  The copy is
+        at most two C-level slice assignments (wrap-around), followed by
+        the single release store of ``tail``.
+        """
+        tail = self._tail_local
+        want = (len(words) - start) & ~(MESSAGE_WORDS - 1)
+        if want <= 0:
+            return 0
+        free = self.capacity_words - (tail - self._cached_head)
+        if free < want:
+            # Lazy refresh: only now pay the cross-core header read.
+            self._cached_head = self._words[_HEAD]
+            free = self.capacity_words - (tail - self._cached_head)
+        n = min(want, free & ~(MESSAGE_WORDS - 1))
+        if n <= 0:
+            return 0
+        if not isinstance(words, memoryview):
+            words = memoryview(words)
+        pos = tail & self._mask
+        first = min(n, self.capacity_words - pos)
+        base = HEADER_WORDS + pos
+        self._words[base:base + first] = words[start:start + first]
+        if first < n:
+            self._words[HEADER_WORDS:HEADER_WORDS + n - first] = \
+                words[start + first:start + n]
+        # Publish: data stores above are ordered before this tail store.
+        self._tail_local = tail + n
+        self._words[_TAIL] = tail + n
+        return n
+
+    def request_stop(self) -> None:
+        """Producer-side shutdown signal for a free-running consumer."""
+        self._words[_STOP] = 1
+
+    # -- consumer side ------------------------------------------------------
+
+    def consume_words(self, max_words: Optional[int] = None) -> array:
+        """Drain published words (whole messages), advancing ``head``.
+
+        Returns an ``array('Q')`` (possibly empty).  The cached tail is
+        refreshed only when it shows nothing pending, so a busy
+        consumer alternates between draining its cached view and one
+        header read per empty-looking call.
+        """
+        head = self._head_local
+        tail = self._cached_tail
+        if tail == head:
+            tail = self._cached_tail = self._words[_TAIL]
+            if tail == head:
+                return _EMPTY[:]
+        n = tail - head
+        if max_words is not None and n > max_words:
+            n = max_words & ~(MESSAGE_WORDS - 1)
+            if n <= 0:
+                return _EMPTY[:]
+        out = array("Q")
+        pos = head & self._mask
+        first = min(n, self.capacity_words - pos)
+        base = (HEADER_WORDS + pos) * 8
+        out.frombytes(self._raw[base:base + first * 8])
+        if first < n:
+            out.frombytes(self._raw[HEADER_WORDS * 8:
+                                    (HEADER_WORDS + n - first) * 8])
+        self._head_local = head + n
+        self._words[_HEAD] = head + n
+        return out
+
+    def ack(self, words_dispatched: int) -> None:
+        """Record the consumer's *dispatch* position (validated words).
+
+        ``head`` says the words left the ring; ``acked`` says the
+        verifier actually ran them through policy dispatch — the
+        position shard ack aggregation (epoch = min over shards) reads.
+        """
+        self._words[_ACKED] = words_dispatched
+
+    def stop_requested(self) -> bool:
+        return bool(self._words[_STOP])
+
+    # -- shared observers ----------------------------------------------------
+
+    def published(self) -> int:
+        return self._words[_TAIL]
+
+    def consumed(self) -> int:
+        return self._words[_HEAD]
+
+    def acked(self) -> int:
+        return self._words[_ACKED]
+
+    def occupancy_words(self) -> int:
+        """Words currently in flight (published, not yet consumed)."""
+        return self._words[_TAIL] - self._words[_HEAD]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping (and unlink it, if this side owns it)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._words.release()
+        release_segment(self._segment, unlink=self._owner if self._owner
+                        else False)
+
+    def __del__(self):
+        # A ring abandoned without close() must not poison interpreter
+        # shutdown: the cast word view exports a pointer into the
+        # segment buffer, and ``SharedMemory.__del__`` raises
+        # ``BufferError`` (a stderr traceback) if it is still alive.
+        # The ring holds the only reference to the segment, so this
+        # runs first and the segment then closes cleanly.
+        try:
+            self._words.release()
+        except Exception:
+            pass
+
+
+class SpscRingChannel(Channel):
+    """The SPSC ring as a Table-2-style transport primitive (``spsc``).
+
+    Semantically the ring sits where raw shared memory does: one memory
+    write per send, validation fully off the critical path — and, like
+    ``shm``, no append-only enforcement (the producer owns the mapping,
+    so ``corrupt``/``erase`` model the compromised-writer attack).  What
+    it adds over :class:`~repro.ipc.shared_memory.SharedMemoryChannel`
+    is that the buffer is a *real* OS shared-memory block another
+    process can drain, which is what the sharded verifier scale-out
+    runs on.
+    """
+
+    primitive = "spsc"
+    append_only = False
+    async_validation = True
+    primary_cost = "Mem. Write"
+
+    def __init__(self, capacity: int = 1 << 13,
+                 ring: Optional[SpscRing] = None) -> None:
+        super().__init__(capacity)
+        capacity_words = capacity * MESSAGE_WORDS
+        if capacity_words & (capacity_words - 1):
+            raise ValueError("spsc channel capacity must be a power of two")
+        self.ring = ring if ring is not None else \
+            SpscRing.create(capacity_words=capacity_words)
+        self._send_cost = send_cycles(self.primitive)
+        self._scratch = array("Q", [0, 0, 0, 0])
+
+    def send_raw(self, sender: Process, op: int, arg0: int = 0,
+                 arg1: int = 0, aux: int = 0) -> None:
+        scratch = self._scratch
+        scratch[0] = (op & _MASK32) | ((sender.pid & _MASK32) << 32)
+        scratch[1] = arg0 & _MASK64
+        scratch[2] = arg1 & _MASK64
+        counter = self._counter + 1
+        scratch[3] = (aux & _MASK32) | ((counter & _MASK32) << 32)
+        if self.ring.publish_words(scratch) == 0:
+            # Full: give the kernel drain hook one chance, then fail.
+            self._notify_full()
+            if self.ring.publish_words(scratch) == 0:
+                raise ChannelFullError("spsc ring full")
+        self._counter = counter
+        sender.cycles.charge_ipc(self._send_cost)
+        self.sent_total += 1
+
+    def _receive_raw_words(self) -> array:
+        ring = self.ring
+        words = ring.consume_words()
+        while True:
+            # A second consume refreshes the lazily-cached tail, so a
+            # drain observes everything published before it started.
+            more = ring.consume_words()
+            if not more:
+                return words
+            words += more
+
+    def pending(self) -> int:
+        return self.ring.occupancy_words() // MESSAGE_WORDS
+
+    def close(self) -> None:
+        self.ring.close()
+
+    # -- the compromised-writer attack surface ------------------------------
+
+    def corrupt(self, index: int, message: Message) -> None:
+        """Overwrite the ``index``-th in-flight message, counter intact."""
+        ring = self.ring
+        pending = ring.occupancy_words() // MESSAGE_WORDS
+        if index < 0:
+            index += pending
+        if not 0 <= index < pending:
+            raise IndexError("message index out of range")
+        words = ring._words
+        mask = ring._mask
+        head = words[_HEAD] + index * MESSAGE_WORDS
+        slots = [HEADER_WORDS + ((head + i) & mask)
+                 for i in range(MESSAGE_WORDS)]
+        pid = words[slots[0]] >> 32
+        counter = words[slots[3]] >> 32
+        words[slots[0]] = (int(message.op) & _MASK32) | (pid << 32)
+        words[slots[1]] = message.arg0 & _MASK64
+        words[slots[2]] = message.arg1 & _MASK64
+        words[slots[3]] = (message.aux & _MASK32) | (counter << 32)
+
+    def erase(self, count: Optional[int] = None) -> None:
+        """Rewind the producer index: the verifier never sees the tail."""
+        ring = self.ring
+        pending = ring.occupancy_words() // MESSAGE_WORDS
+        if count is None:
+            count = pending
+        if count < 0 or count > pending:
+            raise ValueError("erase count out of range")
+        if count:
+            rewound = ring._tail_local - count * MESSAGE_WORDS
+            ring._tail_local = rewound
+            ring._words[_TAIL] = rewound
+            self._counter -= count

@@ -41,6 +41,11 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                         help="IPC primitive (default: %(default)s)")
     parser.add_argument("--seed", type=int, default=1,
                         help="ASLR seed (default: %(default)s)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="run under the sharded verifier runtime "
+                             "with this many shards; the summary then "
+                             "includes per-shard [shard] rows "
+                             "(default: unsharded)")
 
 
 def _observed_run(args: argparse.Namespace):
@@ -53,10 +58,14 @@ def _observed_run(args: argparse.Namespace):
     observer = Observer()
     observer.meta["profile"] = args.profile
     observer.meta["dataset"] = args.dataset
+    shards = getattr(args, "shards", None)
+    if shards:
+        observer.meta["shards"] = shards
     module = build_module(get_profile(args.profile), dataset=args.dataset)
     result = run_program(module, design=args.design, channel=args.channel,
                          kill_on_violation=False, seed=args.seed,
-                         max_steps=10_000_000, observe=observer)
+                         max_steps=10_000_000, observe=observer,
+                         shards=shards)
     return observer, result
 
 

@@ -50,6 +50,10 @@ class Observer:
         self.meta: Dict[str, object] = {}
         self._clock_cycles = None   # CycleAccount of the observed process
         self._backlog_peak = 0
+        #: Lazily-created per-shard metric bundles (sharded runs only;
+        #: unsharded runs never touch this, keeping their reports — and
+        #: the bench byte-identity gate — unchanged).
+        self._shard_metrics: Dict[int, tuple] = {}
 
         registry = self.registry
         # cpu layer (sim/cpu.py)
@@ -187,6 +191,41 @@ class Observer:
         self.verifier_integrity.value += 1
         self.tracer.instant("verifier", "integrity-failure",
                             {"detail": detail[:120]})
+
+    # -- shard emits (sharded verifier runtime only) -------------------------
+
+    def _shard_bundle(self, shard_id: int) -> tuple:
+        bundle = self._shard_metrics.get(shard_id)
+        if bundle is None:
+            prefix = f"shard.{shard_id}"
+            bundle = (
+                self.registry.counter(f"{prefix}.messages_drained"),
+                self.registry.histogram(f"{prefix}.ring_occupancy",
+                                        BATCH_SIZE_EDGES),
+                self.registry.histogram(f"{prefix}.validation_lag",
+                                        VALIDATION_LAG_EDGES),
+                self.registry.counter(f"{prefix}.kills"),
+            )
+            self._shard_metrics[shard_id] = bundle
+        return bundle
+
+    def shard_drain(self, shard_id: int, drained: int,
+                    occupancy: int) -> None:
+        """One shard's drain slice: ``occupancy`` messages were waiting
+        in its ring, ``drained`` got dispatched this poll (the
+        difference, when positive, is that shard's validation lag)."""
+        drained_counter, ring_occupancy, validation_lag, _ = \
+            self._shard_bundle(shard_id)
+        drained_counter.value += drained
+        ring_occupancy.observe(occupancy)
+        validation_lag.observe(max(0, occupancy - drained))
+
+    def shard_down(self, shard_id: int, pids_condemned: int) -> None:
+        """A verifier shard died; its pids are condemned (scoped)."""
+        self._shard_bundle(shard_id)[3].value += pids_condemned
+        self.tracer.instant("verifier", "shard-down",
+                            {"shard": shard_id,
+                             "pids_condemned": pids_condemned})
 
     # -- run lifecycle -------------------------------------------------------
 

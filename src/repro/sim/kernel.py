@@ -168,6 +168,16 @@ class HQKernelModule:
             self.verifier.poll()
             if self.verifier.terminated:
                 self._verifier_down(process, context, number)
+            shard_down = getattr(self.verifier, "shard_down_for", None)
+            if shard_down is not None and shard_down(process.pid):
+                # Sharded runtime: *this pid's* verifier shard died.  The
+                # kill is scoped — pids on surviving shards keep running —
+                # but for the condemned pid the semantics are identical to
+                # a whole-verifier loss: nobody can prove it innocent.
+                self.violations_seen.append(
+                    f"pid {process.pid}: verifier shard down "
+                    f"at syscall {number}")
+                self._kill(process, context, "verifier-terminated")
             if self.verifier.has_violation(process.pid):
                 self.violations_seen.append(
                     f"pid {process.pid}: policy violation at syscall {number}")
