@@ -26,6 +26,7 @@ Usage::
     python -m repro.chaos --faults drop,corrupt --channels model,mq
     python -m repro.chaos --json report.json --jobs 4
     python -m repro.chaos --observe             # per-verdict obs counters
+    python -m repro.chaos --race                # HB-check shard rings
 
 Every verdict is replayable: the runner re-executes a sample of cases
 (``--replay-check``) and fails if any verdict is not reproduced.
@@ -64,6 +65,12 @@ DEFAULT_DESIGN = "hq-sfestk"
 #: global (not a parameter threaded through the case tuples) so replay
 #: determinism is trivial and fork-started pool workers inherit it.
 _OBSERVE = False
+
+#: Process-wide race-check switch, set by ``--race``: sharded cells
+#: additionally run happens-before detection over their ring traces
+#: (``repro.mc.race``) and any flagged race fails the sweep.  Same
+#: module-global pattern as ``_OBSERVE``, for the same replay reasons.
+_RACE = False
 
 
 # ---------------------------------------------------------------------------
@@ -145,6 +152,9 @@ class ChaosRecord:
     #: to the dead shard's pids — any nonzero mis-scope fails the sweep.
     shard_crashes: int = 0
     mis_scoped_kills: int = 0
+    #: Races flagged by the happens-before detector (``--race`` sharded
+    #: cells only); any nonzero count is an ``error`` verdict.
+    races: int = 0
     #: Observability counter snapshot (``--observe`` runs only): the
     #: run's ``obs_report`` counters, fully deterministic per case, so
     #: replay equality covers them too.
@@ -170,7 +180,8 @@ def _run_workload(workload: str, channel: str,
     factory, pre_run = WORKLOADS[workload]
     return run_program(factory(), design=DEFAULT_DESIGN, channel=channel,
                        pre_run=pre_run, fault_injector=injector,
-                       max_steps=2_000_000, observe=observe, shards=shards)
+                       max_steps=2_000_000, observe=observe, shards=shards,
+                       race_check=_RACE and shards is not None)
 
 
 def baseline_for(workload: str, channel: str) -> RunResult:
@@ -219,6 +230,7 @@ def run_case(workload: str, channel: str, fault: FaultKind,
     obs_counters: Optional[Dict[str, int]] = None
     shards = SHARD_CRASH_SHARDS if fault is FaultKind.SHARD_CRASH else None
     mis_scoped = 0
+    races = 0
     try:
         result = _run_workload(workload, channel, injector,
                                observe=_OBSERVE, shards=shards)
@@ -237,6 +249,13 @@ def run_case(workload: str, channel: str, fault: FaultKind,
                 mis_scoped = 1
                 verdict = "error"
                 detail += " [mis-scoped: killed pid not on dead shard]"
+        if result.races:
+            # The run's verdict may be fine, but an unsynchronized ring
+            # access means the transport only *happened* to be correct.
+            races = len(result.races)
+            verdict = "error"
+            detail = (detail + " " if detail else "") + \
+                f"[races: {result.races[0]}]"
         if _OBSERVE and result.obs_report is not None:
             obs_counters = dict(result.obs_report["metrics"]["counters"])
     except Exception as error:  # the invariant says this must not happen
@@ -258,6 +277,7 @@ def run_case(workload: str, channel: str, fault: FaultKind,
         shard_crashes=(faulty_verifier.shard_crashes
                        if faulty_verifier else 0),
         mis_scoped_kills=mis_scoped,
+        races=races,
         obs=obs_counters)
 
 
@@ -412,6 +432,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="attach the observability layer to every "
                              "fault run and report per-verdict counter "
                              "totals (baselines stay unobserved)")
+    parser.add_argument("--race", action="store_true",
+                        help="run happens-before race detection over the "
+                             "shard rings of sharded cells; a flagged "
+                             "race fails the sweep")
     parser.add_argument("--list", action="store_true",
                         help="list workloads, channels, and fault kinds")
     args = parser.parse_args(argv)
@@ -419,6 +443,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.observe:
         global _OBSERVE
         _OBSERVE = True
+    if args.race:
+        global _RACE
+        _RACE = True
 
     all_faults = [k for k in FaultKind]
     if args.list:

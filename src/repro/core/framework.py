@@ -81,6 +81,10 @@ class RunResult:
     #: pickles through the bench run-result cache with the rest of the
     #: result.
     obs_report: Optional[Dict] = None
+    #: Happens-before races found on the shard rings
+    #: (``run_program(race_check=True)`` with ``shards >= 2`` only;
+    #: None when race checking is disabled, empty list = clean).
+    races: Optional[List[str]] = None
 
     @property
     def ok(self) -> bool:
@@ -134,7 +138,8 @@ def run_program(module: ir.Module,
                 naive_synchronization: bool = False,
                 fault_injector=None,
                 observe=None,
-                shards: Optional[int] = None) -> RunResult:
+                shards: Optional[int] = None,
+                race_check: bool = False) -> RunResult:
     """Compile ``module`` under ``design`` and execute it end to end.
 
     ``module`` is mutated by the instrumentation passes; build a fresh
@@ -166,6 +171,13 @@ def run_program(module: ir.Module,
     shared-memory SPSC ring.  Verdicts are identical to the
     single-verifier path — sharding is a throughput structure, not a
     semantic one.  The default (None or 1) keeps the plain verifier.
+
+    ``race_check`` (sharded runs only) attaches a happens-before probe
+    (:mod:`repro.mc.race`) to every shard ring and, after the run,
+    replays the recorded shared accesses through FastTrack-style
+    vector-clock analysis; flagged races land in ``result.races``
+    (empty list = this execution was provably race-free).  The chaos
+    harness turns this on with ``--race``.
     """
     config = get_design(design)
 
@@ -200,10 +212,24 @@ def run_program(module: ir.Module,
     hq_channel: Optional[Channel] = None
     kernel = Kernel()
     hq_module = None
+    ring_probes = []  # (shard_id, RingProbe) when race_check is on
     if config.monitored:
         if shards is not None and shards > 1:
             from repro.core.shard_verifier import ShardedVerifier
             verifier = ShardedVerifier(policy_factory, shards)
+            if race_check:
+                from repro.mc.race import RingProbe
+                for engine in verifier.shards:
+                    probe = RingProbe()
+                    # The inline coordinator plays both protocol roles
+                    # on each ring; distinct actor names per role keep
+                    # the happens-before analysis honest about which
+                    # accesses the sync accesses must order.
+                    engine.ring.attach_probe(
+                        probe,
+                        producer=f"router{engine.shard_id}",
+                        consumer=f"shard{engine.shard_id}")
+                    ring_probes.append((engine.shard_id, probe))
         else:
             verifier = Verifier(policy_factory)
         # The observer rides on the *inner* verifier/transport so fault
@@ -288,6 +314,15 @@ def run_program(module: ir.Module,
     if isinstance(runtime, HQRuntime):
         result.messages_sent = runtime.messages_sent
     result.runtime_violations = getattr(runtime, "violations", 0)
+    if ring_probes:
+        from repro.mc.race import RaceDetector
+        result.races = []
+        for shard_id, probe in ring_probes:
+            # One endpoint object played both roles, so its event log
+            # is already a total order — no cross-log merge needed.
+            detector = RaceDetector().feed(probe.events)
+            result.races.extend(
+                f"shard {shard_id}: {race}" for race in detector.races)
 
     result.cycles = process.cycles.snapshot()
     result.output = list(kernel.stdout.get(process.pid, []))

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import hashlib
 from bisect import bisect_left
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 
 def _point(key: str) -> int:
@@ -81,3 +81,23 @@ class ShardMap:
 
     def __len__(self) -> int:
         return self.num_shards
+
+
+def movement_fraction(old_shards: int, new_shards: int,
+                      pids: Iterable[int], vnodes: int = 64) -> float:
+    """Fraction of ``pids`` whose shard changes across a resize.
+
+    Fresh maps on both sides (affinity memoization deliberately
+    bypassed): this measures the *hash ring's* stability, the property
+    the module docstring promises — growing N → N+1 moves ~1/(N+1) of
+    the pid space.  ``tests/test_sharding.py`` pins the bound as a
+    hypothesis property.
+    """
+    pids = list(pids)
+    if not pids:
+        return 0.0
+    old_map = ShardMap(old_shards, vnodes)
+    new_map = ShardMap(new_shards, vnodes)
+    moved = sum(1 for pid in pids
+                if old_map.assign(pid) != new_map.assign(pid))
+    return moved / len(pids)

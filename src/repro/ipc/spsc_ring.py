@@ -53,12 +53,26 @@ from repro.ipc.shared_memory import (attach_segment, create_segment,
                                      release_segment)
 from repro.sim.process import Process
 
-#: Header words reserved ahead of the payload (two cache lines).
+#: Header layout — the single source of truth for the 16 reserved
+#: words ahead of the payload (two cache lines).  The model checker
+#: (``repro.mc.model``) imports these same offsets, so the abstract
+#: protocol model and the implementation can never disagree about
+#: which word is which.
 HEADER_WORDS = 16
-_HEAD = 0
-_ACKED = 1
-_TAIL = 8
-_STOP = 9
+#: Consumer position (words consumed, free-running).  Consumer-written.
+HDR_HEAD = 0
+#: Consumer dispatch position (words validated).  Consumer-written.
+HDR_ACKED = 1
+#: Producer position (words published, free-running).  Producer-written.
+HDR_TAIL = 8
+#: Producer → consumer shutdown flag.  Producer-written.
+HDR_STOP = 9
+#: Offsets 2–7 and 10–15 are reserved padding: they keep the
+#: consumer-written and producer-written words on separate cache lines.
+_HEAD = HDR_HEAD
+_ACKED = HDR_ACKED
+_TAIL = HDR_TAIL
+_STOP = HDR_STOP
 
 _EMPTY = array("Q")
 
@@ -86,6 +100,11 @@ class SpscRing:
         self._head_local = self._words[_HEAD]
         self._cached_tail = self._words[_TAIL]
         self._closed = False
+        #: Concurrency probe (``repro.mc.race``), obs-layer pattern:
+        #: ``None`` by default, so every emit site costs one predicate.
+        self._probe = None
+        self._probe_producer = "producer"
+        self._probe_consumer = "consumer"
 
     # -- construction -------------------------------------------------------
 
@@ -106,6 +125,34 @@ class SpscRing:
     def name(self) -> str:
         return self._segment.name
 
+    # -- concurrency instrumentation ----------------------------------------
+
+    def attach_probe(self, probe, producer: str = "producer",
+                     consumer: str = "consumer") -> None:
+        """Attach a happens-before probe (``repro.mc.race.RingProbe``).
+
+        The probe sees every shared-memory access this endpoint makes,
+        classified by protocol role: header words are *sync* accesses
+        (they are single 8-byte loads/stores, atomic on the platforms
+        we run on), payload slots are *data* accesses whose ordering
+        must be derivable from the sync accesses alone — exactly what
+        the FastTrack-style detector re-proves.  ``producer`` /
+        ``consumer`` name the actors charged for each side's
+        operations, so one process (the inline coordinator) can still
+        be modelled as the two logical protocol roles.
+        """
+        self._probe = probe
+        self._probe_producer = producer
+        self._probe_consumer = consumer
+        # The constructor snapshotted the opposite indices *before*
+        # instrumentation, so an endpoint attaching to a ring that
+        # already has traffic would do its first copy on an unrecorded
+        # acquire — which the detector would rightly flag.  Invalidate
+        # both cached views: the first publish/consume then re-reads
+        # the opposite index through the probe.
+        self._cached_head = self._tail_local - self.capacity_words
+        self._cached_tail = self._head_local
+
     # -- producer side ------------------------------------------------------
 
     def publish_words(self, words, start: int = 0) -> int:
@@ -120,10 +167,14 @@ class SpscRing:
         want = (len(words) - start) & ~(MESSAGE_WORDS - 1)
         if want <= 0:
             return 0
+        probe = self._probe
         free = self.capacity_words - (tail - self._cached_head)
         if free < want:
             # Lazy refresh: only now pay the cross-core header read.
             self._cached_head = self._words[_HEAD]
+            if probe is not None:
+                probe.sync_load(self._probe_producer, HDR_HEAD,
+                                self._cached_head)
             free = self.capacity_words - (tail - self._cached_head)
         n = min(want, free & ~(MESSAGE_WORDS - 1))
         if n <= 0:
@@ -137,14 +188,22 @@ class SpscRing:
         if first < n:
             self._words[HEADER_WORDS:HEADER_WORDS + n - first] = \
                 words[start + first:start + n]
+        if probe is not None:
+            probe.data_write(self._probe_producer, pos, first)
+            if first < n:
+                probe.data_write(self._probe_producer, 0, n - first)
         # Publish: data stores above are ordered before this tail store.
         self._tail_local = tail + n
         self._words[_TAIL] = tail + n
+        if probe is not None:
+            probe.sync_store(self._probe_producer, HDR_TAIL, tail + n)
         return n
 
     def request_stop(self) -> None:
         """Producer-side shutdown signal for a free-running consumer."""
         self._words[_STOP] = 1
+        if self._probe is not None:
+            self._probe.sync_store(self._probe_producer, HDR_STOP, 1)
 
     # -- consumer side ------------------------------------------------------
 
@@ -156,10 +215,13 @@ class SpscRing:
         consumer alternates between draining its cached view and one
         header read per empty-looking call.
         """
+        probe = self._probe
         head = self._head_local
         tail = self._cached_tail
         if tail == head:
             tail = self._cached_tail = self._words[_TAIL]
+            if probe is not None:
+                probe.sync_load(self._probe_consumer, HDR_TAIL, tail)
             if tail == head:
                 return _EMPTY[:]
         n = tail - head
@@ -175,8 +237,14 @@ class SpscRing:
         if first < n:
             out.frombytes(self._raw[HEADER_WORDS * 8:
                                     (HEADER_WORDS + n - first) * 8])
+        if probe is not None:
+            probe.data_read(self._probe_consumer, pos, first)
+            if first < n:
+                probe.data_read(self._probe_consumer, 0, n - first)
         self._head_local = head + n
         self._words[_HEAD] = head + n
+        if probe is not None:
+            probe.sync_store(self._probe_consumer, HDR_HEAD, head + n)
         return out
 
     def ack(self, words_dispatched: int) -> None:
@@ -187,9 +255,16 @@ class SpscRing:
         position shard ack aggregation (epoch = min over shards) reads.
         """
         self._words[_ACKED] = words_dispatched
+        if self._probe is not None:
+            self._probe.sync_store(self._probe_consumer, HDR_ACKED,
+                                   words_dispatched)
 
     def stop_requested(self) -> bool:
-        return bool(self._words[_STOP])
+        stop = bool(self._words[_STOP])
+        if self._probe is not None:
+            self._probe.sync_load(self._probe_consumer, HDR_STOP,
+                                  int(stop))
+        return stop
 
     # -- shared observers ----------------------------------------------------
 

@@ -1,0 +1,57 @@
+"""Concurrency soundness layer: model checking + race detection.
+
+The sharded verifier runtime rests on two ordering-sensitive
+mechanisms — the lock-free SPSC ring (:mod:`repro.ipc.spsc_ring`) and
+the scoped shard-death lifecycle (:mod:`repro.core.shard_verifier`).
+Example-based tests hammer them; this package *proves* them, twice
+over, with two independent engines:
+
+* :mod:`repro.mc.model` / :mod:`repro.mc.explorer` — an abstract
+  operational model of the SPSC protocol, decomposed into atomic
+  header-word loads and stores, exhaustively explored (DFS with state
+  hashing and sleep-set partial-order reduction) at bounded depth.
+  Every reachable interleaving — including a producer or consumer
+  crash at every reachable step — is checked against the core
+  invariants: no torn frames, free-running position monotonicity, no
+  lost or duplicated messages, occupancy ≤ capacity, fail-closed
+  crash outcomes.
+* :mod:`repro.mc.race` — a FastTrack-style vector-clock/epoch
+  happens-before race detector over shadow cells, fed by the
+  zero-cost-when-disabled probe hooks in
+  :meth:`repro.ipc.spsc_ring.SpscRing.attach_probe`, so *real* ring
+  executions (inline coordinator runs, multi-process shard workers,
+  chaos sweeps) are checked for unsynchronized conflicting accesses.
+
+:mod:`repro.mc.shard_model` extends the state-space exploration to the
+shard lifecycle (shard death condemns only its own pids; the ack epoch
+is the minimum over live shards) and cross-checks the abstract model
+against the real :class:`~repro.core.shard_verifier.ShardedVerifier`.
+:mod:`repro.mc.mutants` is the teeth-check: seeded protocol mutants
+the checker must each catch, mirroring ``repro.lint --disable-pass``.
+
+CLI::
+
+    python -m repro.mc            # full sweep + mutation gate + races
+    python -m repro.mc --quick    # CI bounds
+    python -m repro.mc --mutate   # mutation gate only
+    python -m repro.mc --json mc_report.json
+"""
+
+from repro.mc.explorer import ExploreResult, Step, explore
+from repro.mc.model import SpscModel
+from repro.mc.mutants import MUTANTS, run_mutation_gate
+from repro.mc.race import RaceDetector, RingProbe
+from repro.mc.shard_model import ShardLifecycleModel, conformance_check
+
+__all__ = [
+    "ExploreResult",
+    "Step",
+    "explore",
+    "SpscModel",
+    "MUTANTS",
+    "run_mutation_gate",
+    "RaceDetector",
+    "RingProbe",
+    "ShardLifecycleModel",
+    "conformance_check",
+]

@@ -1,0 +1,145 @@
+"""``python -m repro.mc`` — the concurrency soundness gate.
+
+One command, four verdicts, all of which must hold for the gate to
+exit zero:
+
+1. **SPSC protocol model** — exhaustive exploration of the abstract
+   ring protocol (including producer/consumer crashes at every
+   reachable step) finds zero invariant violations, in both full and
+   sleep-set-reduced mode, with identical verdicts.
+2. **Shard lifecycle model** — exhaustive exploration of shard ack /
+   death / barrier interleavings finds zero violations, and the real
+   :class:`~repro.core.shard_verifier.ShardedVerifier` conforms to the
+   model's decisions in every single-death scenario.
+3. **Race detector self-check** — a clean scripted two-endpoint ring
+   run is silent; the seeded racy-publish ring is flagged.
+4. **Mutation gate** — every seeded protocol mutant is caught by its
+   analysis (``--mutate`` runs only this).
+
+``--quick`` shrinks the model bounds for CI (still exhaustive within
+the bounds, just smaller ones); ``--json PATH`` writes the full
+machine-readable report that the CI job uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.mc.explorer import explore
+from repro.mc.model import SpscModel
+from repro.mc.mutants import (FULL_SHARD, FULL_SPSC, QUICK_SHARD,
+                              QUICK_SPSC, run_mutation_gate,
+                              scripted_ring_trace)
+from repro.mc.race import RaceDetector
+from repro.mc.shard_model import ShardLifecycleModel, conformance_check
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - start
+
+
+def _model_section(model, label: str, out: Dict[str, object]) -> bool:
+    """Explore ``model`` both ways; record stats; return pass/fail."""
+    full, full_s = _timed(explore, model, por=False)
+    por, por_s = _timed(explore, model, por=True)
+    agree = (bool(full.violations) == bool(por.violations)
+             and full.terminals > 0)
+    out[label] = {
+        "bounds": model.describe(),
+        "full": full.summary(),
+        "por": por.summary(),
+        "seconds": round(full_s + por_s, 3),
+        "reduction": (round(full.transitions / por.transitions, 2)
+                      if por.transitions else None),
+        "agree": agree,
+    }
+    ok = full.ok and por.ok and agree
+    status = "ok" if ok else "FAIL"
+    print(f"  {label:<14} {status:>4}  states={full.states} "
+          f"transitions={full.transitions} (por {por.transitions}) "
+          f"terminals={full.terminals} "
+          f"violations={len(full.violations)}  [{full_s + por_s:.2f}s]")
+    for violation in (full.violations + por.violations)[:4]:
+        print(f"    !! {violation}")
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.mc",
+        description="SPSC-ring model checking + happens-before race "
+                    "detection gate")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI bounds: smaller (still exhaustive) models")
+    parser.add_argument("--mutate", action="store_true",
+                        help="run only the mutation gate")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable report to PATH")
+    args = parser.parse_args(argv)
+
+    report: Dict[str, object] = {"quick": args.quick}
+    ok = True
+    started = time.perf_counter()
+
+    if not args.mutate:
+        print("model checking (exhaustive, full + sleep-set POR):")
+        spsc_bounds = QUICK_SPSC if args.quick else FULL_SPSC
+        shard_bounds = QUICK_SHARD if args.quick else FULL_SHARD
+        ok &= _model_section(SpscModel(**spsc_bounds), "spsc-ring", report)
+        ok &= _model_section(ShardLifecycleModel(**shard_bounds),
+                             "shard-lifecycle", report)
+
+        conform, conform_s = _timed(conformance_check)
+        conform_ok = not conform["mismatches"]
+        report["conformance"] = dict(conform, seconds=round(conform_s, 3))
+        ok &= conform_ok
+        print(f"  {'conformance':<14} {'ok' if conform_ok else 'FAIL':>4}  "
+              f"cases={conform['cases']} "
+              f"mismatches={len(conform['mismatches'])}  [{conform_s:.2f}s]")
+        for mismatch in conform["mismatches"][:4]:
+            print(f"    !! {mismatch}")
+
+        print("race detector self-check (real shared-memory rings):")
+        clean = RaceDetector().feed_logs(
+            scripted_ring_trace(racy=False,
+                                messages=8 if args.quick else 24))
+        clean_ok = clean.clean
+        report["race-clean"] = clean.summary()
+        ok &= clean_ok
+        print(f"  {'clean ring':<14} {'ok' if clean_ok else 'FAIL':>4}  "
+              f"events={clean.events_processed} races={len(clean.races)}")
+        for race in clean.races[:4]:
+            print(f"    !! false positive: {race}")
+
+    print("mutation gate (every seeded mutant must be caught):")
+    gate, gate_s = _timed(run_mutation_gate, args.quick)
+    report["mutation-gate"] = dict(gate, seconds=round(gate_s, 3))
+    ok &= gate["ok"]
+    for name, entry in gate["mutants"].items():
+        status = "caught" if entry["caught"] else "MISSED"
+        print(f"  {name:<18} {status:>6}  engine={entry['engine']} "
+              f"findings={entry['findings']}")
+        if entry["caught"] and entry["first"]:
+            print(f"    -> {entry['first']}")
+
+    elapsed = time.perf_counter() - started
+    report["ok"] = ok
+    report["seconds"] = round(elapsed, 3)
+    print(f"{'PASS' if ok else 'FAIL'} in {elapsed:.2f}s")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.json}")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

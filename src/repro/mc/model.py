@@ -1,0 +1,452 @@
+"""Abstract operational model of the SPSC ring protocol.
+
+This is :class:`repro.ipc.spsc_ring.SpscRing` re-expressed as a
+small-step state machine whose atomic actions are exactly the shared
+memory accesses the implementation performs — one header-word load or
+store, or one payload-slot access, per step.  Everything the real code
+does between shared accesses (free-space arithmetic, local index
+bumps) is folded into the adjacent step, because interleaving cannot
+observe it.  The header offsets are imported from ``spsc_ring`` itself
+so the model and the implementation share a single layout definition.
+
+The two actors:
+
+* **producer** — publishes ``frames`` whole frames of ``frame_words``
+  words each (the model's stand-in for ``MESSAGE_WORDS``-word
+  messages), then stores the stop flag.  Exactly like
+  ``publish_words``: free space is computed against a *cached* head,
+  refreshed only when the cached view says the ring is full; payload
+  words are written one at a time; the single ``tail`` store publishes
+  the frame.  A producer that still sees a full ring after a refresh
+  blocks; if the consumer has crashed it gives up — the model's
+  ``ChannelFullError`` fail-closed path.
+* **consumer** — mirrors ``consume_words`` + ``ack``: refresh the
+  cached tail only when the cached view says empty, read every pending
+  payload word, store ``head`` once per drained span, then store
+  ``acked`` (the dispatch position the shard ack aggregation reads).
+  After the stop flag is observed and a final tail load confirms the
+  ring is empty, the consumer is done.
+
+Payload word at stream position ``q`` always carries the value
+``q + 1``, so a consumer-side read can be checked *exactly*: any torn
+frame, lost word, duplicated word, or overwritten slot surfaces as a
+value mismatch on the first bad read.
+
+Crashes: at every reachable step either actor may crash (halt forever),
+bounded by ``crash_budget``.  Terminal states are then classified and
+checked for the fail-closed outcomes — a crashed producer must leave
+the consumer able to drain every fully-published frame with nothing
+torn; a crashed consumer must leave the producer either finished or
+failed-closed on a full ring, never wedged or overflowing.
+
+``mutation`` selects a seeded protocol mutant (see
+:mod:`repro.mc.mutants`) that the checker must catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.core.messages import MESSAGE_WORDS
+from repro.ipc.spsc_ring import HDR_ACKED, HDR_HEAD, HDR_STOP, HDR_TAIL
+from repro.mc.explorer import Step
+
+#: Mutant identifiers (the ring-protocol half; the shard-lifecycle
+#: mutants live in :mod:`repro.mc.shard_model`).
+REORDER_PUBLISH = "reorder-publish"
+STALE_FREE_WINDOW = "stale-free-window"
+SKIP_FRAME_CHECK = "skip-frame-check"
+
+_SPSC_MUTATIONS = (REORDER_PUBLISH, STALE_FREE_WINDOW, SKIP_FRAME_CHECK)
+
+#: Footprint tokens for crash transitions (crashes conflict with each
+#: other through the shared budget, and ``p_give_up`` reads the
+#: consumer's liveness).
+_P_ALIVE = "p-alive"
+_C_ALIVE = "c-alive"
+_CRASH_BUDGET = "crash-budget"
+
+
+@dataclass(frozen=True)
+class ProducerState:
+    phase: str = "idle"        # idle|write|blocked|done|failed|crashed
+    frames_done: int = 0
+    widx: int = 0              # payload word index within current frame
+    tail_local: int = 0
+    cached_head: int = 0
+
+
+@dataclass(frozen=True)
+class ConsumerState:
+    phase: str = "idle"        # idle|read|done|crashed
+    head_local: int = 0
+    cached_tail: int = 0
+    widx: int = 0              # words read in the current span
+    partial: int = 0           # payload words read past a frame boundary
+    stop_seen: bool = False
+
+
+@dataclass(frozen=True)
+class SpscState:
+    """Complete system state: shared words + both actors' locals."""
+
+    head: int = 0
+    acked: int = 0
+    tail: int = 0
+    stop: int = 0
+    data: Tuple[int, ...] = ()
+    p: ProducerState = ProducerState()
+    c: ConsumerState = ConsumerState()
+    crashes: int = 0
+
+    def key(self):
+        return (self.head, self.acked, self.tail, self.stop, self.data,
+                self.p, self.c, self.crashes)
+
+
+class SpscModel:
+    """The bounded SPSC protocol model, parameterized by a mutation."""
+
+    def __init__(self, capacity_words: int = 4, frame_words: int = 2,
+                 frames: int = 3, crash_budget: int = 1,
+                 mutation: Optional[str] = None) -> None:
+        if capacity_words & (capacity_words - 1) or capacity_words <= 0:
+            raise ValueError("capacity_words must be a power of two")
+        if mutation is not None and mutation not in _SPSC_MUTATIONS:
+            raise ValueError(f"unknown SPSC mutation {mutation!r}")
+        self.capacity = capacity_words
+        self.mask = capacity_words - 1
+        self.frame_words = frame_words
+        self.frames = frames
+        self.crash_budget = crash_budget
+        self.mutation = mutation
+
+    def describe(self) -> dict:
+        return {
+            "capacity_words": self.capacity,
+            "frame_words": self.frame_words,
+            "frames": self.frames,
+            "crash_budget": self.crash_budget,
+            "mutation": self.mutation,
+            "real_message_words": MESSAGE_WORDS,
+        }
+
+    # -- state construction --------------------------------------------------
+
+    def initial_state(self) -> SpscState:
+        return SpscState(data=(0,) * self.capacity)
+
+    # -- frame geometry ------------------------------------------------------
+
+    def _frame_len(self, frame_id: int) -> int:
+        """Words the producer writes/advances for ``frame_id``.
+
+        The skip-frame-length-check mutant lets a truncated final frame
+        through — the real code's round-down to whole messages is the
+        guard this models losing.
+        """
+        if (self.mutation == SKIP_FRAME_CHECK
+                and frame_id == self.frames - 1):
+            return self.frame_words - 1
+        return self.frame_words
+
+    # -- enabled transitions -------------------------------------------------
+
+    def enabled(self, state: SpscState) -> List[Step]:
+        steps: List[Step] = []
+        p_step = self._producer_step(state)
+        if p_step is not None:
+            steps.append(p_step)
+        c_step = self._consumer_step(state)
+        if c_step is not None:
+            steps.append(c_step)
+        # Crash-at-every-step: while budget remains, either live actor
+        # may halt here.  (The crash of an already-finished actor is
+        # indistinguishable from its absence.)
+        if state.crashes < self.crash_budget:
+            if state.p.phase not in ("done", "failed", "crashed"):
+                steps.append(Step(
+                    "p_crash", "producer",
+                    frozenset(), frozenset({_P_ALIVE, _CRASH_BUDGET}),
+                    self._apply_p_crash))
+            if state.c.phase not in ("done", "crashed"):
+                steps.append(Step(
+                    "c_crash", "consumer",
+                    frozenset(), frozenset({_C_ALIVE, _CRASH_BUDGET}),
+                    self._apply_c_crash))
+        return steps
+
+    # -- producer ------------------------------------------------------------
+
+    def _free_words(self, state: SpscState) -> int:
+        free = self.capacity - (state.p.tail_local - state.p.cached_head)
+        if self.mutation == STALE_FREE_WINDOW:
+            # The widened-cached-index-window mutant: the producer
+            # credits itself one frame of phantom space, the classic
+            # off-by-one against a stale consumer index.
+            free += self.frame_words
+        return free
+
+    def _producer_step(self, state: SpscState) -> Optional[Step]:
+        p = state.p
+        if p.phase == "idle":
+            if p.frames_done == self.frames:
+                return Step("p_store_stop", "producer", frozenset(),
+                            frozenset({HDR_STOP}), self._apply_store_stop)
+            want = self._frame_len(p.frames_done)
+            if self._free_words(state) >= want:
+                return self._write_or_publish_step(state)
+            return Step("p_load_head", "producer", frozenset({HDR_HEAD}),
+                        frozenset(), self._apply_load_head)
+        if p.phase == "blocked":
+            if state.head != p.cached_head:
+                return Step("p_reload_head", "producer",
+                            frozenset({HDR_HEAD}), frozenset(),
+                            self._apply_load_head)
+            if state.c.phase == "crashed":
+                return Step("p_give_up", "producer",
+                            frozenset({HDR_HEAD, _C_ALIVE}), frozenset(),
+                            self._apply_give_up)
+            return None
+        if p.phase == "write":
+            return self._write_or_publish_step(state)
+        return None  # done | failed | crashed
+
+    def _write_or_publish_step(self, state: SpscState) -> Step:
+        """The next atomic action of an in-progress frame publish."""
+        p = state.p
+        want = self._frame_len(p.frames_done)
+        reordered = self.mutation == REORDER_PUBLISH
+        tail_is_next = (p.widx == 0) if reordered else (p.widx == want)
+        if tail_is_next:
+            return Step("p_store_tail", "producer", frozenset(),
+                        frozenset({HDR_TAIL}), self._apply_store_tail)
+        widx = p.widx - 1 if reordered else p.widx
+        slot = (p.tail_local + widx) & self.mask
+        return Step(f"p_write@{slot}", "producer", frozenset(),
+                    frozenset({("d", slot)}), self._apply_write_data)
+
+    def _apply_load_head(self, state: SpscState):
+        p = state.p
+        cached = state.head
+        want = self._frame_len(p.frames_done) \
+            if p.frames_done < self.frames else self.frame_words
+        free = self.capacity - (p.tail_local - cached)
+        if self.mutation == STALE_FREE_WINDOW:
+            free += self.frame_words
+        phase = "idle" if free >= want else "blocked"
+        return replace(state, p=replace(p, cached_head=cached,
+                                        phase=phase)), None
+
+    def _apply_give_up(self, state: SpscState):
+        return replace(state, p=replace(state.p, phase="failed")), None
+
+    def _apply_write_data(self, state: SpscState):
+        p = state.p
+        reordered = self.mutation == REORDER_PUBLISH
+        widx = p.widx - 1 if reordered else p.widx
+        position = p.tail_local + widx
+        slot = position & self.mask
+        data = list(state.data)
+        data[slot] = position + 1
+        want = self._frame_len(p.frames_done)
+        if reordered and widx + 1 == want:
+            # Mutant frame complete (tail was stored first): the local
+            # bookkeeping folds into this last payload write.
+            new_p = replace(p, phase="idle", widx=0,
+                            tail_local=p.tail_local + want,
+                            frames_done=p.frames_done + 1)
+        else:
+            new_p = replace(p, phase="write", widx=p.widx + 1)
+        return replace(state, data=tuple(data), p=new_p), None
+
+    def _apply_store_tail(self, state: SpscState):
+        p = state.p
+        want = self._frame_len(p.frames_done)
+        new_tail = p.tail_local + want
+        if self.mutation == REORDER_PUBLISH:
+            # Mutant: publish first, copy payload afterwards.  The
+            # frame is not complete until the payload writes follow.
+            child = replace(state, tail=new_tail,
+                            p=replace(p, phase="write", widx=1))
+            return self._header_checks(state, child)
+        child = replace(state, tail=new_tail,
+                        p=replace(p, phase="idle", widx=0,
+                                  tail_local=new_tail,
+                                  frames_done=p.frames_done + 1))
+        return self._header_checks(state, child)
+
+    def _apply_store_stop(self, state: SpscState):
+        child = replace(state, stop=1,
+                        p=replace(state.p, phase="done"))
+        return self._header_checks(state, child)
+
+    def _apply_p_crash(self, state: SpscState):
+        # A reordered-publish producer may crash with tail already
+        # advanced past its payload writes; tail_local must reflect the
+        # published (shared) tail for bookkeeping, but the actor halts.
+        return replace(state, crashes=state.crashes + 1,
+                       p=replace(state.p, phase="crashed")), None
+
+    # -- consumer ------------------------------------------------------------
+
+    def _consumer_step(self, state: SpscState) -> Optional[Step]:
+        c = state.c
+        if c.phase == "read":
+            if c.head_local + c.widx < c.cached_tail:
+                slot = (c.head_local + c.widx) & self.mask
+                return Step(f"c_read@{slot}", "consumer",
+                            frozenset({("d", slot)}), frozenset(),
+                            self._apply_read_data)
+            return Step("c_store_head", "consumer", frozenset(),
+                        frozenset({HDR_HEAD}), self._apply_store_head)
+        if c.phase == "ack":
+            return Step("c_ack", "consumer", frozenset(),
+                        frozenset({HDR_ACKED}), self._apply_ack)
+        if c.phase == "idle":
+            if c.cached_tail > c.head_local:
+                slot = c.head_local & self.mask
+                return Step(f"c_read@{slot}", "consumer",
+                            frozenset({("d", slot)}), frozenset(),
+                            self._apply_begin_read)
+            if state.tail != c.cached_tail:
+                return Step("c_load_tail", "consumer",
+                            frozenset({HDR_TAIL}), frozenset(),
+                            self._apply_load_tail)
+            if state.stop and not c.stop_seen:
+                return Step("c_load_stop", "consumer",
+                            frozenset({HDR_STOP}), frozenset(),
+                            self._apply_load_stop)
+            if c.stop_seen:
+                # Final confirmation: stop seen, cached tail already
+                # refreshed and equal to head — the drain loop exits.
+                return Step("c_done", "consumer",
+                            frozenset({HDR_TAIL, HDR_STOP}), frozenset(),
+                            self._apply_done)
+            return None  # blocked: nothing published, no stop flag
+        return None  # done | crashed
+
+    def _apply_load_tail(self, state: SpscState):
+        return replace(state, c=replace(state.c,
+                                        cached_tail=state.tail)), None
+
+    def _apply_load_stop(self, state: SpscState):
+        return replace(state, c=replace(state.c, stop_seen=True)), None
+
+    def _apply_done(self, state: SpscState):
+        return replace(state, c=replace(state.c, phase="done")), None
+
+    def _check_read(self, state: SpscState, position: int) -> Optional[str]:
+        value = state.data[position & self.mask]
+        if value != position + 1:
+            return (f"torn/corrupt frame: consumer read {value} at stream "
+                    f"position {position}, expected {position + 1}")
+        return None
+
+    def _apply_begin_read(self, state: SpscState):
+        violation = self._check_read(state, state.c.head_local)
+        partial = (state.c.partial + 1) % self.frame_words
+        return replace(state, c=replace(state.c, phase="read", widx=1,
+                                        partial=partial)), violation
+
+    def _apply_read_data(self, state: SpscState):
+        c = state.c
+        violation = self._check_read(state, c.head_local + c.widx)
+        partial = (c.partial + 1) % self.frame_words
+        return replace(state, c=replace(c, widx=c.widx + 1,
+                                        partial=partial)), violation
+
+    def _apply_store_head(self, state: SpscState):
+        c = state.c
+        new_head = c.head_local + c.widx
+        child = replace(state, head=new_head,
+                        c=replace(c, phase="ack", head_local=new_head,
+                                  widx=0))
+        return self._header_checks(state, child)
+
+    def _apply_ack(self, state: SpscState):
+        child = replace(state, acked=state.c.head_local,
+                        c=replace(state.c, phase="idle"))
+        return self._header_checks(state, child)
+
+    def _apply_c_crash(self, state: SpscState):
+        return replace(state, crashes=state.crashes + 1,
+                       c=replace(state.c, phase="crashed")), None
+
+    # -- invariants ----------------------------------------------------------
+
+    def _header_checks(self, parent: SpscState,
+                       child: SpscState) -> Tuple[SpscState, Optional[str]]:
+        """Invariants over the shared header, checked on every header
+        store: free-running monotonicity and bounded occupancy."""
+        if child.head < parent.head:
+            return child, (f"head position regressed: "
+                           f"{parent.head} -> {child.head}")
+        if child.tail < parent.tail:
+            return child, (f"tail position regressed: "
+                           f"{parent.tail} -> {child.tail}")
+        if child.acked < parent.acked:
+            return child, (f"acked position regressed: "
+                           f"{parent.acked} -> {child.acked}")
+        if child.stop < parent.stop:
+            return child, "stop flag was cleared"
+        occupancy = child.tail - child.head
+        if occupancy < 0:
+            return child, (f"consumer overran producer: head {child.head} "
+                           f"> tail {child.tail}")
+        if occupancy > self.capacity:
+            return child, (f"occupancy {occupancy} exceeds capacity "
+                           f"{self.capacity}: unconsumed data overwritten")
+        if child.acked > child.head:
+            return child, (f"acked {child.acked} ran ahead of consumed "
+                           f"{child.head}")
+        return child, None
+
+    def apply(self, state: SpscState, step: Step):
+        return step.fn(state)
+
+    # -- terminal classification ---------------------------------------------
+
+    def terminal_violation(self, state: SpscState) -> Optional[str]:
+        p, c = state.p, state.c
+        total_words = sum(self._frame_len(i) for i in range(self.frames))
+        if p.phase == "crashed":
+            # Fail-closed after a producer crash: the consumer drains
+            # every fully-published word untorn and acknowledges it;
+            # the kernel's epoch timeout owns the rest of the story.
+            if c.phase == "crashed":
+                return None  # unreachable with crash_budget=1
+            if state.head != state.tail:
+                return (f"producer crashed but consumer wedged with "
+                        f"{state.tail - state.head} published words "
+                        f"unconsumed")
+            if state.acked != state.head:
+                return (f"producer crashed: consumer consumed {state.head} "
+                        f"words but acked only {state.acked}")
+            return None
+        if c.phase == "crashed":
+            # Fail-closed after a consumer crash: the producer either
+            # finished (ring had room) or failed closed on a full ring;
+            # it must never wedge in any other shape.
+            if p.phase not in ("done", "failed"):
+                return (f"consumer crashed but producer wedged in phase "
+                        f"{p.phase!r}")
+            return None
+        # Crash-free terminal: everything published, consumed, acked.
+        if p.phase != "done" or c.phase != "done":
+            return (f"deadlock: producer {p.phase!r} / consumer "
+                    f"{c.phase!r} with no enabled step")
+        if state.tail != total_words:
+            return (f"producer finished having published {state.tail} "
+                    f"words, expected {total_words}")
+        if state.head != state.tail:
+            return (f"lost messages: {state.tail - state.head} published "
+                    f"words never consumed")
+        if c.partial:
+            return (f"torn frame at shutdown: {c.partial} words of a "
+                    f"frame consumed without its remainder")
+        if state.acked != state.head:
+            return (f"dispatch position {state.acked} never caught up to "
+                    f"consumed position {state.head}")
+        return None

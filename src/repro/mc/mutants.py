@@ -1,0 +1,216 @@
+"""Seeded protocol mutants: proof that the checker has teeth.
+
+A model checker that never fires is indistinguishable from one that
+checks nothing, so — mirroring ``python -m repro.lint --disable-pass``
+— every analysis in this package ships with mutants it must catch:
+
+* ``reorder-publish`` — the producer stores ``tail`` *before* copying
+  the payload words (the exact store the real ``publish_words`` orders
+  last); the explorer must find an interleaving where the consumer
+  reads a torn frame.
+* ``stale-free-window`` — the producer credits itself one frame of
+  space beyond its cached consumer index (a widened cached-index
+  window); the explorer must find occupancy exceeding capacity or an
+  overwritten unconsumed slot.
+* ``skip-frame-check`` — the whole-frame round-down is skipped and a
+  truncated frame crosses the ring; the explorer must find a frame
+  consumed without its remainder.
+* ``misscoped-kill`` — the kernel barrier's kill sweep leaks onto a
+  live shard's pid; the lifecycle model must flag the scope breach.
+* ``epoch-max`` — the ack epoch aggregates ``max`` over live shards
+  instead of ``min``; the lifecycle model must flag the epoch running
+  ahead of a live shard.
+* ``racy-publish`` — a *real* :class:`~repro.ipc.spsc_ring.SpscRing`
+  subclass whose publish reorders the release store, driven through a
+  real shared-memory segment; the happens-before detector must flag
+  the unsynchronized payload access.
+
+:func:`run_mutation_gate` runs all of them plus the clean baselines
+and reports, per mutant, whether it was caught; any miss fails the
+``python -m repro.mc`` gate (and CI with it).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.messages import MESSAGE_WORDS
+from repro.ipc.spsc_ring import (HDR_HEAD, HDR_TAIL, HEADER_WORDS,
+                                 SpscRing)
+from repro.mc.explorer import explore
+from repro.mc.model import (REORDER_PUBLISH, SKIP_FRAME_CHECK,
+                            STALE_FREE_WINDOW, SpscModel)
+from repro.mc.race import RaceDetector, RingProbe
+from repro.mc.shard_model import (EPOCH_MAX, MIS_SCOPED_KILL,
+                                  ShardLifecycleModel)
+
+#: Model bounds for the two sweep tiers.  Quick keeps the CI job in
+#: seconds; full widens every bound (real 4-word messages, deeper
+#: frame counts, two crashes) for the acceptance sweep.
+QUICK_SPSC = dict(capacity_words=4, frame_words=2, frames=3,
+                  crash_budget=1)
+FULL_SPSC = dict(capacity_words=8, frame_words=MESSAGE_WORDS, frames=4,
+                 crash_budget=2)
+QUICK_SHARD = dict(num_shards=2, pids_per_shard=2, ack_steps=2,
+                   death_budget=1)
+FULL_SHARD = dict(num_shards=3, pids_per_shard=2, ack_steps=3,
+                  death_budget=1)
+
+RACY_PUBLISH = "racy-publish"
+
+
+class RacyPublishRing(SpscRing):
+    """Mutant ring: the ``tail`` release store happens *first*.
+
+    Everything else — free-space accounting, wrap-around copy, probe
+    emission — matches :meth:`SpscRing.publish_words`; only the
+    publication order is broken, which is invisible to every
+    sequential test and exactly what the happens-before detector must
+    see through.
+    """
+
+    def publish_words(self, words, start: int = 0) -> int:
+        tail = self._tail_local
+        want = (len(words) - start) & ~(MESSAGE_WORDS - 1)
+        if want <= 0:
+            return 0
+        probe = self._probe
+        free = self.capacity_words - (tail - self._cached_head)
+        if free < want:
+            self._cached_head = self._words[HDR_HEAD]
+            if probe is not None:
+                probe.sync_load(self._probe_producer, HDR_HEAD,
+                                self._cached_head)
+            free = self.capacity_words - (tail - self._cached_head)
+        n = min(want, free & ~(MESSAGE_WORDS - 1))
+        if n <= 0:
+            return 0
+        if not isinstance(words, memoryview):
+            words = memoryview(words)
+        # Mutation: publish before the payload exists.
+        self._tail_local = tail + n
+        self._words[HDR_TAIL] = tail + n
+        if probe is not None:
+            probe.sync_store(self._probe_producer, HDR_TAIL, tail + n)
+        pos = tail & self._mask
+        first = min(n, self.capacity_words - pos)
+        base = HEADER_WORDS + pos
+        self._words[base:base + first] = words[start:start + first]
+        if first < n:
+            self._words[HEADER_WORDS:HEADER_WORDS + n - first] = \
+                words[start + first:start + n]
+        if probe is not None:
+            probe.data_write(self._probe_producer, pos, first)
+            if first < n:
+                probe.data_write(self._probe_producer, 0, n - first)
+        return n
+
+
+def scripted_ring_trace(racy: bool = False,
+                        capacity_words: int = 16,
+                        messages: int = 12) -> Dict[str, List]:
+    """Drive a real shared-memory ring through a wrap-heavy script.
+
+    One producer endpoint (owning the segment) and one independently
+    attached consumer endpoint, each with its own probe, interleaved
+    so the ring fills (forcing the lazy head refresh), wraps several
+    times, and shuts down through the stop flag.  Returns the two
+    per-endpoint probe logs keyed by actor name — the detector merges
+    them exactly as it would merge logs from two OS processes.
+    """
+    ring_cls = RacyPublishRing if racy else SpscRing
+    producer = ring_cls.create(capacity_words=capacity_words)
+    consumer = SpscRing.attach(producer.name, capacity_words)
+    p_probe, c_probe = RingProbe(), RingProbe()
+    producer.attach_probe(p_probe, producer="producer")
+    consumer.attach_probe(c_probe, consumer="consumer")
+    try:
+        frame = array("Q", range(1, MESSAGE_WORDS + 1))
+        sent = 0
+        while sent < messages:
+            if producer.publish_words(frame) == 0:
+                # Full: let the consumer drain one batch, then retry —
+                # the backpressure path that exercises the head reload.
+                consumer.consume_words(MESSAGE_WORDS)
+                consumer.ack(consumer.consumed())
+                continue
+            sent += 1
+            if sent % 3 == 0:
+                consumer.consume_words()
+                consumer.ack(consumer.consumed())
+        producer.request_stop()
+        while not consumer.stop_requested() \
+                or consumer.occupancy_words():
+            if not consumer.consume_words():
+                break
+            consumer.ack(consumer.consumed())
+        return {"producer": list(p_probe.events),
+                "consumer": list(c_probe.events)}
+    finally:
+        consumer.close()
+        producer.close()
+
+
+# ---------------------------------------------------------------------------
+# The gate
+# ---------------------------------------------------------------------------
+
+def _spsc_case(mutation: Optional[str], quick: bool):
+    bounds = QUICK_SPSC if quick else FULL_SPSC
+    result = explore(SpscModel(mutation=mutation, **bounds))
+    return result.summary()
+
+
+def _shard_case(mutation: Optional[str], quick: bool):
+    bounds = QUICK_SHARD if quick else FULL_SHARD
+    result = explore(ShardLifecycleModel(mutation=mutation, **bounds))
+    return result.summary()
+
+
+def _race_case(racy: bool, quick: bool):
+    detector = RaceDetector()
+    detector.feed_logs(scripted_ring_trace(
+        racy=racy, messages=8 if quick else 24))
+    return detector.summary()
+
+
+#: name -> (engine, runner).  Runners take ``quick`` and return a
+#: summary dict whose ``violations``/``races`` list must be non-empty
+#: for the mutant to count as caught.
+MUTANTS: Dict[str, Tuple[str, Callable]] = {
+    REORDER_PUBLISH: ("spsc-model",
+                      lambda quick: _spsc_case(REORDER_PUBLISH, quick)),
+    STALE_FREE_WINDOW: ("spsc-model",
+                        lambda quick: _spsc_case(STALE_FREE_WINDOW, quick)),
+    SKIP_FRAME_CHECK: ("spsc-model",
+                       lambda quick: _spsc_case(SKIP_FRAME_CHECK, quick)),
+    MIS_SCOPED_KILL: ("shard-model",
+                      lambda quick: _shard_case(MIS_SCOPED_KILL, quick)),
+    EPOCH_MAX: ("shard-model",
+                lambda quick: _shard_case(EPOCH_MAX, quick)),
+    RACY_PUBLISH: ("race-detector",
+                   lambda quick: _race_case(True, quick)),
+}
+
+
+def run_mutation_gate(quick: bool = True) -> Dict[str, object]:
+    """Run every seeded mutant; each must be caught by its engine."""
+    results: Dict[str, object] = {}
+    missed: List[str] = []
+    for name, (engine, runner) in MUTANTS.items():
+        summary = runner(quick)
+        findings = summary.get("violations", summary.get("races", []))
+        caught = bool(findings)
+        if not caught:
+            missed.append(name)
+        results[name] = {
+            "engine": engine,
+            "caught": caught,
+            "findings": len(findings),
+            "first": (findings[0]["message"]
+                      if findings and isinstance(findings[0], dict)
+                      else (findings[0] if findings else None)),
+        }
+    return {"mutants": results, "missed": missed,
+            "ok": not missed}

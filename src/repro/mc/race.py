@@ -1,0 +1,250 @@
+"""Happens-before race detection over real SPSC ring executions.
+
+The model checker proves the *abstract* protocol; this module checks
+the *implementation as executed*.  :class:`RingProbe` plugs into
+:meth:`repro.ipc.spsc_ring.SpscRing.attach_probe` (zero cost when
+detached — the obs-layer pattern) and records every shared access a
+ring endpoint performs:
+
+* **sync accesses** — single 8-byte header-word loads and stores
+  (``head``/``acked``/``tail``/``stop``), which are the protocol's
+  release/acquire points;
+* **data accesses** — payload-slot read/write ranges, the plain
+  accesses whose ordering must follow from the sync accesses alone.
+
+:class:`RaceDetector` replays a recorded trace through FastTrack-style
+analysis (Flanagan & Freund): each actor carries a vector clock, each
+sync store releases the actor's clock *keyed by the stored value*,
+each sync load acquires the clock of the store that produced the value
+it observed, and each payload slot carries shadow state (last-write
+epoch + read clock) checked on every access.  Keying releases by value
+works because the ring's positions are free-running and monotone —
+every ``tail``/``head``/``acked`` value is stored at most once — and
+it is what lets traces from *different processes* be merged: each
+side's probe log is internally ordered, and cross-log ordering is
+recovered by matching each acquire to the release whose value it saw
+(:meth:`RaceDetector.feed_logs`).
+
+A flagged race means two actors touched a payload slot with no
+happens-before path between them — on real hardware, a consumer that
+can observe a torn message.  The clean implementation must stay
+silent under every workload; the seeded racy variants in
+:mod:`repro.mc.mutants` must be flagged.  Both are gated by
+``python -m repro.mc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Probe event kinds (compact tuples, picklable across a worker pipe):
+#: ``("sl", actor, loc, value)``, ``("ss", actor, loc, value)``,
+#: ``("dr", actor, lo, n)``, ``("dw", actor, lo, n)``.
+SYNC_LOAD = "sl"
+SYNC_STORE = "ss"
+DATA_READ = "dr"
+DATA_WRITE = "dw"
+
+Event = Tuple[str, str, int, int]
+
+
+class RingProbe:
+    """Per-endpoint access recorder (the ``attach_probe`` payload).
+
+    One probe per ring endpoint per process; its ``events`` list is a
+    faithful program-order log of that endpoint's shared accesses and
+    travels over a worker control pipe as plain tuples.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def sync_load(self, actor: str, loc: int, value: int) -> None:
+        self.events.append((SYNC_LOAD, actor, loc, value))
+
+    def sync_store(self, actor: str, loc: int, value: int) -> None:
+        self.events.append((SYNC_STORE, actor, loc, value))
+
+    def data_read(self, actor: str, lo: int, n: int) -> None:
+        self.events.append((DATA_READ, actor, lo, n))
+
+    def data_write(self, actor: str, lo: int, n: int) -> None:
+        self.events.append((DATA_WRITE, actor, lo, n))
+
+
+@dataclass
+class Race:
+    """One unsynchronized conflicting slot access."""
+
+    slot: int
+    kind: str          # "write-write" | "read-write" | "write-read"
+    actor: str         # the actor whose access raised the flag
+    other: str         # the prior access it conflicts with
+
+    def __str__(self) -> str:
+        return (f"{self.kind} race on payload slot {self.slot}: "
+                f"{self.actor} conflicts with {self.other}")
+
+
+@dataclass
+class _Shadow:
+    """FastTrack shadow cell for one payload slot."""
+
+    write_actor: Optional[str] = None
+    write_tick: int = 0
+    reads: Dict[str, int] = field(default_factory=dict)
+
+
+class TraceMergeError(Exception):
+    """Per-actor logs could not be interleaved consistently.
+
+    Raised when some actor's next acquire observes a value no release
+    in any log ever stored — an infeasible (corrupted or truncated)
+    trace, which the harness treats as its own failure, not a race.
+    """
+
+
+class RaceDetector:
+    """Vector-clock happens-before checking over probe traces."""
+
+    def __init__(self) -> None:
+        self._clocks: Dict[str, Dict[str, int]] = {}
+        #: Release clocks keyed by (loc, stored value).
+        self._released: Dict[Tuple[int, int], Dict[str, int]] = {}
+        self._shadow: Dict[int, _Shadow] = {}
+        self.races: List[Race] = []
+        self.events_processed = 0
+        self._seen: set = set()
+
+    # -- clock plumbing ------------------------------------------------------
+
+    def _clock(self, actor: str) -> Dict[str, int]:
+        clock = self._clocks.get(actor)
+        if clock is None:
+            clock = self._clocks[actor] = {actor: 1}
+        return clock
+
+    @staticmethod
+    def _join(into: Dict[str, int], other: Dict[str, int]) -> None:
+        for actor, tick in other.items():
+            if into.get(actor, 0) < tick:
+                into[actor] = tick
+
+    def _flag(self, slot: int, kind: str, actor: str, other: str) -> None:
+        key = (slot, kind, actor, other)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.races.append(Race(slot, kind, actor, other))
+
+    # -- event semantics -----------------------------------------------------
+
+    def _process(self, event: Event) -> None:
+        self.events_processed += 1
+        kind, actor, a, b = event
+        clock = self._clock(actor)
+        if kind == SYNC_STORE:
+            # Release: snapshot this actor's knowledge under the stored
+            # value, then advance its epoch.
+            self._released[(a, b)] = dict(clock)
+            clock[actor] += 1
+        elif kind == SYNC_LOAD:
+            released = self._released.get((a, b))
+            if released is not None:
+                self._join(clock, released)
+        elif kind == DATA_WRITE:
+            tick = clock[actor]
+            for slot in range(a, a + b):
+                shadow = self._shadow.setdefault(slot, _Shadow())
+                if (shadow.write_actor is not None
+                        and shadow.write_actor != actor
+                        and clock.get(shadow.write_actor, 0)
+                        < shadow.write_tick):
+                    self._flag(slot, "write-write", actor,
+                               shadow.write_actor)
+                for reader, read_tick in shadow.reads.items():
+                    if reader != actor and clock.get(reader, 0) < read_tick:
+                        self._flag(slot, "read-write", actor, reader)
+                shadow.write_actor = actor
+                shadow.write_tick = tick
+                shadow.reads.clear()
+        elif kind == DATA_READ:
+            tick = clock[actor]
+            for slot in range(a, a + b):
+                shadow = self._shadow.setdefault(slot, _Shadow())
+                if (shadow.write_actor is not None
+                        and shadow.write_actor != actor
+                        and clock.get(shadow.write_actor, 0)
+                        < shadow.write_tick):
+                    self._flag(slot, "write-read", actor,
+                               shadow.write_actor)
+                shadow.reads[actor] = tick
+
+    # -- trace input ---------------------------------------------------------
+
+    def feed(self, events: Iterable[Event]) -> "RaceDetector":
+        """Process an already-ordered trace (single-process probes)."""
+        for event in events:
+            self._process(event)
+        return self
+
+    def feed_logs(self, logs: Dict[str, List[Event]]) -> "RaceDetector":
+        """Merge per-process program-order logs, then process.
+
+        The interleaving is recovered by value matching: an acquire
+        (sync load) is *enabled* once the release that stored the
+        value it observed has been replayed (initial header values are
+        zero and always enabled).  Data accesses and releases are
+        always enabled.  Any enabled-order replay yields the same
+        happens-before relation, so the scan order (sorted actor
+        names, round-robin) only affects report ordering.
+        """
+        stored: Dict[int, set] = {}
+        cursors = {name: 0 for name in sorted(logs)}
+        remaining = sum(len(events) for events in logs.values())
+        while remaining:
+            progressed = False
+            for name in sorted(cursors):
+                events = logs[name]
+                index = cursors[name]
+                while index < len(events):
+                    event = events[index]
+                    kind, _, loc, value = event
+                    if kind == SYNC_LOAD and value != 0 \
+                            and value not in stored.get(loc, ()):
+                        break
+                    if kind == SYNC_STORE:
+                        stored.setdefault(loc, set()).add(value)
+                    self._process(event)
+                    index += 1
+                    remaining -= 1
+                    progressed = True
+                cursors[name] = index
+            if not progressed:
+                pending = {name: logs[name][cursors[name]]
+                           for name in cursors
+                           if cursors[name] < len(logs[name])}
+                raise TraceMergeError(
+                    f"unmergeable probe logs: every actor blocked on an "
+                    f"unobserved release ({pending})")
+        return self
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return not self.races
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "events": self.events_processed,
+            "actors": sorted(self._clocks),
+            "races": [str(race) for race in self.races],
+        }
+
+
+def check_ring_events(events: Iterable[Event]) -> List[str]:
+    """One-shot convenience: detect races in a single ordered trace."""
+    return [str(race) for race in RaceDetector().feed(events).races]

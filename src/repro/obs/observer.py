@@ -54,6 +54,10 @@ class Observer:
         #: unsharded runs never touch this, keeping their reports — and
         #: the bench byte-identity gate — unchanged).
         self._shard_metrics: Dict[int, tuple] = {}
+        #: Lazily-created per-shard idle-poll counters (worker-process
+        #: runs only); separate from ``_shard_metrics`` so inline
+        #: sharded reports keep their existing shape.
+        self._shard_idle: Dict[int, object] = {}
 
         registry = self.registry
         # cpu layer (sim/cpu.py)
@@ -226,6 +230,16 @@ class Observer:
         self.tracer.instant("verifier", "shard-down",
                             {"shard": shard_id,
                              "pids_condemned": pids_condemned})
+
+    def shard_idle_polls(self, shard_id: int, polls: int) -> None:
+        """Empty consume polls a shard worker performed (reported once
+        at worker shutdown) — the adaptive-backoff efficiency signal:
+        high counts mean the worker outpaces its producer."""
+        counter = self._shard_idle.get(shard_id)
+        if counter is None:
+            counter = self._shard_idle[shard_id] = \
+                self.registry.counter(f"shard.{shard_id}.idle_polls")
+        counter.value += polls
 
     # -- run lifecycle -------------------------------------------------------
 

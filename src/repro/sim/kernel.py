@@ -40,6 +40,21 @@ from repro.sim.cycles import ns_to_cycles
 from repro.sim.process import Process
 
 
+def shard_scoped_kill(verifier, pid: int) -> bool:
+    """Should the barrier kill ``pid`` because its verifier shard died?
+
+    The single decision point for scoped shard-death kills: true iff
+    the liaison is sharded (exposes ``shard_down_for``) and reports
+    this pid's shard down.  The barrier consults it below, and the
+    model-checking layer's conformance check
+    (:func:`repro.mc.shard_model.conformance_check`) drives the same
+    function against the abstract lifecycle model — so the decision
+    the kernel enforces is the one the checker verified.
+    """
+    shard_down = getattr(verifier, "shard_down_for", None)
+    return shard_down is not None and bool(shard_down(pid))
+
+
 @dataclass
 class HQContext:
     """Kernel-side state for one monitored process (section 3.3)."""
@@ -168,8 +183,7 @@ class HQKernelModule:
             self.verifier.poll()
             if self.verifier.terminated:
                 self._verifier_down(process, context, number)
-            shard_down = getattr(self.verifier, "shard_down_for", None)
-            if shard_down is not None and shard_down(process.pid):
+            if shard_scoped_kill(self.verifier, process.pid):
                 # Sharded runtime: *this pid's* verifier shard died.  The
                 # kill is scoped — pids on surviving shards keep running —
                 # but for the condemned pid the semantics are identical to

@@ -22,7 +22,7 @@ from repro.chaos import OK_VERDICTS, run_case
 from repro.core.framework import run_program
 from repro.core.messages import MESSAGE_WORDS
 from repro.core.shard_verifier import ShardedVerifier, resolve_policy
-from repro.core.sharding import ShardMap
+from repro.core.sharding import ShardMap, movement_fraction
 from repro.core.verifier import Verifier
 from repro.faults import FaultKind
 
@@ -110,6 +110,24 @@ class TestShardMap:
                     if before.assign(pid) != after.assign(pid))
         assert moved / 500 < 0.40
         assert moved > 0  # the new shard did take ownership of some
+
+    @settings(max_examples=30, deadline=None)
+    @given(num_shards=st.integers(min_value=2, max_value=12),
+           pid_base=st.integers(min_value=0, max_value=1 << 30))
+    def test_resize_movement_bound_property(self, num_shards, pid_base):
+        """The ~1/(N+1) movement promise, pinned as a property: for any
+        fleet size and any pid population, growing N -> N+1 moves a
+        fraction of pids near 1/(N+1) — bounded by 3x to absorb vnode
+        placement variance — and shrinking is symmetric."""
+        pids = range(pid_base, pid_base + 400)
+        expected = 1 / (num_shards + 1)
+        grow = movement_fraction(num_shards, num_shards + 1, pids)
+        assert 0 < grow < min(1.0, 3.0 * expected)
+        assert movement_fraction(num_shards + 1, num_shards, pids) == grow
+
+    def test_movement_fraction_identity_and_empty(self):
+        assert movement_fraction(4, 4, range(100)) == 0.0
+        assert movement_fraction(4, 5, []) == 0.0
 
 
 # ---------------------------------------------------------------------------
