@@ -208,15 +208,55 @@ def run_program(module: ir.Module,
         # Timestamps derive from this process's cycle totals: monotonic
         # sim time, deterministic across same-seed runs.
         observer.bind_clock(process)
+    kernel = Kernel()
+    ring_probes = []  # (shard_id, RingProbe) when race_check is on
+    try:
+        return _wire_and_execute(
+            config, module, design, channel, entry, entry_args,
+            policy_factory, kill_on_violation, sync_exempt_syscalls,
+            max_steps, aslr, seed, inlined_runtime, channel_kwargs,
+            exec_option_overrides, pre_run, naive_synchronization,
+            fault_injector, observer, shards, race_check,
+            process, kernel, pass_stats, ring_probes)
+    finally:
+        # Release OS resources even when an exception unwinds mid-run
+        # (SPSC rings hold real /dev/shm segments; an aborted sharded
+        # run must not leak them).  ``_wire_and_execute`` parks the
+        # wired components on the kernel so they are reachable here
+        # however far wiring got; in-process channels make these
+        # close() calls no-ops, and all of them are idempotent.
+        hq_channel = getattr(kernel, "_hq_channel", None)
+        if hq_channel is not None:
+            hq_channel.close()
+        close_verifier = getattr(getattr(kernel, "_hq_verifier", None),
+                                 "close", None)
+        if close_verifier is not None:
+            close_verifier()
+
+
+def _wire_and_execute(config, module, design, channel, entry, entry_args,
+                      policy_factory, kill_on_violation,
+                      sync_exempt_syscalls, max_steps, aslr, seed,
+                      inlined_runtime, channel_kwargs,
+                      exec_option_overrides, pre_run,
+                      naive_synchronization, fault_injector, observer,
+                      shards, race_check, process, kernel, pass_stats,
+                      ring_probes) -> RunResult:
+    """Wiring + execution body of :func:`run_program` (steps 2–4).
+
+    Split out so the caller can hold a ``finally`` over the whole
+    thing: every resource-owning component is parked on ``kernel``
+    (``_hq_verifier`` / ``_hq_channel``) the moment it exists, which is
+    what makes cleanup reachable when this raises at *any* point.
+    """
     verifier = None  # Verifier or ShardedVerifier (duck-typed liaison)
     hq_channel: Optional[Channel] = None
-    kernel = Kernel()
     hq_module = None
-    ring_probes = []  # (shard_id, RingProbe) when race_check is on
     if config.monitored:
         if shards is not None and shards > 1:
             from repro.core.shard_verifier import ShardedVerifier
             verifier = ShardedVerifier(policy_factory, shards)
+            kernel._hq_verifier = verifier
             if race_check:
                 from repro.mc.race import RingProbe
                 for engine in verifier.shards:
@@ -232,6 +272,7 @@ def run_program(module: ir.Module,
                     ring_probes.append((engine.shard_id, probe))
         else:
             verifier = Verifier(policy_factory)
+            kernel._hq_verifier = verifier
         # The observer rides on the *inner* verifier/transport so fault
         # wrappers (which delegate to them) are observed for free and
         # nothing is double-counted.
@@ -241,6 +282,7 @@ def run_program(module: ir.Module,
             # hooks wired below included — goes through the injector.
             verifier = fault_injector.wrap_verifier(verifier)
         hq_channel = _wire_channel(channel, verifier, **(channel_kwargs or {}))
+        kernel._hq_channel = hq_channel  # parked pre-wrap: the resource owner
         hq_channel.observer = observer
         if fault_injector is not None:
             hq_channel = fault_injector.wrap_channel(hq_channel)
@@ -336,11 +378,5 @@ def run_program(module: ir.Module,
             channel=hq_channel, verifier=verifier,
             outcome=result.outcome)
         result.obs_report = observer.report()
-    # 5. Release OS resources (SPSC rings hold real /dev/shm segments;
-    # in-process channels make these no-ops).
-    if hq_channel is not None:
-        hq_channel.close()
-    close_verifier = getattr(verifier, "close", None)
-    if close_verifier is not None:
-        close_verifier()
+    # Step 5 (resource release) lives in run_program's ``finally``.
     return result

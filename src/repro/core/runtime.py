@@ -60,8 +60,21 @@ class HQRuntime(Runtime):
     #: fails closed (the process is killed, mirroring the epoch-timeout
     #: path) instead of letting ChannelFullError escape the interpreter.
     SEND_RETRY_BUDGET = 4
-    #: Stall charged per retry while waiting for the verifier to drain.
+    #: Base stall charged on the first retry; successive retries back
+    #: off exponentially (``base * BACKOFF**attempt``) up to the cap —
+    #: under sustained overload later retries yield the verifier
+    #: progressively longer drain windows instead of hammering a full
+    #: channel at a fixed period.
     FULL_RETRY_WAIT_NS = 500.0
+    FULL_RETRY_BACKOFF = 2.0
+    FULL_RETRY_MAX_WAIT_NS = 8000.0
+    #: Jitter added to each retry wait, in [0, JITTER_NS).  Derived
+    #: deterministically from this runtime's send/retry counters (never
+    #: from the pid, which is allocated from a process-global counter
+    #: and differs run to run), so same-seed runs stay byte-identical
+    #: while concurrent senders that fill a channel together do not
+    #: retry in lockstep.
+    FULL_RETRY_JITTER_NS = 128.0
 
     #: Framework-wired hook that drains the verifier between retries.
     drain_hook: Optional[Callable[[], object]] = None
@@ -92,10 +105,8 @@ class HQRuntime(Runtime):
             except ChannelFullError as error:
                 last_error = error
                 self.full_retries += 1
-                # Back off one drain round trip and let the verifier
-                # catch up before retrying the send.
                 process.cycles.charge_wait(
-                    ns_to_cycles(self.FULL_RETRY_WAIT_NS))
+                    ns_to_cycles(self._retry_wait_ns(attempt)))
                 if self.drain_hook is not None:
                     self.drain_hook()
                 continue
@@ -111,6 +122,22 @@ class HQRuntime(Runtime):
         process.exited = True
         process.killed_reason = reason
         raise ProcessKilledError(reason)
+
+    def _retry_wait_ns(self, attempt: int) -> float:
+        """Wait before retry ``attempt``: capped exponential + jitter.
+
+        The jitter hash mixes the runtime's own monotone counters
+        (messages sent, cumulative retries) — a pure function of the
+        simulated execution, so replays are exact, yet two runtimes
+        sharing one full channel decorrelate after their first
+        differing send.
+        """
+        wait = min(self.FULL_RETRY_WAIT_NS * self.FULL_RETRY_BACKOFF
+                   ** attempt, self.FULL_RETRY_MAX_WAIT_NS)
+        salt = (self.messages_sent * 2654435761
+                + self.full_retries * 40503) & 0xFFFF_FFFF
+        jitter = (salt % 1024) / 1024.0 * self.FULL_RETRY_JITTER_NS
+        return wait + jitter
 
     def on_program_start(self, image: Image) -> None:
         """Send defines for relocated global code pointers (init array)."""

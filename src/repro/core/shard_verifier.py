@@ -245,6 +245,60 @@ class ShardedVerifier:
         if self._pid_base is not None:
             self.shard_map.forget(pid - self._pid_base)
 
+    # -- epoch-based GC ------------------------------------------------------
+
+    @property
+    def gc_epochs(self) -> Optional[int]:
+        """Retention window, mirrored onto every shard verifier (see
+        :attr:`Verifier.gc_epochs`).  ``None`` disables reclamation."""
+        return self.shards[0].verifier.gc_epochs
+
+    @gc_epochs.setter
+    def gc_epochs(self, value: Optional[int]) -> None:
+        for engine in self.shards:
+            engine.verifier.gc_epochs = value
+
+    @property
+    def epoch(self) -> int:
+        return self.shards[0].verifier.epoch
+
+    @property
+    def reclaimed_pids(self) -> int:
+        return sum(e.verifier.reclaimed_pids for e in self.shards)
+
+    @property
+    def reclaimed_messages(self) -> int:
+        return sum(e.verifier.reclaimed_messages for e in self.shards)
+
+    @property
+    def reclaimed_violations(self) -> int:
+        return sum(e.verifier.reclaimed_violations for e in self.shards)
+
+    def advance_epoch(self) -> List[int]:
+        """Advance every shard's GC epoch in lockstep.
+
+        Reclaimed pids also drop their routing entry in
+        ``_pid_engine`` — the coordinator-side table that would
+        otherwise grow monotonically under session churn.  Emits one
+        aggregate ``gc_reclaim`` observation (shard emits suppressed)
+        so the ``verifier.pid_table_size`` gauge reflects the whole
+        coordinator.
+        """
+        reclaimed: List[int] = []
+        for engine in self.shards:
+            reclaimed.extend(engine.verifier.advance_epoch(observe=False))
+        for pid in reclaimed:
+            self._pid_engine.pop(pid, None)
+        if reclaimed and self._observer is not None:
+            self._observer.gc_reclaim(len(reclaimed),
+                                      self.pid_table_size())
+        return sorted(reclaimed)
+
+    def pid_table_size(self) -> int:
+        """Distinct pids with state on any shard (disjoint by routing)."""
+        return sum(engine.verifier.pid_table_size()
+                   for engine in self.shards)
+
     # -- the main loop -------------------------------------------------------
 
     def poll(self, max_messages: Optional[int] = None) -> int:
@@ -397,6 +451,11 @@ class ShardedVerifier:
         return (engine is not None
                 and engine.verifier.consume_syscall_token(pid))
 
+    def has_syscall_token(self, pid: int) -> bool:
+        engine = self._pid_engine.get(pid)
+        return (engine is not None
+                and engine.verifier.has_syscall_token(pid))
+
     # -- merged views ---------------------------------------------------------
 
     @property
@@ -461,7 +520,15 @@ class ShardedVerifier:
         :meth:`Verifier.restart`: in-flight words (channel, rings,
         overflow) are unrecoverable and condemn their senders; live
         pids re-register with fresh policy contexts; stats and
-        violation history survive."""
+        violation history survive.
+
+        Like :meth:`Verifier.restart`, only pids still tracked by the
+        kernel (``live_pids``) can be condemned: a pid that exited
+        between crash and restart has in-flight words discarded with
+        the rest, but no violation is recorded for it and — crucially
+        here — no routing entry or bookkeeping row is resurrected for
+        it, so epoch GC is not re-armed for a dead session."""
+        live = set(live_pids)
         lost = set(lost_pids)
         for channel in self.channels:
             for message in channel.resync():
@@ -484,7 +551,7 @@ class ShardedVerifier:
         self.terminated = False
         self.restarts += 1
         self._pid_engine = {}
-        for pid in live_pids:
+        for pid in sorted(live):
             engine = self._engine_for(pid)
             verifier = engine.verifier
             verifier.contexts[pid] = verifier._policy_factory()
@@ -492,7 +559,7 @@ class ShardedVerifier:
             verifier.violations.setdefault(pid, [])
             verifier._pending_violation[pid] = False
             verifier._syscall_tokens[pid] = 0
-        killed = sorted(lost)
+        killed = sorted(lost & live)
         for pid in killed:
             self._engine_for(pid).verifier._record_violation(Violation(
                 pid, "verifier-restart",

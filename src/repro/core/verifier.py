@@ -61,6 +61,24 @@ class Verifier:
         self._backlog: Deque[Message] = deque()
         #: Times :meth:`restart` recovered this verifier after a crash.
         self.restarts = 0
+        #: Epoch-based GC of per-pid reporting state.  ``None`` (the
+        #: default) disables reclamation entirely — single-run
+        #: experiments read ``stats``/``violations`` after the run and
+        #: expect them to survive process exit.  Long-lived deployments
+        #: (the traffic tier) set an integer N: a pid's surviving state
+        #: is reclaimed once :meth:`advance_epoch` has been called N
+        #: times after the pid unregistered, with its totals folded
+        #: into the ``reclaimed_*`` aggregates so run-level reporting
+        #: stays exact.
+        self.gc_epochs: Optional[int] = None
+        #: Current GC epoch (advanced only by :meth:`advance_epoch`).
+        self.epoch = 0
+        #: pid -> epoch at which it unregistered (GC-enabled only).
+        self._exited_at: Dict[int, int] = {}
+        #: Aggregates folded out of reclaimed per-pid state.
+        self.reclaimed_pids = 0
+        self.reclaimed_messages = 0
+        self.reclaimed_violations = 0
 
     # -- channel plumbing -------------------------------------------------------
 
@@ -81,6 +99,10 @@ class Verifier:
         self.violations[pid] = []
         self._pending_violation[pid] = False
         self._syscall_tokens[pid] = 0
+        if self._exited_at:
+            # A recycled pid is a fresh process: it must not inherit a
+            # pending reclamation from its predecessor's exit.
+            self._exited_at.pop(pid, None)
 
     def fork_process(self, parent_pid: int, child_pid: int) -> None:
         """Kernel notification: copy the parent's policy context."""
@@ -91,6 +113,8 @@ class Verifier:
         self.violations[child_pid] = []
         self._pending_violation[child_pid] = False
         self._syscall_tokens[child_pid] = 0
+        if self._exited_at:
+            self._exited_at.pop(child_pid, None)
 
     def unregister_process(self, pid: int) -> None:
         """Kernel notification: the process terminated.
@@ -105,6 +129,62 @@ class Verifier:
         self.contexts.pop(pid, None)
         self._pending_violation.pop(pid, None)
         self._syscall_tokens.pop(pid, None)
+        if self.gc_epochs is not None:
+            self._exited_at[pid] = self.epoch
+
+    # -- epoch-based GC of reporting history --------------------------------
+
+    def advance_epoch(self, observe: bool = True) -> List[int]:
+        """Advance the GC epoch; reclaim state of long-exited pids.
+
+        With ``gc_epochs = N``, a pid that unregistered in epoch E is
+        reclaimed by the first :meth:`advance_epoch` call that moves the
+        clock to E + N or beyond: its ``stats`` and ``violations``
+        entries are dropped and their totals folded into the
+        ``reclaimed_*`` aggregates (so :meth:`total_messages` and
+        fleet-level violation counts remain exact).  The N-epoch grace
+        window is what lets late barriers, restarts, and the framework's
+        end-of-run reporting still read a recently-exited pid's history.
+        Returns the sorted list of reclaimed pids; a no-op (beyond the
+        clock tick) when GC is disabled.
+        """
+        self.epoch += 1
+        retain = self.gc_epochs
+        if retain is None or not self._exited_at:
+            return []
+        horizon = self.epoch - retain
+        reclaimed = [pid for pid, exited in self._exited_at.items()
+                     if exited <= horizon]
+        for pid in reclaimed:
+            del self._exited_at[pid]
+            stats = self.stats.pop(pid, None)
+            if stats is not None:
+                self.reclaimed_messages += stats.messages_processed
+            self.reclaimed_violations += len(self.violations.pop(pid, ()))
+            # Live-state maps were already dropped at unregister; pop
+            # defensively so a reclaim is total even after a restart
+            # resurrected bookkeeping rows.
+            self.contexts.pop(pid, None)
+            self._pending_violation.pop(pid, None)
+            self._syscall_tokens.pop(pid, None)
+        if reclaimed:
+            self.reclaimed_pids += len(reclaimed)
+            if observe and self.observer is not None:
+                self.observer.gc_reclaim(len(reclaimed),
+                                         self.pid_table_size())
+        return sorted(reclaimed)
+
+    def pid_table_size(self) -> int:
+        """Distinct pids with any per-pid state still held.
+
+        The growth metric the traffic tier's leak gate watches: without
+        GC this is monotone in the number of sessions ever seen; with
+        GC it tracks the live working set.
+        """
+        pids = set(self.contexts)
+        pids.update(self.stats)
+        pids.update(self.violations)
+        return len(pids)
 
     # -- the main loop --------------------------------------------------------------
 
@@ -405,13 +485,21 @@ class Verifier:
             return True
         return False
 
+    def has_syscall_token(self, pid: int) -> bool:
+        """Non-consuming probe: would :meth:`consume_syscall_token`
+        succeed?  Lets a scheduler decide whether a barrier can resume
+        without perturbing the token count."""
+        return self._syscall_tokens.get(pid, 0) > 0
+
     # -- reporting -----------------------------------------------------------------------
 
     def all_violations(self, pid: int) -> List[Violation]:
         return list(self.violations.get(pid, []))
 
     def total_messages(self) -> int:
-        return sum(stats.messages_processed for stats in self.stats.values())
+        return (sum(stats.messages_processed
+                    for stats in self.stats.values())
+                + self.reclaimed_messages)
 
     def terminate(self) -> None:
         """Unexpected verifier termination: monitored programs die too
@@ -440,7 +528,15 @@ class Verifier:
         Violation and statistics history survives the restart — it
         describes what already happened and is what the framework
         reports at the end of a run.
+
+        Under pid churn, a pid that exited *between* the crash and the
+        restart is neither condemned (it is not in ``live_pids``, so
+        there is nothing left to kill — condemning it would double-count
+        an already-finished session) nor resurrected (no bookkeeping
+        rows are recreated for it, so GC reclamation proceeds on
+        schedule).  Only pids the kernel still tracks can be killed.
         """
+        live = set(live_pids)
         lost = set(lost_pids)
         for channel in self.channels:
             for message in channel.resync():
@@ -453,13 +549,13 @@ class Verifier:
         self.contexts.clear()
         self._pending_violation = {}
         self._syscall_tokens = {}
-        for pid in live_pids:
+        for pid in sorted(live):
             self.contexts[pid] = self._policy_factory()
             self.stats.setdefault(pid, PolicyStats())
             self.violations.setdefault(pid, [])
             self._pending_violation[pid] = False
             self._syscall_tokens[pid] = 0
-        killed = sorted(lost)
+        killed = sorted(lost & live)
         for pid in killed:
             self._record_violation(Violation(
                 pid, "verifier-restart",

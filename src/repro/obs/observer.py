@@ -34,6 +34,7 @@ BLOCK_SIZE_EDGES = (1, 2, 4, 8, 16, 32, 64)
 BARRIER_WAIT_NS_EDGES = (0.0, 400.0, 800.0, 1600.0, 3200.0)
 BATCH_SIZE_EDGES = (1, 8, 64, 256, 1024, 4096)
 VALIDATION_LAG_EDGES = (0, 1, 8, 64, 256, 1024)
+SESSION_LIFETIME_EDGES = (1_000, 10_000, 100_000, 1_000_000, 10_000_000)
 
 
 class Observer:
@@ -58,6 +59,13 @@ class Observer:
         #: runs only); separate from ``_shard_metrics`` so inline
         #: sharded reports keep their existing shape.
         self._shard_idle: Dict[int, object] = {}
+        #: Lazily-created traffic-tier metrics (GC reclaim, session
+        #: lifetimes, shed sessions).  Runs that never churn sessions
+        #: never create them, keeping existing reports byte-identical.
+        self._gc_reclaimed = None
+        self._pid_table_size = None
+        self._session_lifetime = None
+        self._shed_sessions = None
 
         registry = self.registry
         # cpu layer (sim/cpu.py)
@@ -195,6 +203,43 @@ class Observer:
         self.verifier_integrity.value += 1
         self.tracer.instant("verifier", "integrity-failure",
                             {"detail": detail[:120]})
+
+    # -- traffic-tier emits (lazy; only session-churning runs create) --------
+
+    def gc_reclaim(self, pids: int, table_size: int) -> None:
+        """Epoch GC reclaimed ``pids`` sessions' verifier state; the
+        pid table now holds ``table_size`` entries."""
+        if self._gc_reclaimed is None:
+            self._gc_reclaimed = self.registry.counter(
+                "verifier.gc_reclaimed")
+            self._pid_table_size = self.registry.gauge(
+                "verifier.pid_table_size")
+        self._gc_reclaimed.value += pids
+        self._pid_table_size.set(table_size)
+        self.tracer.instant("verifier", "gc-reclaim",
+                            {"pids": pids, "table_size": table_size})
+
+    def pid_table(self, table_size: int) -> None:
+        """Point-in-time pid-table reading (peak tracked by caller)."""
+        if self._pid_table_size is None:
+            self._pid_table_size = self.registry.gauge(
+                "verifier.pid_table_size")
+        self._pid_table_size.set(table_size)
+
+    def session_end(self, lifetime_cycles: float) -> None:
+        """A session completed after ``lifetime_cycles`` of sim work."""
+        if self._session_lifetime is None:
+            self._session_lifetime = self.registry.histogram(
+                "session.lifetime_cycles", SESSION_LIFETIME_EDGES)
+        self._session_lifetime.observe(lifetime_cycles)
+
+    def session_shed(self) -> None:
+        """Admission control shed a session at the shed watermark."""
+        if self._shed_sessions is None:
+            self._shed_sessions = self.registry.counter(
+                "kernel.shed_sessions")
+        self._shed_sessions.value += 1
+        self.tracer.instant("kernel", "session-shed", None)
 
     # -- shard emits (sharded verifier runtime only) -------------------------
 

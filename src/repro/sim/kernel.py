@@ -55,6 +55,73 @@ def shard_scoped_kill(verifier, pid: int) -> bool:
     return shard_down is not None and bool(shard_down(pid))
 
 
+# Admission verdicts (the distinct outcomes the traffic tier reports).
+ADMIT = "admitted"
+DEFER = "deferred"
+SHED = "shed"
+
+
+class AdmissionController:
+    """Watermark-based admission control for new monitored sessions.
+
+    The monitor-side resource that saturates under sustained traffic is
+    validation capacity: channel occupancy plus verifier backlog (the
+    *validation load*).  Instead of letting new sessions pile onto a
+    full channel and wedge at ``ChannelFullError`` — which kills
+    *already-admitted* well-behaved sessions via fail-closed sends —
+    the kernel module consults this controller before enabling
+    monitoring on a new session:
+
+    * load < ``defer_watermark`` — **admit**: enable monitoring now.
+    * ``defer_watermark`` <= load < ``shed_watermark`` — **defer**: the
+      session is told to come back after the verifier has had time to
+      drain; each deferral is counted, and a session deferred more than
+      ``max_deferrals`` times is shed instead of waiting forever.
+    * load >= ``shed_watermark`` — **shed**: the session is rejected
+      outright with a distinct verdict.
+
+    Shedding is *graceful degradation*, not a security bypass: a shed
+    session never executes monitored work at all (the caller must treat
+    the verdict as a refusal), while every admitted session keeps the
+    full fail-closed validation pipeline.
+    """
+
+    DEFAULT_DEFER_WATERMARK = 256
+    DEFAULT_SHED_WATERMARK = 1024
+    DEFAULT_MAX_DEFERRALS = 8
+
+    def __init__(self, defer_watermark: int = DEFAULT_DEFER_WATERMARK,
+                 shed_watermark: int = DEFAULT_SHED_WATERMARK,
+                 max_deferrals: int = DEFAULT_MAX_DEFERRALS) -> None:
+        if shed_watermark < defer_watermark:
+            raise ValueError("shed watermark below defer watermark")
+        self.defer_watermark = defer_watermark
+        self.shed_watermark = shed_watermark
+        self.max_deferrals = max_deferrals
+        self.admitted = 0
+        self.deferred = 0
+        self.shed = 0
+
+    def decide(self, load: int, deferrals: int = 0) -> str:
+        """Verdict for one admission attempt at validation ``load``.
+
+        ``deferrals`` is how many times this same session was already
+        deferred; past ``max_deferrals`` a congested system sheds it
+        rather than starving it indefinitely.
+        """
+        if load >= self.shed_watermark:
+            self.shed += 1
+            return SHED
+        if load >= self.defer_watermark:
+            if deferrals >= self.max_deferrals:
+                self.shed += 1
+                return SHED
+            self.deferred += 1
+            return DEFER
+        self.admitted += 1
+        return ADMIT
+
+
 @dataclass
 class HQContext:
     """Kernel-side state for one monitored process (section 3.3)."""
@@ -124,8 +191,53 @@ class HQKernelModule:
         self.epoch_jitter: Optional[Callable[[], int]] = None
         #: Successful verifier restarts mediated by this module.
         self.verifier_restarts = 0
+        #: Optional :class:`AdmissionController`; ``None`` (the
+        #: default) admits unconditionally — existing single-program
+        #: runs are unaffected.
+        self.admission: Optional[AdmissionController] = None
 
     # -- lifecycle ------------------------------------------------------------
+
+    def validation_load(self) -> int:
+        """Current validation load: undispatched messages everywhere.
+
+        Channel occupancy (sent but not yet received by the verifier)
+        plus the verifier's own backlog (received but not yet
+        dispatched — rings and overflow in the sharded runtime).  The
+        quantity the admission watermarks are expressed in.
+        """
+        verifier = self.verifier
+        if verifier is None:
+            return 0
+        load = verifier.backlog_size()
+        for channel in getattr(verifier, "channels", ()):
+            load += channel.pending()
+        return load
+
+    def try_enable(self, process: Process, deferrals: int = 0,
+                   load: Optional[int] = None) -> str:
+        """Admission-controlled :meth:`enable`.
+
+        Returns the verdict (``"admitted"`` / ``"deferred"`` /
+        ``"shed"``); monitoring is enabled only on admission.  With no
+        controller configured this is plain :meth:`enable` and always
+        admits.  ``load`` overrides the instantaneous
+        :meth:`validation_load` — callers that observe peak lag over a
+        window (the traffic engine samples it at every syscall barrier)
+        pass that instead, since an instantaneous reading taken between
+        barriers understates pressure.
+        """
+        if self.admission is None:
+            self.enable(process)
+            return ADMIT
+        if load is None:
+            load = self.validation_load()
+        verdict = self.admission.decide(load, deferrals)
+        if verdict == ADMIT:
+            self.enable(process)
+        elif verdict == SHED and self.observer is not None:
+            self.observer.session_shed()
+        return verdict
 
     def enable(self, process: Process) -> HQContext:
         """A process enabled HerQules (step 1a of Figure 1)."""
@@ -294,6 +406,24 @@ class Kernel:
     def attach(self, process: Process) -> None:
         self.processes[process.pid] = process
         self.stdout.setdefault(process.pid, [])
+
+    def reap_process(self, pid: int) -> bool:
+        """Drop an *exited* process's kernel bookkeeping.
+
+        The long-churn counterpart of the verifier's epoch GC: a
+        single-run experiment reads ``processes``/``stdout`` after the
+        run, but a traffic soak cycling thousands of sessions must not
+        retain every dead process forever.  ``win_executed`` is
+        deliberately kept — it is the security verdict record, and a
+        reaped attacker must stay on it.  Returns whether a process
+        was reaped (alive pids are refused).
+        """
+        process = self.processes.get(pid)
+        if process is None or not process.exited:
+            return False
+        del self.processes[pid]
+        self.stdout.pop(pid, None)
+        return True
 
     def syscall(self, process: Process, number: int, args: List[int]) -> int:
         """The dispatcher handed to :class:`repro.sim.cpu.Interpreter`."""

@@ -1,0 +1,18 @@
+"""Production traffic tier: multi-tenant session engine.
+
+``python -m repro.traffic`` runs a long-lived, churn-heavy multi-tenant
+scenario — thousands of monitored sessions multiplexed over one
+verifier (inline or sharded) — with admission control, load shedding,
+epoch-based GC of per-pid verifier state, and optional chaos faults
+injected mid-churn.  See DESIGN.md, "Production traffic & overload".
+"""
+
+from repro.traffic.engine import (TICK_NS, TrafficConfig, TrafficEngine,
+                                  run_traffic)
+from repro.traffic.sessions import (DEFAULT_PHASES, PRESETS, Phase,
+                                    build_session, parse_phases)
+
+__all__ = [
+    "TICK_NS", "TrafficConfig", "TrafficEngine", "run_traffic",
+    "DEFAULT_PHASES", "PRESETS", "Phase", "build_session", "parse_phases",
+]

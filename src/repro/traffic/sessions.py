@@ -1,0 +1,172 @@
+"""Session scripts and traffic phases for the production traffic tier.
+
+A *session* is one simulated client connection served by a monitored
+worker process: a stream of runtime events (pointer defines/checks,
+policy events, synchronized system calls) ending in an exit.  Scripts
+are composed from the same ingredients as the single-program benches —
+the webserver archetype of :mod:`repro.workloads.webserver` (handler
+table defined at startup, every request dispatches through it and
+responds with one write syscall) with event densities taken from
+:mod:`repro.workloads.profiles` — so the traffic mix has the same
+per-thousand-iterations character as the Table 4 benchmarks.
+
+A *phase* is a stretch of the run with fixed arrival/behaviour
+parameters, in the wiscsee aging+traffic style: a run is a list of
+phases (age the system, warm up, steady state, overload surge, drain),
+each contributing its ticks to one continuous simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from random import Random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.cpu import SYS_READ, SYS_WIN, SYS_WRITE
+from repro.workloads.profiles import get_profile
+
+# Event tuples interpreted by the engine:
+#   ("define", slot, value)   hq_pointer_define
+#   ("check", slot, value)    hq_pointer_check (wrong value = attack)
+#   ("event", kind, value)    hq_event (policy event traffic)
+#   ("syscall", num, arg)     synchronized system call (barrier!)
+#   ("fork",)                 SYS_FORK; the child runs a worker script
+#   ("exit", status)          SYS_EXIT; ends the session
+Event = Tuple
+
+#: Per-session data-segment layout: each session's handler table lives
+#: at the same virtual addresses (policy contexts are per-pid, so
+#: sessions never alias each other's slots).
+TABLE_BASE = 0x5000
+TABLE_SLOTS = 3
+HANDLER_BASE = 0x1000
+
+#: Benchmark profiles the request mixes draw densities from.  nginx is
+#: the paper's server case study; the SPEC entries bracket it with an
+#: indirect-call-heavy and a compute-heavy character.
+ARCHETYPES = ("nginx", "400.perlbench", "401.bzip2")
+
+
+def _handler(slot: int) -> int:
+    return HANDLER_BASE + 0x40 * slot
+
+
+def build_session(rng: Random, archetype: str = "nginx",
+                  requests: int = 4, attack: bool = False) -> List[Event]:
+    """Compose one session script.
+
+    The session defines its handler table, then serves ``requests``
+    requests: each checks the dispatched handler pointer (the CFI
+    check), emits profile-proportional policy events, and responds with
+    a synchronized write.  An *attack* session corrupts one dispatch —
+    its check carries a value the verifier never saw defined, which
+    must end in a detected kill at the next syscall barrier, never in
+    the response being written.
+    """
+    profile = get_profile(archetype)
+    per_request_events = max(1, round(
+        (profile.icalls_per_k + profile.fnptr_writes_per_k) / 100))
+    script: List[Event] = [
+        ("define", TABLE_BASE + slot, _handler(slot))
+        for slot in range(TABLE_SLOTS)
+    ]
+    corrupt_at = rng.randrange(requests) if attack else -1
+    for request in range(requests):
+        slot = rng.randrange(TABLE_SLOTS)
+        value = _handler(slot)
+        if request == corrupt_at:
+            # The overflow of webserver.py, in event form: the table
+            # slot now holds an attacker-chosen address.
+            value = 0x666000 + rng.randrange(16)
+        script.append(("syscall", SYS_READ, request))
+        script.append(("check", TABLE_BASE + slot, value))
+        for _ in range(per_request_events):
+            script.append(("event", 7, rng.randrange(1 << 16)))
+        if request == corrupt_at:
+            # The hijacked dispatch heads for the attack marker: the
+            # barrier must kill this session before SYS_WIN executes.
+            script.append(("syscall", SYS_WIN, 0))
+        else:
+            script.append(("syscall", SYS_WRITE, 200 + slot))
+    script.append(("exit", 0))
+    return script
+
+
+def build_worker_script(rng: Random, parent_slots: Sequence[int],
+                        work: int = 2) -> List[Event]:
+    """Script for a forked child: the fork-heavy churn ingredient.
+
+    The child inherits the parent's policy context (the kernel clones
+    it on fork), so checking a parent-defined table slot must pass;
+    after a little work it exits, which is what keeps the pid table
+    churning.
+    """
+    script: List[Event] = []
+    for _ in range(work):
+        slot = rng.choice(list(parent_slots))
+        script.append(("check", TABLE_BASE + slot, _handler(slot)))
+        script.append(("syscall", SYS_WRITE, 0x300))
+    script.append(("exit", 0))
+    return script
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One stretch of the run with fixed traffic parameters."""
+
+    name: str
+    ticks: int
+    #: New sessions offered per tick (admission control may refuse).
+    arrivals_per_tick: float = 1.0
+    #: Fraction of sessions that are attacks (must die detected).
+    attack_fraction: float = 0.0
+    #: Probability an admitted session forks a worker child per request.
+    fork_probability: float = 0.0
+    #: Requests per session in this phase.
+    requests: int = 4
+    #: Archetype mix (cycled deterministically per arrival).
+    archetypes: Tuple[str, ...] = ARCHETYPES
+
+
+#: Named phase presets, wiscsee-style: ``age`` builds up long-lived
+#: resident sessions before measurement, ``surge`` offers arrivals well
+#: past validation capacity (the overload the watermarks exist for),
+#: ``drain`` stops arrivals and lets the backlog clear.
+PRESETS = {
+    "age": Phase("age", ticks=50, arrivals_per_tick=0.5,
+                 fork_probability=0.2, requests=8),
+    "warmup": Phase("warmup", ticks=50, arrivals_per_tick=1.0,
+                    requests=3),
+    "steady": Phase("steady", ticks=200, arrivals_per_tick=2.0,
+                    attack_fraction=0.05, fork_probability=0.1),
+    "surge": Phase("surge", ticks=100, arrivals_per_tick=8.0,
+                   attack_fraction=0.05, fork_probability=0.1,
+                   requests=6),
+    "drain": Phase("drain", ticks=80, arrivals_per_tick=0.0),
+}
+
+DEFAULT_PHASES = "warmup,steady,surge,drain"
+
+
+def parse_phases(spec: Optional[str]) -> List[Phase]:
+    """Parse ``name[:ticks][,name[:ticks]...]`` into phase objects.
+
+    Names come from :data:`PRESETS`; an optional ``:ticks`` suffix
+    overrides the preset's length (``surge:300``).
+    """
+    phases: List[Phase] = []
+    for token in (spec or DEFAULT_PHASES).split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, _, ticks = token.partition(":")
+        if name not in PRESETS:
+            raise ValueError(f"unknown phase {name!r}; "
+                             f"choose from {sorted(PRESETS)}")
+        phase = PRESETS[name]
+        if ticks:
+            phase = replace(phase, ticks=int(ticks))
+        phases.append(phase)
+    if not phases:
+        raise ValueError("empty phase list")
+    return phases

@@ -138,3 +138,70 @@ class TestCLI:
         records = json.loads(report.read_text())
         assert records and records[0]["fault"] == "drop"
         assert records[0]["verdict"] in OK_VERDICTS
+
+
+class TestTrafficMidChurn:
+    """Chaos faults injected into the multi-tenant traffic engine while
+    sessions fork and exit (satellite of the production-traffic tier):
+    every fault must end tolerated or detected-kill — never a hang, an
+    uncaught exception, or a silent bypass."""
+
+    def _run(self, **overrides):
+        from repro.traffic import TrafficConfig, run_traffic
+        config = TrafficConfig(
+            sessions=60, phases="age:50,drain:60", seed=13, **overrides)
+        report = run_traffic(config)
+        totals = report["totals"]
+        # Bounded: the run ended on its own, with every session
+        # accounted for and every per-pid row reclaimed.
+        assert not totals["duration_capped"], "engine hung past its cap"
+        assert (totals["completed"] + totals["killed"]
+                == totals["admitted"] + totals["forks"])
+        assert report["leaks"]["pid_entries"] == 0
+        assert report["leaks"]["kernel_processes"] == 0
+        # Never a silent bypass.
+        assert totals["attacks"]["escaped"] == 0
+        assert totals["attacks"]["wins"] == 0
+        return report
+
+    def test_verifier_crash_mid_churn_recovers(self):
+        report = self._run(faults=((20, "verifier-crash"),))
+        totals = report["totals"]
+        assert totals["faults_fired"] == ["21:verifier-crash"]
+        # The kernel barrier brought up a replacement verifier; pids
+        # with in-flight messages at the crash died conservatively.
+        assert totals["verifier_restarts"] == 1
+        assert totals["completed"] > 0
+
+    def test_verifier_crash_without_restart_budget_fails_closed(self):
+        report = self._run(faults=((20, "verifier-crash"),),
+                           restart_budget=0)
+        totals = report["totals"]
+        assert totals["verifier_restarts"] == 0
+        # No replacement verifier: every in-flight session dies with
+        # the verifier-terminated reason, none keeps running unchecked.
+        assert totals["kill_reasons"].get("verifier-terminated", 0) > 0
+
+    def test_shard_crash_mid_churn_is_scoped(self):
+        report = self._run(shards=3, faults=((20, "shard-crash"),))
+        totals = report["totals"]
+        assert totals["faults_fired"] == ["21:shard-crash"]
+        # The dead shard's pids fail closed; survivors keep completing.
+        assert totals["kill_reasons"].get("verifier-terminated", 0) > 0
+        assert totals["completed"] > 0
+
+    def test_channel_corrupt_mid_churn_condemns_live_pids(self):
+        report = self._run(faults=((20, "channel-corrupt"),))
+        totals = report["totals"]
+        # An undecodable opcode on the shared channel is a transport
+        # integrity loss: every live pid is condemned, later sessions
+        # (arriving on the resynchronized stream) still complete.
+        assert totals["kill_reasons"].get("policy violation", 0) > 0
+        assert totals["completed"] > 0
+
+    def test_mid_churn_faults_replay_identically(self):
+        from repro.traffic import TrafficConfig, run_traffic
+        config = TrafficConfig(sessions=40, phases="age:40,drain:50",
+                               seed=7, shards=2,
+                               faults=((15, "shard-crash"),))
+        assert run_traffic(config) == run_traffic(config)

@@ -203,3 +203,39 @@ class TestViolationHandling:
         result = run_program(module, design="clang-cfi",
                              kill_on_violation=True)
         assert result.outcome == "violation"  # benign call rejected
+
+
+class TestAbortedRunResourceRelease:
+    """Regression: an exception mid-``run_program(shards=N)`` must not
+    leak the shard rings' shared-memory segments (or the channel): the
+    components are parked on the kernel as soon as they exist and a
+    ``finally`` in ``run_program`` releases them on every exit path."""
+
+    def test_aborted_sharded_run_releases_segments(self):
+        from repro.ipc.shared_memory import owned_segment_names
+        before = set(owned_segment_names())
+        live_at_abort = []
+
+        def boom(image, interpreter):
+            live_at_abort.extend(owned_segment_names())
+            raise RuntimeError("injected abort mid-run")
+
+        with pytest.raises(RuntimeError, match="injected abort"):
+            run_program(fnptr_program(), design="hq-sfestk",
+                        channel="model", shards=2, pre_run=boom)
+        # The shard rings were live when the abort fired...
+        assert len(live_at_abort) > len(before)
+        # ...and every one of them was released on the way out.
+        assert set(owned_segment_names()) == before
+
+    def test_aborted_plain_run_releases_channel(self):
+        def boom(image, interpreter):
+            raise RuntimeError("injected abort mid-run")
+
+        with pytest.raises(RuntimeError, match="injected abort"):
+            run_program(fnptr_program(), design="hq-sfestk",
+                        channel="model", pre_run=boom)
+        # And the abort path leaves the next run fully functional.
+        result = run_program(fnptr_program(), design="hq-sfestk",
+                             channel="model")
+        assert result.ok

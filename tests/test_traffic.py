@@ -1,0 +1,329 @@
+"""Tests for the production traffic tier (repro.traffic) and the
+engine's supporting machinery: epoch-based GC of per-pid verifier
+state, admission control under overload, and restart under pid churn."""
+
+from random import Random
+
+import pytest
+
+from repro.cfi.hq_cfi import HQCFIPolicy
+from repro.core import messages as msg
+from repro.core.shard_verifier import ShardedVerifier
+from repro.core.verifier import Verifier
+from repro.ipc.appendwrite import AppendWriteModel
+from repro.sim.cpu import SYS_WIN
+from repro.sim.process import Process
+from repro.traffic import (Phase, TrafficConfig, TrafficEngine,
+                           build_session, parse_phases, run_traffic)
+
+#: A small, light-load run: no overload, every offered session admitted.
+QUICK = dict(sessions=80, phases="warmup:10,steady:40,drain:30", seed=5)
+
+
+# ---------------------------------------------------------------------------
+# Session scripts and phases
+# ---------------------------------------------------------------------------
+
+class TestSessions:
+    def test_same_seed_same_script(self):
+        one = build_session(Random(11), "nginx", requests=4, attack=True)
+        two = build_session(Random(11), "nginx", requests=4, attack=True)
+        assert one == two
+
+    def test_attack_script_heads_for_win_marker(self):
+        script = build_session(Random(3), "nginx", requests=3, attack=True)
+        assert ("syscall", SYS_WIN, 0) in script
+        benign = build_session(Random(3), "nginx", requests=3, attack=False)
+        assert ("syscall", SYS_WIN, 0) not in benign
+
+    def test_scripts_end_in_exit(self):
+        for archetype in ("nginx", "400.perlbench", "401.bzip2"):
+            script = build_session(Random(1), archetype)
+            assert script[-1] == ("exit", 0)
+
+    def test_parse_phases_tick_override(self):
+        phases = parse_phases("steady:17,drain")
+        assert phases[0].ticks == 17
+        assert phases[1].name == "drain"
+
+    def test_parse_phases_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            parse_phases("steady,flood")
+
+    def test_parse_phases_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_phases(",")
+
+
+# ---------------------------------------------------------------------------
+# Engine end-to-end
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_light_load_run_accounts_for_every_session(self):
+        report = run_traffic(TrafficConfig(**QUICK))
+        totals = report["totals"]
+        # Every offered session is admitted or shed, exactly once.
+        assert totals["offered"] == QUICK["sessions"]
+        assert totals["admitted"] + totals["shed"] == totals["offered"]
+        # Every admitted session and forked worker reaches an outcome.
+        assert (totals["completed"] + totals["killed"]
+                == totals["admitted"] + totals["forks"])
+        assert not totals["duration_capped"]
+        # Light load: nothing deferred or shed.
+        assert totals["deferred"] == 0 and totals["shed"] == 0
+
+    def test_no_leaked_state_after_run(self):
+        report = run_traffic(TrafficConfig(**QUICK))
+        assert report["leaks"]["pid_entries"] == 0
+        assert report["leaks"]["kernel_processes"] == 0
+        assert report["gc"]["final_pid_table"] == 0
+
+    def test_gc_reclaims_every_monitored_pid(self):
+        report = run_traffic(TrafficConfig(**QUICK))
+        totals = report["totals"]
+        assert (report["gc"]["reclaimed_pids"]
+                == totals["admitted"] + totals["forks"])
+        # Retention means the table peaks above zero but stays bounded
+        # well below the total pid population.
+        assert 0 < report["gc"]["peak_pid_table"] \
+            <= totals["admitted"] + totals["forks"]
+
+    def test_run_is_deterministic(self):
+        one = run_traffic(TrafficConfig(**QUICK))
+        two = run_traffic(TrafficConfig(**QUICK))
+        assert one == two
+
+    def test_sharded_run_is_deterministic_and_clean(self):
+        config = TrafficConfig(shards=3, **QUICK)
+        one = run_traffic(config)
+        two = run_traffic(config)
+        assert one == two
+        assert one["leaks"]["pid_entries"] == 0
+        assert one["totals"]["attacks"]["escaped"] == 0
+
+    def test_attack_sessions_die_detected(self):
+        engine = TrafficEngine(TrafficConfig(
+            sessions=40, phases="steady:60,drain:40", seed=9))
+        engine.phases = [Phase("steady", ticks=60, arrivals_per_tick=1.0,
+                               attack_fraction=0.6),
+                         Phase("drain", ticks=40)]
+        report = engine.run()
+        attacks = report["totals"]["attacks"]
+        assert attacks["offered"] > 0
+        # Light load, so no attack arrival was shed: all were admitted
+        # and every one died at a barrier before its SYS_WIN executed.
+        assert attacks["detected"] == attacks["offered"]
+        assert attacks["escaped"] == 0 and attacks["wins"] == 0
+        assert set(report["totals"]["kill_reasons"]) == {"policy violation"}
+
+    def test_forks_happen_and_complete(self):
+        engine = TrafficEngine(TrafficConfig(
+            sessions=30, phases="age:40,drain:40", seed=4))
+        engine.phases = [Phase("age", ticks=40, arrivals_per_tick=1.0,
+                               fork_probability=0.5, requests=4),
+                         Phase("drain", ticks=40)]
+        report = engine.run()
+        totals = report["totals"]
+        assert totals["forks"] > 0
+        assert (totals["completed"] + totals["killed"]
+                == totals["admitted"] + totals["forks"])
+        assert report["leaks"]["pid_entries"] == 0
+
+
+class TestOverload:
+    def _surge_report(self, **overrides):
+        config = TrafficConfig(
+            sessions=250, phases="surge:100,drain:60", seed=2,
+            poll_budget=64, defer_watermark=96, shed_watermark=192,
+            **overrides)
+        engine = TrafficEngine(config)
+        engine.phases = [Phase("surge", ticks=100, arrivals_per_tick=6.0,
+                               attack_fraction=0.05, fork_probability=0.1,
+                               requests=6),
+                         Phase("drain", ticks=60)]
+        return engine.run()
+
+    def test_surge_engages_admission_control(self):
+        report = self._surge_report()
+        totals = report["totals"]
+        assert totals["deferred"] > 0, "surge never hit the defer watermark"
+        assert totals["shed"] > 0, "surge never hit the shed watermark"
+        # Admitted sessions stay fail-closed but are not sacrificed to
+        # overload: every kill is a detected attack, not a benign
+        # session dying of epoch timeout.
+        assert totals["killed"] == totals["attacks"]["detected"]
+        assert totals["attacks"]["escaped"] == 0
+
+    def test_surge_builds_real_validation_lag(self):
+        report = self._surge_report()
+        slo = report["slo"]
+        assert slo["validation_lag_p99"] > report["config"]["watermarks"][0]
+        assert slo["barrier_wait_ticks_p99"] >= 1
+
+    def test_light_load_pays_no_lag(self):
+        report = run_traffic(TrafficConfig(**QUICK))
+        assert report["slo"]["validation_lag_p99"] \
+            < report["config"]["watermarks"][0]
+
+
+# ---------------------------------------------------------------------------
+# Epoch-based GC of per-pid verifier state
+# ---------------------------------------------------------------------------
+
+def _talk(verifier, channel, process, n=2):
+    for _ in range(n):
+        channel.send(process, msg.pointer_define(0x10, 0x20))
+    verifier.poll()
+
+
+class TestEpochGC:
+    def test_reclaim_waits_for_retention_window(self):
+        verifier = Verifier(HQCFIPolicy)
+        verifier.gc_epochs = 2
+        channel = AppendWriteModel()
+        verifier.attach_channel(channel)
+        process = Process()
+        verifier.register_process(process.pid)
+        _talk(verifier, channel, process)
+        verifier.unregister_process(process.pid)
+        # Exited in epoch 0, retained for 2 epochs.
+        assert verifier.advance_epoch() == []
+        assert verifier.pid_table_size() == 1
+        assert verifier.advance_epoch() == [process.pid]
+        assert verifier.pid_table_size() == 0
+
+    def test_reclaimed_totals_fold_into_aggregates(self):
+        verifier = Verifier(HQCFIPolicy)
+        verifier.gc_epochs = 1
+        channel = AppendWriteModel()
+        verifier.attach_channel(channel)
+        process = Process()
+        verifier.register_process(process.pid)
+        _talk(verifier, channel, process, n=3)
+        before = verifier.total_messages()
+        verifier.unregister_process(process.pid)
+        verifier.advance_epoch()
+        verifier.advance_epoch()
+        assert verifier.reclaimed_pids == 1
+        assert verifier.total_messages() == before
+
+    def test_pid_reuse_cancels_pending_reclamation(self):
+        verifier = Verifier(HQCFIPolicy)
+        verifier.gc_epochs = 1
+        verifier.register_process(77)
+        verifier.unregister_process(77)
+        verifier.register_process(77)  # recycled pid: fresh process
+        for _ in range(5):
+            verifier.advance_epoch()
+        assert 77 in verifier.contexts
+
+    def test_gc_disabled_by_default(self):
+        verifier = Verifier(HQCFIPolicy)
+        verifier.register_process(5)
+        verifier.unregister_process(5)
+        for _ in range(3):
+            assert verifier.advance_epoch() == []
+        # Reporting history survives indefinitely without GC.
+        assert 5 in verifier.stats
+
+    def test_sharded_gc_aggregates_across_shards(self):
+        sharded = ShardedVerifier(HQCFIPolicy, 3)
+        try:
+            sharded.gc_epochs = 1
+            pids = [1001, 1002, 1003, 1004]
+            for pid in pids:
+                sharded.register_process(pid)
+            assert sharded.pid_table_size() == len(pids)
+            for pid in pids:
+                sharded.unregister_process(pid)
+            # Exited in epoch 0; the advance to epoch 1 moves the
+            # horizon past them (retention window of 1).
+            reclaimed = sharded.advance_epoch()
+            assert reclaimed == sorted(pids)
+            assert sharded.pid_table_size() == 0
+            assert sharded.reclaimed_pids == len(pids)
+        finally:
+            sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# Restart under pid churn (satellite: no double-condemn, no resurrection)
+# ---------------------------------------------------------------------------
+
+class TestRestartPidChurn:
+    def test_exited_pid_neither_condemned_nor_resurrected(self):
+        verifier = Verifier(HQCFIPolicy)
+        channel = AppendWriteModel()
+        verifier.attach_channel(channel)
+        stays, exits = Process(), Process()
+        verifier.register_process(stays.pid)
+        verifier.register_process(exits.pid)
+        # Both have messages in flight when the verifier dies.
+        channel.send(stays, msg.pointer_define(0x10, 0x20))
+        channel.send(exits, msg.pointer_define(0x10, 0x20))
+        verifier.terminate()
+        # ``exits`` terminates between the crash and the restart: the
+        # kernel no longer tracks it, so it is absent from live_pids.
+        verifier.unregister_process(exits.pid)
+        killed = verifier.restart([stays.pid])
+        assert killed == [stays.pid]
+        assert exits.pid not in verifier.contexts, "resurrected"
+        assert not any(v.kind == "verifier-restart"
+                       for v in verifier.all_violations(exits.pid)), \
+            "condemned after exiting"
+
+    def test_exited_pid_gc_proceeds_on_schedule_after_restart(self):
+        verifier = Verifier(HQCFIPolicy)
+        verifier.gc_epochs = 1
+        channel = AppendWriteModel()
+        verifier.attach_channel(channel)
+        gone = Process()
+        verifier.register_process(gone.pid)
+        verifier.terminate()
+        verifier.unregister_process(gone.pid)
+        verifier.restart([])
+        assert gone.pid in verifier.advance_epoch()
+        assert verifier.pid_table_size() == 0
+
+    def test_sharded_exited_pid_neither_condemned_nor_resurrected(self):
+        sharded = ShardedVerifier(HQCFIPolicy, 3)
+        channel = AppendWriteModel()
+        try:
+            sharded.attach_channel(channel)
+            stays, exits = Process(), Process()
+            sharded.register_process(stays.pid)
+            sharded.register_process(exits.pid)
+            channel.send(stays, msg.pointer_define(0x10, 0x20))
+            channel.send(exits, msg.pointer_define(0x10, 0x20))
+            sharded.terminate()
+            sharded.unregister_process(exits.pid)
+            killed = sharded.restart([stays.pid])
+            assert killed == [stays.pid]
+            assert exits.pid not in sharded.contexts, "resurrected"
+            assert not any(v.kind == "verifier-restart"
+                           for v in sharded.all_violations(exits.pid)), \
+                "condemned after exiting"
+        finally:
+            sharded.close()
+            channel.close()
+
+
+# ---------------------------------------------------------------------------
+# Observability: new metrics exist when observed, absent when not
+# ---------------------------------------------------------------------------
+
+class TestTrafficObservability:
+    def test_observed_run_reports_gc_and_shed_metrics(self):
+        report = run_traffic(TrafficConfig(**QUICK))
+        metrics = report["obs_metrics"]
+        assert metrics["counters"]["verifier.gc_reclaimed"] > 0
+        assert "verifier.pid_table_size" in metrics["gauges"]
+        assert metrics["histograms"]["session.lifetime_cycles"]["count"] > 0
+
+    def test_unobserved_run_matches_outcomes(self):
+        observed = run_traffic(TrafficConfig(**QUICK))
+        dark = run_traffic(TrafficConfig(observe=False, **QUICK))
+        assert "obs_metrics" not in dark
+        assert dark["totals"] == observed["totals"]
+        assert dark["gc"] == observed["gc"]
