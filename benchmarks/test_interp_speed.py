@@ -1,16 +1,24 @@
-"""Interpreter microbenchmark: raw dispatch-loop throughput.
+"""Interpreter microbenchmark: raw dispatch-loop throughput, per tier.
 
-Regression guard for the fast path in ``repro.sim.cpu`` (per-class
-dispatch tables, per-basic-block decode cache, batched cycle
-accounting).  Measures steps/second executing a fixed compute-heavy
-workload on the uninstrumented baseline — no messaging, so the number
-isolates the interpreter loop itself.
+Regression guard for the two execution tiers in ``repro.sim``:
+
+* ``closure`` — the per-basic-block decode cache with fused closure
+  groups (``repro.sim.cpu``);
+* ``vm`` — the compile tier (``repro.sim.lower`` / ``repro.sim.vm``):
+  flat register-VM code with fused-group kernel superinstructions.
+
+Measures steps/second executing a fixed compute-heavy workload on the
+uninstrumented baseline — no messaging, so the number isolates the
+interpreter loop itself.
 
 Reference points on the CI machine: the seed per-instruction
-``isinstance`` dispatch ran ~0.65M steps/s; the decode-cached loop runs
-~2M steps/s (3×).  The floor below asserts a conservative fraction of
-that so slower machines don't flake while a real dispatch regression
-(losing the ≥2× gain) still fails.
+``isinstance`` dispatch ran ~0.65M steps/s; the decode-cached closure
+loop runs ~3.5M steps/s; the VM tier runs ~25M steps/s (≥3x the
+closure tier, the acceptance gate for the compile tier).  The floors
+below assert a conservative fraction of those so slower machines don't
+flake while a real regression still fails — in particular, a VM tier
+that silently deopts everything to closures lands at closure speed and
+falls through the ``vm`` floor and the relative gate both.
 """
 
 import time
@@ -37,27 +45,116 @@ INTERP_PROFILE = BenchmarkProfile(
     syscalls_per_k=0,
 )
 
-#: Conservative steps/sec floor: ~half the measured fast-path rate on
-#: the CI machine, and still ~1.5x the seed dispatch loop's rate there.
-MIN_STEPS_PER_SEC = 1_000_000
+#: Callout-saturated shape: tiny straight-line groups, with syscalls,
+#: protected calls, and heap traffic forcing an escape bridge (deopt)
+#: in essentially every block the VM executes.  Worst case for the
+#: compile tier — it must not lose to the closure tier here.
+DEOPT_STORM_PROFILE = BenchmarkProfile(
+    name="deopt-storm",
+    suite="CPU2017",
+    language="C++",
+    iterations=2000,
+    compute_ops=4,
+    icalls_per_k=0,
+    fnptr_writes_per_k=0,
+    protected_calls_per_k=1000,
+    heap_ops_per_k=1000,
+    syscalls_per_k=1000,
+)
+
+#: Conservative steps/sec floors per tier: roughly a third of the
+#: measured rate on the CI machine.  The ``vm`` floor sits *above* the
+#: closure tier's measured rate, so a universal-deopt regression (VM
+#: running everything through escape bridges) fails even before the
+#: relative gate below.
+TIER_FLOORS = {
+    "closure": 1_000_000,
+    "vm": 4_000_000,
+}
+
+#: The compile tier must hold a real multiple over the closure tier on
+#: the compute workload (acceptance gate is 3x; assert 2x so machine
+#: jitter doesn't flake while a collapsed tier still fails).
+MIN_VM_SPEEDUP = 2.0
+
+
+def _measured_run(profile, tier):
+    start = time.perf_counter()
+    result = run_program(build_module(profile), design="baseline",
+                         exec_option_overrides={"interp_tier": tier})
+    elapsed = time.perf_counter() - start
+    return result, elapsed
 
 
 @pytest.mark.benchmark
-def test_interpreter_steps_per_second(benchmark, capsys):
-    def measured_run():
-        start = time.perf_counter()
-        result = run_program(build_module(INTERP_PROFILE),
-                             design="baseline")
-        elapsed = time.perf_counter() - start
-        return result, elapsed
-
-    result, elapsed = run_once(benchmark, measured_run)
+@pytest.mark.parametrize("tier", ["closure", "vm"])
+def test_interpreter_steps_per_second(benchmark, capsys, tier):
+    result, elapsed = run_once(benchmark, _measured_run,
+                               INTERP_PROFILE, tier)
     assert result.ok, result.outcome
     rate = result.steps / elapsed
     with capsys.disabled():
-        print(f"\n=== Interpreter speed: {result.steps:,} steps in "
-              f"{elapsed:.2f}s = {rate:,.0f} steps/s ===")
+        print(f"\n=== Interpreter speed [{tier}]: {result.steps:,} steps "
+              f"in {elapsed:.2f}s = {rate:,.0f} steps/s ===")
     assert result.steps > 500_000
-    assert rate >= MIN_STEPS_PER_SEC, (
-        f"interpreter dispatch regression: {rate:,.0f} steps/s "
-        f"(floor {MIN_STEPS_PER_SEC:,})")
+    floor = TIER_FLOORS[tier]
+    assert rate >= floor, (
+        f"interpreter dispatch regression [{tier}]: {rate:,.0f} steps/s "
+        f"(floor {floor:,})")
+
+
+@pytest.mark.benchmark
+def test_vm_tier_speedup_over_closures(benchmark, capsys):
+    """The compile tier's reason to exist: a hard multiple on
+    straight-line compute.  Collapses to ~1x if lowering rejects the
+    hot function or every group loses its kernel."""
+    def both():
+        closure_result, closure_elapsed = _measured_run(
+            INTERP_PROFILE, "closure")
+        vm_result, vm_elapsed = _measured_run(INTERP_PROFILE, "vm")
+        return closure_result, closure_elapsed, vm_result, vm_elapsed
+
+    closure_result, closure_elapsed, vm_result, vm_elapsed = \
+        run_once(benchmark, both)
+    assert closure_result.ok and vm_result.ok
+    assert vm_result.steps == closure_result.steps
+    assert vm_result.cycles == closure_result.cycles
+    closure_rate = closure_result.steps / closure_elapsed
+    vm_rate = vm_result.steps / vm_elapsed
+    speedup = vm_rate / closure_rate
+    with capsys.disabled():
+        print(f"\n=== VM speedup: {vm_rate:,.0f} vs {closure_rate:,.0f} "
+              f"steps/s = {speedup:.2f}x ===")
+    assert speedup >= MIN_VM_SPEEDUP, (
+        f"compile tier lost its edge: {speedup:.2f}x "
+        f"(floor {MIN_VM_SPEEDUP}x)")
+
+
+@pytest.mark.benchmark
+def test_deopt_storm_not_slower_than_closures(benchmark, capsys):
+    """Escape-bridge saturation: when every block deopts, the VM must
+    match the closure tier's results exactly and stay within noise of
+    its wall-clock (the bridge reuses the closure tier's own decoded
+    handlers, so the only delta is dispatch glue)."""
+    def both():
+        closure_result, closure_elapsed = _measured_run(
+            DEOPT_STORM_PROFILE, "closure")
+        vm_result, vm_elapsed = _measured_run(DEOPT_STORM_PROFILE, "vm")
+        return closure_result, closure_elapsed, vm_result, vm_elapsed
+
+    closure_result, closure_elapsed, vm_result, vm_elapsed = \
+        run_once(benchmark, both)
+    assert closure_result.ok and vm_result.ok
+    assert vm_result.steps == closure_result.steps
+    assert vm_result.cycles == closure_result.cycles
+    assert vm_result.exit_status == closure_result.exit_status
+    with capsys.disabled():
+        print(f"\n=== Deopt storm: vm {vm_elapsed:.2f}s vs closure "
+              f"{closure_elapsed:.2f}s "
+              f"({vm_elapsed / closure_elapsed:.2f}x) ===")
+    # 1.5x headroom absorbs timer jitter on loaded CI machines; a real
+    # regression (e.g. rebuilding escape frames per step, or losing the
+    # compile cache) shows up as a whole-number multiple.
+    assert vm_elapsed <= closure_elapsed * 1.5, (
+        f"deopt storm regression: vm {vm_elapsed:.2f}s vs closure "
+        f"{closure_elapsed:.2f}s")

@@ -1,0 +1,186 @@
+"""Interpreter-tier microbenchmark CLI.
+
+``python -m repro.bench.interp`` measures raw steps/second of both
+execution tiers — the per-block closure decode cache (``closure``) and
+the compile tier's flat register VM with kernel superinstructions
+(``vm``) — on the same compute-heavy workload the
+``benchmarks/test_interp_speed.py`` floor uses, and verifies the two
+tiers produce identical results while timing them.
+
+* ``--update [PATH]`` — merge an ``interp_tier`` section into the
+  committed ``BENCH_pipeline.json`` (other keys are preserved;
+  ``repro.bench.timing`` preserves this section in turn when the
+  pipeline timer rewrites the file).
+* ``--check PATH [--tolerance F] [--min-speedup S]`` — regression
+  guard: exit non-zero if either tier's measured rate drops more than
+  ``tolerance`` below the committed section, or if the vm/closure
+  speedup falls below ``min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.core.framework import RunResult, run_program
+from repro.workloads.generator import build_module
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Same shape as ``benchmarks/test_interp_speed.py``: compute-only, no
+#: instrumentation, so the dispatch loop is the entire cost (~0.9M
+#: steps per run).
+PROFILE = BenchmarkProfile(
+    name="interp-speed",
+    suite="CPU2017",
+    language="C",
+    iterations=3000,
+    compute_ops=300,
+    icalls_per_k=0,
+    fnptr_writes_per_k=0,
+    protected_calls_per_k=0,
+    syscalls_per_k=0,
+)
+
+ROUNDS = 3
+SECTION = "interp_tier"
+DEFAULT_REPORT = "BENCH_pipeline.json"
+
+
+def _measure(tier: str, rounds: int) -> Tuple[float, RunResult]:
+    """Best-of-``rounds`` steps/second for one tier."""
+    best = 0.0
+    result: Optional[RunResult] = None
+    for _ in range(rounds):
+        module = build_module(PROFILE)
+        start = time.perf_counter()
+        result = run_program(module, design="baseline",
+                             exec_option_overrides={"interp_tier": tier})
+        elapsed = time.perf_counter() - start
+        best = max(best, result.steps / elapsed)
+    assert result is not None
+    return best, result
+
+
+def run_benchmark(rounds: int = ROUNDS) -> Dict[str, object]:
+    """Measure both tiers; raises on any cross-tier result mismatch."""
+    closure_rate, closure_result = _measure("closure", rounds)
+    vm_rate, vm_result = _measure("vm", rounds)
+    mismatches = [
+        field for field in
+        ("outcome", "exit_status", "steps", "cycles", "output")
+        if getattr(vm_result, field) != getattr(closure_result, field)
+    ]
+    if mismatches:
+        raise SystemExit(f"tier mismatch on {mismatches}: the compile "
+                         f"tier diverged from the closure tier")
+    return {
+        "benchmark": (f"{PROFILE.iterations}x{PROFILE.compute_ops} "
+                      f"compute (design=baseline)"),
+        "steps": vm_result.steps,
+        "rounds": rounds,
+        "closure_steps_per_sec": round(closure_rate),
+        "vm_steps_per_sec": round(vm_rate),
+        "speedup": round(vm_rate / closure_rate, 2),
+    }
+
+
+def merge_section(path: str, section: Dict[str, object]) -> None:
+    """Write ``section`` under :data:`SECTION` in the report at
+    ``path``, preserving every other key (creates the file if absent)."""
+    payload: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    payload[SECTION] = section
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def check_regression(section: Dict[str, object], committed_path: str,
+                     tolerance: float, min_speedup: float) -> list:
+    """Regression failures vs the committed report (empty = pass)."""
+    failures = []
+    try:
+        with open(committed_path, encoding="utf-8") as handle:
+            committed = json.load(handle).get(SECTION)
+    except (OSError, ValueError) as error:
+        return [f"cannot read committed report {committed_path}: {error}"]
+    if not committed:
+        return [f"no {SECTION!r} section in {committed_path}"]
+    for key in ("closure_steps_per_sec", "vm_steps_per_sec"):
+        reference = committed.get(key)
+        measured = section[key]
+        if not reference:
+            failures.append(f"{key}: no committed reference")
+            continue
+        floor = float(reference) * (1.0 - tolerance)
+        if float(measured) < floor:
+            failures.append(
+                f"{key}: {measured:,} steps/s is below the "
+                f"{tolerance:.0%}-tolerance floor {floor:,.0f} "
+                f"(committed {reference:,})")
+    if float(section["speedup"]) < min_speedup:
+        failures.append(
+            f"speedup: {section['speedup']}x vm-over-closure is below "
+            f"the {min_speedup}x floor (compile tier collapsed?)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.interp",
+        description="Measure interpreter-tier throughput "
+                    "(closure vs compile tier).")
+    parser.add_argument("--rounds", type=int, default=ROUNDS,
+                        help="best-of rounds per tier (default: "
+                             "%(default)s)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the section as JSON")
+    parser.add_argument("--update", nargs="?", const=DEFAULT_REPORT,
+                        default=None, metavar="PATH",
+                        help=f"merge the interp_tier section into the "
+                             f"report at PATH (default: {DEFAULT_REPORT})")
+    parser.add_argument("--check", default=None, metavar="PATH",
+                        help="exit non-zero if a tier's rate drops more "
+                             "than --tolerance below the report at PATH")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop for --check "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required vm-over-closure multiple for "
+                             "--check (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    section = run_benchmark(args.rounds)
+    if args.json:
+        print(json.dumps(section, indent=2))
+    else:
+        print(f"interpreter tiers, best of {args.rounds} "
+              f"({section['benchmark']}, {section['steps']:,} steps):")
+        print(f"  closure  {section['closure_steps_per_sec']:>12,} steps/s")
+        print(f"  vm       {section['vm_steps_per_sec']:>12,} steps/s")
+        print(f"  speedup  {section['speedup']:>11}x")
+
+    if args.update:
+        merge_section(args.update, section)
+        print(f"updated {args.update} [{SECTION}]")
+
+    if args.check:
+        failures = check_regression(section, args.check, args.tolerance,
+                                    args.min_speedup)
+        if failures:
+            print("\nregression guard FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"\nregression guard: ok (tolerance {args.tolerance:.0%}, "
+              f"min speedup {args.min_speedup}x vs {args.check})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

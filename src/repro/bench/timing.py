@@ -61,6 +61,16 @@ class PipelineTimer:
     def write(self, path: str, jobs: int,
               cache_stats: Optional[dict] = None) -> dict:
         payload = self.report(jobs, cache_stats)
+        # The interpreter-tier section is owned by ``python -m
+        # repro.bench.interp --update``; carry it through rewrites so
+        # the two producers can share one committed report.
+        try:
+            with open(path, encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if "interp_tier" in existing:
+                payload["interp_tier"] = existing["interp_tier"]
+        except (OSError, ValueError):
+            pass
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=False)
             handle.write("\n")

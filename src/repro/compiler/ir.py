@@ -634,6 +634,27 @@ class Function:
         for block in self.blocks:
             yield from block.instructions
 
+    def value_numbering(self) -> Dict[str, int]:
+        """Stable local-value numbering: parameters first, then every
+        instruction name in block order.
+
+        The numbering depends only on IR structure — never on object
+        identities — so two interpreters lowering the same function
+        assign identical register indices and emit identical VM code
+        (:mod:`repro.sim.lower` relies on this).  Duplicate names map to
+        one index, mirroring the frame-dict aliasing of the closure
+        interpreter.
+        """
+        numbering: Dict[str, int] = {}
+        for param in self.params:
+            if param.name not in numbering:
+                numbering[param.name] = len(numbering)
+        for block in self.blocks:
+            for instruction in block.instructions:
+                if instruction.name not in numbering:
+                    numbering[instruction.name] = len(numbering)
+        return numbering
+
     def ref(self) -> FunctionRef:
         return FunctionRef(self)
 

@@ -66,6 +66,11 @@ class Observer:
         self._pid_table_size = None
         self._session_lifetime = None
         self._shed_sessions = None
+        #: Lazily-created compile-tier metrics (``interp.*``): only runs
+        #: that actually lower a function create them, so closure-tier
+        #: and pre-VM reports keep their exact shape.
+        self._vm_compiled_blocks = None
+        self._vm_deopts = None
 
         registry = self.registry
         # cpu layer (sim/cpu.py)
@@ -128,6 +133,24 @@ class Observer:
         self.cpu_decode_misses.value += 1
         self.tracer.instant("cpu", "decode-miss",
                             {"function": function, "block": block})
+
+    def vm_compile(self, function: str, blocks: int) -> None:
+        """The compile tier lowered ``function`` into ``blocks`` flat
+        block bodies (lazy; once per function per interpreter)."""
+        if self._vm_compiled_blocks is None:
+            self._vm_compiled_blocks = self.registry.counter(
+                "interp.compiled_blocks")
+            self._vm_deopts = self.registry.counter("interp.deopt_count")
+        self._vm_compiled_blocks.value += blocks
+        self.tracer.instant("cpu", "vm-compile",
+                            {"function": function, "blocks": blocks})
+
+    def vm_deopt(self) -> None:
+        """A compiled frame bridged one instruction through the closure
+        tier (call/syscall/runtime callout escape)."""
+        if self._vm_deopts is None:
+            self._vm_deopts = self.registry.counter("interp.deopt_count")
+        self._vm_deopts.value += 1
 
     # -- kernel emits --------------------------------------------------------
 

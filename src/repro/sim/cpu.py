@@ -215,6 +215,13 @@ class ExecOptions:
     safe_stack_call_cycles: float = 8.0
     #: Seed for the layout randomization.
     seed: int = 1
+    #: Interpreter execution tier: ``"vm"`` (default) lazily lowers
+    #: functions into the flat register VM (:mod:`repro.sim.vm`) with
+    #: per-instruction deopt bridges back to the closure path;
+    #: ``"closure"`` forces the fused-closure tier everywhere
+    #: (``REPRO_INTERP_TIER=closure`` is the environment escape hatch,
+    #: applied by :func:`repro.core.framework.run_program`).
+    interp_tier: str = "vm"
 
 
 class Runtime:
@@ -253,6 +260,10 @@ SYS_GETPID = 39
 SYS_WIN = 1337
 
 SyscallDispatcher = Callable[[Process, int, List[int]], int]
+
+#: Sentinel distinguishing "never lowered" from "lowered to None
+#: (rejected)" in the compile-tier cache.
+_UNCOMPILED = object()
 
 
 def default_syscall_dispatcher(process: Process, number: int,
@@ -304,6 +315,23 @@ class Interpreter:
         #: pre-resolved operand accessors) and per-function frame layouts.
         self._block_cache: Dict[int, "_DecodedBlock"] = {}
         self._frame_layouts: Dict[int, Tuple[int, List[Tuple[str, int]]]] = {}
+        #: Compile tier: lazily lowered functions (None = rejected to
+        #: the closure path).  Both code caches bake in protection-epoch
+        #: and process state (bound memory/cycle methods, resolved
+        #: addresses), so they are validated against
+        #: ``(process, prot_epoch)`` on every function entry and flushed
+        #: when either diverges (mprotect mid-run, fork-child rebind).
+        self._vm_cache: Dict[int, object] = {}
+        self._cache_process = self.process
+        self._cache_epoch = self.process.memory.prot_epoch
+        self._vm_enabled = self.options.interp_tier != "closure"
+        if self._vm_enabled:
+            from repro.sim.vm import execute as vm_execute
+            self._vm_execute = vm_execute
+        #: Tier telemetry (plain counters; the observer mirrors them as
+        #: ``interp.compiled_blocks`` / ``interp.deopt_count``).
+        self.compiled_functions = 0
+        self.deopt_count = 0
 
         self.safe_stack_base: Optional[int] = None
         self.safe_sp: Optional[int] = None
@@ -403,6 +431,33 @@ class Interpreter:
         """
         if function.is_declaration:
             raise ProgramCrash(f"call to undefined function {function.name}")
+        if self.process is not self._cache_process or \
+                self.process.memory.prot_epoch != self._cache_epoch:
+            self.invalidate_caches()
+        compiled = self._vm_compiled(function) if self._vm_enabled else None
+        if compiled is not None and len(args) >= compiled.nparams:
+            # Compile tier: flat register-VM dispatch (repro.sim.vm).
+            # Fewer args than params would leave parameters undefined
+            # (the closure tier's zip semantics); such invocations run
+            # on the closure path, which models that lazily.
+            result = self._vm_execute(self, compiled, args)
+        else:
+            result = self._exec_function_closures(function, args)
+
+        # Backward edge: consume the return-address slot.
+        if ret_slot is not None and return_address is not None:
+            self._charge("ret")
+            stored = self.process.memory.load(ret_slot)
+            if stored != return_address:
+                event = HijackEvent("return", stored, function.name)
+                self.hijacks.append(event)
+                self._execute_hijack_target(stored)
+                raise _ReturnHijack(event)
+        return result
+
+    def _exec_function_closures(self, function: ir.Function,
+                                args: List[int]) -> int:
+        """Closure-tier function body (frame dict + decoded blocks)."""
         frame: Dict[str, int] = {}
         for param, value in zip(function.params, args):
             frame[param.name] = value
@@ -424,21 +479,37 @@ class Interpreter:
                 frame[slot_name] = frame_base + offset
 
         try:
-            result = self._exec_blocks(function, frame)
+            return self._exec_blocks(function, frame)
         finally:
             if frame_base is not None:
                 self.process.pop_frame(alloca_bytes)
 
-        # Backward edge: consume the return-address slot.
-        if ret_slot is not None and return_address is not None:
-            self._charge("ret")
-            stored = self.process.memory.load(ret_slot)
-            if stored != return_address:
-                event = HijackEvent("return", stored, function.name)
-                self.hijacks.append(event)
-                self._execute_hijack_target(stored)
-                raise _ReturnHijack(event)
-        return result
+    # -- compile tier --------------------------------------------------------------
+
+    def _vm_compiled(self, function: ir.Function):
+        """Lowered code for ``function``; None if it rejected to the
+        closure tier.  Lazy, cached per function (until invalidation)."""
+        key = id(function)
+        cache = self._vm_cache
+        compiled = cache.get(key, _UNCOMPILED)
+        if compiled is _UNCOMPILED:
+            from repro.sim.lower import lower_function
+            compiled = lower_function(self, function)
+            cache[key] = compiled
+            if compiled is not None:
+                self.compiled_functions += 1
+                if self.observer is not None:
+                    self.observer.vm_compile(function.name,
+                                             compiled.nblocks)
+        return compiled
+
+    def invalidate_caches(self) -> None:
+        """Flush decode + compile caches (stale protection epoch or a
+        rebound process; frame layouts are pure IR data and survive)."""
+        self._block_cache.clear()
+        self._vm_cache.clear()
+        self._cache_process = self.process
+        self._cache_epoch = self.process.memory.prot_epoch
 
     def _exec_blocks(self, function: ir.Function, frame: Dict[str, int]) -> int:
         block = function.entry

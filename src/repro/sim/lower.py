@@ -1,0 +1,726 @@
+"""Lowering pass: IR functions → :class:`repro.sim.vm.CompiledFunction`.
+
+The compile tier of the interpreter.  A function is lowered whole-hog
+into one flat opcode stream: SSA values get register indices from the
+stable :meth:`repro.compiler.ir.Function.value_numbering`, constants and
+resolved addresses are materialized into read-only registers at the
+tail of the register file, and jump targets are absolute code indices.
+
+**Exactness is the design constraint, speed the payoff.**  The lowered
+code must be bit-equivalent to the closure tier in
+:mod:`repro.sim.cpu`, so this pass mirrors its decode decisions
+one-for-one:
+
+* fused straight-line groups use the same fusable-class test and charge
+  the same in-order float cost sum (float addition is non-associative;
+  the group total is accumulated here in decode order);
+* instructions the flat encoding cannot express exactly — calls,
+  syscalls, runtime callouts, heap management — become escape bridges
+  that reuse ``Interpreter._decode_single``'s own closures;
+* anything whose semantics the VM cannot *prove* it preserves rejects
+  the whole function back to the closure tier: ``setjmp``/``longjmp``
+  (resumable control), unknown instruction subclasses, operands from
+  other functions, unresolved globals/function refs, and any value the
+  compile-time definedness analysis cannot show is assigned on every
+  path (the closure tier raises ``use of undefined value`` lazily; the
+  VM has no undefined state, so it only runs code where that crash is
+  impossible).
+
+Rejection returns ``None``; the interpreter then runs the function on
+the closure path forever (cached per ``(function, prot_epoch)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compiler import ir
+from repro.compiler.types import PointerType
+from repro.sim import vm
+from repro.sim.cycles import OP_COSTS
+from repro.sim.memory import WORD_SIZE
+
+#: Mirrors ``Interpreter._decode_fusable``'s dispatch: exact classes
+#: only — subclasses fall to the generic path there, so they reject the
+#: function here.
+_FUSABLE = (ir.BinOp, ir.Cmp, ir.Load, ir.Store, ir.Gep, ir.Cast,
+            ir.Select, ir.Alloca)
+
+#: Instructions bridged to the closure tier's decoded handler (deopt).
+_ESCAPED = (ir.Call, ir.ICall, ir.RuntimeCall, ir.Malloc, ir.Free,
+            ir.Realloc, ir.MemCopy, ir.MemSet, ir.Syscall)
+
+#: Escaped instructions that write their result into the frame.
+_ESCAPE_DEFINES = (ir.Call, ir.ICall, ir.RuntimeCall, ir.Malloc,
+                   ir.Realloc, ir.Syscall)
+
+#: Instruction classes that define a frame value on the closure path.
+_DEFINING = (ir.Alloca, ir.Load, ir.Gep, ir.Cast, ir.BinOp, ir.Cmp,
+             ir.Select) + _ESCAPE_DEFINES
+
+_BINOP_OPS = {
+    "add": vm.OP_ADD, "sub": vm.OP_SUB, "mul": vm.OP_MUL,
+    "div": vm.OP_DIV, "sdiv": vm.OP_DIV, "udiv": vm.OP_DIV,
+    "rem": vm.OP_REM, "srem": vm.OP_REM, "urem": vm.OP_REM,
+    "and": vm.OP_AND, "or": vm.OP_OR, "xor": vm.OP_XOR,
+    "shl": vm.OP_SHL, "shr": vm.OP_SHR, "lshr": vm.OP_SHR,
+    "ashr": vm.OP_SHR,
+}
+
+_CMP_OPS = {
+    "eq": vm.OP_EQ, "ne": vm.OP_NE, "lt": vm.OP_LT,
+    "le": vm.OP_LE, "gt": vm.OP_GT, "ge": vm.OP_GE,
+}
+
+_FOP_INDEX = {name: index for index, name in enumerate(vm.FOPS)}
+
+#: Minimum fused-group body count worth a kernel superinstruction; a
+#: lone body dispatches about as fast flat as through a call.
+_KERNEL_MIN_BODIES = 2
+
+#: Infix source fragments for kernel codegen (see ``_kernel_spec``).
+_KERNEL_BINOP_SYM = {
+    vm.OP_ADD: "+", vm.OP_SUB: "-", vm.OP_MUL: "*",
+    vm.OP_AND: "&", vm.OP_OR: "|", vm.OP_XOR: "^",
+}
+_KERNEL_CMP_SYM = {
+    vm.OP_LT: "<", vm.OP_LE: "<=", vm.OP_GT: ">",
+    vm.OP_GE: ">=", vm.OP_EQ: "==", vm.OP_NE: "!=",
+}
+
+#: Three-register ops whose operands sit at offsets 2 and 3 (for the
+#: flat-code read scan that sizes kernel write-back sets).
+_READS_23 = frozenset(_KERNEL_BINOP_SYM) | frozenset(_KERNEL_CMP_SYM) | \
+    {vm.OP_SHL, vm.OP_SHR, vm.OP_DIV, vm.OP_REM}
+
+
+class _Reject(Exception):
+    """Internal: this function cannot be lowered exactly."""
+
+
+def lower_function(interp, function: ir.Function) -> Optional[vm.CompiledFunction]:
+    """Lower ``function`` for ``interp``, or None if it must stay on
+    the closure tier."""
+    try:
+        return _Lowering(interp, function).build()
+    except _Reject:
+        return None
+
+
+class _Lowering:
+    def __init__(self, interp, function: ir.Function) -> None:
+        self.interp = interp
+        self.function = function
+        self.factor = interp.options.register_pressure_factor
+        self.numbering = function.value_numbering()
+        self.n_dyn = len(self.numbering)
+        self.const_regs: Dict[int, int] = {}
+        self.const_values: List[int] = []
+        self.code: List[int] = []
+        self.costs: List[float] = []
+        self.cost_index: Dict[float, int] = {}
+        self.strs: List[str] = []
+        self.str_index: Dict[str, int] = {}
+        self.escapes: List[tuple] = []
+        #: Per kernel superinstruction: the fused-group body op lists it
+        #: replaces (compiled to Python in ``_compile_kernels``).
+        self.kernel_bodies: List[List[List[int]]] = []
+        self.obs_entries: List[Tuple[str, str, int]] = []
+        self.observed = interp.observer is not None
+        #: (code index, source block, target block) branch fixups.
+        self.fixups: List[Tuple[int, ir.BasicBlock, ir.BasicBlock]] = []
+        self.block_pc: Dict[int, int] = {}
+        self.leading_phis: Dict[int, List[ir.Phi]] = {}
+        self.defined: Set[str] = set()
+
+    # -- pools ---------------------------------------------------------------
+
+    def _const_reg(self, value: int) -> int:
+        reg = self.const_regs.get(value)
+        if reg is None:
+            reg = self.n_dyn + len(self.const_values)
+            self.const_regs[value] = reg
+            self.const_values.append(value)
+        return reg
+
+    def _cost(self, cost: float) -> int:
+        index = self.cost_index.get(cost)
+        if index is None:
+            index = len(self.costs)
+            self.cost_index[cost] = index
+            self.costs.append(cost)
+        return index
+
+    def _str(self, text: str) -> int:
+        index = self.str_index.get(text)
+        if index is None:
+            index = len(self.strs)
+            self.str_index[text] = index
+            self.strs.append(text)
+        return index
+
+    # -- operands ------------------------------------------------------------
+
+    def _is_local(self, value: ir.Value) -> bool:
+        """True for SSA values of *this* function (register-resident)."""
+        if isinstance(value, ir.Argument):
+            return value.function is self.function
+        if isinstance(value, ir.Instruction):
+            return value.block is not None and \
+                value.block.function is self.function
+        return False
+
+    def _reg(self, value: ir.Value, check_defined: bool = True) -> int:
+        """Register index for an operand; rejects what the closure
+        tier's ``_operand`` would resolve differently or lazily."""
+        if isinstance(value, ir.Constant):
+            return self._const_reg(value.value)
+        if isinstance(value, ir.FunctionRef):
+            address = self.interp.image.function_address.get(
+                value.function.name)
+            if address is None:
+                raise _Reject  # closure path raises KeyError lazily
+            return self._const_reg(address)
+        if isinstance(value, ir.GlobalVariable):
+            if value.address is None:
+                raise _Reject  # closure path crashes lazily on use
+            return self._const_reg(value.address)
+        if self._is_local(value):
+            if check_defined and value.name not in self.defined:
+                raise _Reject  # cannot prove defined on this path
+            return self.numbering[value.name]
+        raise _Reject  # foreign or unevaluable operand
+
+    # -- analysis ------------------------------------------------------------
+
+    def _scan(self) -> None:
+        function = self.function
+        if function.returns_twice:
+            raise _Reject
+        supported = _FUSABLE + _ESCAPED + (ir.Br, ir.CondBr, ir.Ret, ir.Phi)
+        for block in function.blocks:
+            phis: List[ir.Phi] = []
+            for instruction in block.instructions:
+                if type(instruction) is ir.Phi:
+                    phis.append(instruction)
+                else:
+                    break
+            self.leading_phis[id(block)] = phis
+            for instruction in block.instructions:
+                if type(instruction) not in supported:
+                    raise _Reject
+
+    def _flow(self) -> Dict[int, Set[str]]:
+        """Definedness dataflow: names assigned on *every* path to each
+        block's entry.  Params and all alloca slots are defined at frame
+        setup (both tiers assign them up front)."""
+        function = self.function
+        base = {param.name for param in function.params}
+        for instruction in function.instructions():
+            if type(instruction) is ir.Alloca:
+                base.add(instruction.name)
+
+        defs: Dict[int, Set[str]] = {}
+        for block in function.blocks:
+            names = {phi.name for phi in self.leading_phis[id(block)]}
+            for instruction in block.instructions:
+                if isinstance(instruction, _DEFINING) and \
+                        type(instruction) is not ir.Phi:
+                    names.add(instruction.name)
+            defs[id(block)] = names
+
+        preds: Dict[int, List[ir.BasicBlock]] = \
+            {id(block): [] for block in function.blocks}
+        for block in function.blocks:
+            for successor in block.successors:
+                preds[id(successor)].append(block)
+
+        universe = set(self.numbering) | base
+        ins: Dict[int, Set[str]] = \
+            {id(block): set(universe) for block in function.blocks}
+        ins[id(function.entry)] = set(base)
+        changed = True
+        while changed:
+            changed = False
+            for block in function.blocks:
+                if block is function.entry:
+                    continue
+                block_preds = preds[id(block)]
+                if not block_preds:
+                    continue  # unreachable: stays at universe
+                new = set(universe)
+                for pred in block_preds:
+                    new &= ins[id(pred)] | defs[id(pred)]
+                if new != ins[id(block)]:
+                    ins[id(block)] = new
+                    changed = True
+        self._ins = ins
+        self._defs = defs
+        return ins
+
+    # -- emission ------------------------------------------------------------
+
+    def build(self) -> vm.CompiledFunction:
+        self._scan()
+        self._flow()
+        function = self.function
+        code = self.code
+
+        for block in function.blocks:
+            self.block_pc[id(block)] = len(code)
+            self._emit_block(block)
+
+        self._emit_edge_stubs()
+
+        for position, source, target in self.fixups:
+            code[position] = self._edge_pc[(id(source), id(target))]
+
+        alloca_bytes = 0
+        alloca_slots: List[Tuple[int, int]] = []
+        for instruction in function.instructions():
+            if type(instruction) is ir.Alloca:
+                alloca_slots.append((self.numbering[instruction.name],
+                                     alloca_bytes))
+                alloca_bytes += max(instruction.allocated_type.size(),
+                                    WORD_SIZE)
+
+        template = [0] * self.n_dyn + self.const_values
+        param_regs = [self.numbering[param.name]
+                      for param in function.params]
+        kernels = self._compile_kernels()
+        return vm.CompiledFunction(
+            function.name, code, self.costs, template, param_regs,
+            alloca_bytes, alloca_slots, self.escapes, self.strs,
+            self.obs_entries, len(function.blocks), kernels)
+
+    def _emit_block(self, block: ir.BasicBlock) -> None:
+        code = self.code
+        self.defined = set(self._ins[id(block)]) | \
+            {phi.name for phi in self.leading_phis[id(block)]}
+
+        obs_index = -1
+        if self.observed:
+            obs_index = len(self.obs_entries)
+            self.obs_entries.append((self.function.name, block.name, 0))
+            code.append(vm.OP_OBS)
+            code.append(obs_index)
+
+        entries = 0
+        pending: List[Tuple[List[int], float, ir.Instruction]] = []
+
+        def flush() -> None:
+            nonlocal entries
+            if not pending:
+                return
+            entries += 1
+            if len(pending) == 1:
+                body, cost, _ = pending[0]
+                code.append(vm.OP_STEP1C)
+                code.append(self._cost(cost))
+                code.extend(body)
+            else:
+                # The group total is an in-order float sum, matching the
+                # closure tier's accumulation exactly (float addition is
+                # not associative).
+                total = 0.0
+                for _, cost, _ in pending:
+                    total += cost
+                code.append(vm.OP_STEPN)
+                code.append(len(pending))
+                code.append(self._cost(total))
+                bodies = [body for body, _, _ in pending if body]
+                if len(bodies) >= _KERNEL_MIN_BODIES and \
+                        all(body[0] != vm.OP_CRASH for body in bodies):
+                    # Superinstruction: the whole straight-line body runs
+                    # as one generated-Python kernel.  Steps and cycles
+                    # were already charged by the OP_STEPN header, and no
+                    # on_step hook can fire mid-group on either tier, so
+                    # the kernel only has to reproduce the dataflow.
+                    code.append(vm.OP_KERNEL)
+                    code.append(len(self.kernel_bodies))
+                    self.kernel_bodies.append(bodies)
+                else:
+                    for body in bodies:
+                        code.extend(body)
+            pending.clear()
+
+        for instruction in block.instructions:
+            if isinstance(instruction, ir.Phi):
+                # Leading phis become edge copies; stray non-leading
+                # phis are skipped (and define nothing), exactly as the
+                # closure decode skips them.
+                continue
+            cls = type(instruction)
+            if cls in _FUSABLE:
+                body, cost = self._lower_fusable(instruction)
+                pending.append((body, cost, instruction))
+                if isinstance(instruction, _DEFINING):
+                    self.defined.add(instruction.name)
+                continue
+            flush()
+            entries += 1
+            if cls is ir.Br:
+                code.append(vm.OP_JMP)
+                code.append(self._cost(OP_COSTS.get("br", 1.0) * self.factor))
+                self.fixups.append((len(code), block, instruction.target))
+                code.append(-1)
+            elif cls is ir.CondBr:
+                cond = self._reg(instruction.cond)
+                code.append(vm.OP_JNZ)
+                code.append(self._cost(OP_COSTS.get("br", 1.0) * self.factor))
+                code.append(cond)
+                self.fixups.append((len(code), block, instruction.if_true))
+                code.append(-1)
+                self.fixups.append((len(code), block, instruction.if_false))
+                code.append(-1)
+            elif cls is ir.Ret:
+                value_reg = self._const_reg(0) if instruction.value is None \
+                    else self._reg(instruction.value)
+                code.append(vm.OP_RET)
+                code.append(value_reg)
+            else:
+                self._emit_escape(block, instruction)
+                if isinstance(instruction, _ESCAPE_DEFINES):
+                    self.defined.add(instruction.name)
+        flush()
+        if block.terminator is None:
+            # The closure tier raises this lazily when a malformed block
+            # runs off its end; preserve the exact message.
+            code.append(vm.OP_CRASH)
+            code.append(self._str(
+                f"block {self.function.name}:{block.name} fell through"))
+        if obs_index >= 0:
+            name, bname, _ = self.obs_entries[obs_index]
+            self.obs_entries[obs_index] = (name, bname, entries)
+
+    def _lower_fusable(self, instruction: ir.Instruction) -> Tuple[List[int], float]:
+        """Body ops + cycle cost for one fusable instruction, mirroring
+        ``Interpreter._decode_fusable`` case by case."""
+        factor = self.factor
+        cls = type(instruction)
+        if cls is ir.BinOp:
+            cost = OP_COSTS.get("binop", 1.0) * factor
+            op = instruction.op
+            opcode = _BINOP_OPS.get(op)
+            if opcode is not None:
+                lhs = self._reg(instruction.lhs)
+                rhs = self._reg(instruction.rhs)
+                dest = self.numbering[instruction.name]
+                return [opcode, dest, lhs, rhs], cost
+            if op in _FOP_INDEX:
+                lhs = self._reg(instruction.lhs)
+                rhs = self._reg(instruction.rhs)
+                dest = self.numbering[instruction.name]
+                return [vm.OP_FBIN, dest, _FOP_INDEX[op], lhs, rhs], cost
+            return [vm.OP_CRASH, self._str(f"unknown binop {op}")], cost
+        if cls is ir.Cmp:
+            cost = OP_COSTS.get("cmp", 1.0) * factor
+            opcode = _CMP_OPS.get(instruction.op)
+            if opcode is None:
+                return [vm.OP_CRASH,
+                        self._str(f"unknown comparison {instruction.op}")], \
+                    cost
+            lhs = self._reg(instruction.lhs)
+            rhs = self._reg(instruction.rhs)
+            dest = self.numbering[instruction.name]
+            return [opcode, dest, lhs, rhs], cost
+        if cls is ir.Load:
+            cost = OP_COSTS.get("load", 1.0) * factor
+            pointer = self._reg(instruction.pointer)
+            dest = self.numbering[instruction.name]
+            return [vm.OP_LOAD, dest, pointer], cost
+        if cls is ir.Store:
+            cost = OP_COSTS.get("store", 1.0) * factor
+            pointer = self._reg(instruction.pointer)
+            value = self._reg(instruction.value)
+            return [vm.OP_STORE, pointer, value], cost
+        if cls is ir.Gep:
+            return self._lower_gep(instruction)
+        if cls is ir.Cast:
+            cost = OP_COSTS.get("cast", 1.0) * factor
+            value = self._reg(instruction.value)
+            dest = self.numbering[instruction.name]
+            return [vm.OP_MOV, dest, value], cost
+        if cls is ir.Select:
+            cost = OP_COSTS.get("select", 1.0) * factor
+            cond = self._reg(instruction.cond)
+            if_true = self._reg(instruction.if_true)
+            if_false = self._reg(instruction.if_false)
+            dest = self.numbering[instruction.name]
+            return [vm.OP_SELECT, dest, cond, if_true, if_false], cost
+        # Alloca: address preloaded at frame entry; the group still
+        # counts its step and charges its cost, but no body op runs.
+        cost = OP_COSTS.get("alloca", 1.0) * factor
+        return [], cost
+
+    def _lower_gep(self, instruction: ir.Gep) -> Tuple[List[int], float]:
+        cost = OP_COSTS.get("gep", 1.0) * self.factor
+        base_type = instruction.pointer.type
+        pointee = base_type.pointee \
+            if isinstance(base_type, PointerType) else None
+        dest = self.numbering[instruction.name]
+        if instruction.field is not None:
+            if pointee is None or not hasattr(pointee, "field_offset"):
+                return [vm.OP_CRASH,
+                        self._str("field gep on non-struct pointer")], cost
+            try:
+                offset = pointee.field_offset(instruction.field)
+            except Exception:
+                raise _Reject from None  # closure defers to generic path
+            base = self._reg(instruction.pointer)
+            return [vm.OP_ADDI, dest, base, offset], cost
+        base = self._reg(instruction.pointer)
+        index = self._reg(instruction.index)
+        element = getattr(pointee, "element", None)
+        element_size = element.size() if element is not None else WORD_SIZE
+        return [vm.OP_GEPI, dest, base, index, element_size], cost
+
+    def _emit_escape(self, block: ir.BasicBlock,
+                     instruction: ir.Instruction) -> None:
+        """Bridge one instruction to the closure tier's own handler."""
+        pairs: List[Tuple[str, int]] = []
+        seen: Set[str] = set()
+        for operand in instruction.operands:
+            if not self._is_local(operand):
+                continue  # constants resolve inside the closure
+            name = operand.name
+            if name in seen:
+                continue
+            if name not in self.defined:
+                raise _Reject
+            seen.add(name)
+            pairs.append((name, self.numbering[name]))
+        if isinstance(instruction, _ESCAPE_DEFINES):
+            result_name: Optional[str] = instruction.name
+            result_reg = self.numbering[instruction.name]
+        else:
+            result_name = None
+            result_reg = -1
+        run = self.interp._decode_single(self.function, block, instruction)
+        index = len(self.escapes)
+        self.escapes.append((run, tuple(pairs), result_name, result_reg))
+        self.code.append(vm.OP_ESC)
+        self.code.append(index)
+
+    def _emit_edge_stubs(self) -> None:
+        """Phi-edge parallel copies: one stub per CFG edge whose target
+        has leading phis; other edges branch straight to the block."""
+        code = self.code
+        self._edge_pc: Dict[Tuple[int, int], int] = {}
+        needed = {(id(source), id(target)): (source, target)
+                  for _, source, target in self.fixups}
+        for (source_id, target_id), (source, target) in needed.items():
+            phis = self.leading_phis[id(target)]
+            if not phis:
+                self._edge_pc[(source_id, target_id)] = \
+                    self.block_pc[id(target)]
+                continue
+            copies: List[Tuple[int, int]] = []
+            defined_at_exit = self._ins[id(source)] | self._defs[id(source)]
+            for phi in phis:
+                source_reg = None
+                for value, pred in phi.incoming:
+                    if pred is source:
+                        if self._is_local(value):
+                            if value.name not in defined_at_exit:
+                                raise _Reject
+                            source_reg = self.numbering[value.name]
+                        else:
+                            source_reg = self._reg(value,
+                                                   check_defined=False)
+                        break
+                if source_reg is None:
+                    source_reg = self._const_reg(0)
+                copies.append((source_reg, self.numbering[phi.name]))
+            stub_pc = len(code)
+            if len(copies) == 1:
+                source_reg, dest_reg = copies[0]
+                code.extend((vm.OP_MOV, dest_reg, source_reg))
+            else:
+                code.append(vm.OP_PARCOPY)
+                code.append(len(copies))
+                code.extend(source_reg for source_reg, _ in copies)
+                code.extend(dest_reg for _, dest_reg in copies)
+            code.extend((vm.OP_GOTO, self.block_pc[id(target)]))
+            self._edge_pc[(source_id, target_id)] = stub_pc
+
+    # -- kernel superinstructions --------------------------------------------
+    #
+    # A fused group's body is straight-line and uninterruptible: the
+    # OP_STEPN header has already counted every step, charged the whole
+    # in-order cycle sum, and fired any due on_step hooks before the
+    # first body op runs — on both tiers.  That leaves pure dataflow,
+    # which we compile once per group into a real Python function over
+    # local variables (registers read at entry, written back at exit),
+    # cutting per-op dispatch from ~6 list indexings to ~3 bytecodes.
+    # Constant-pool operands are inlined as literals; registers never
+    # read outside the kernel skip the write-back.  Partially updated
+    # registers after a mid-kernel raise (division by zero, memory
+    # fault) are unobservable: the frame dies with the exception on
+    # both tiers, and steps/cycles were finalized at the header.
+
+    def _kernel_spec(self, bodies: List[List[int]]):
+        """Statements + entry-read and written register orders for one
+        kernel, from its fused-group body op lists."""
+        n_dyn = self.n_dyn
+        consts = self.const_values
+        entry: List[int] = []
+        entry_set: Set[int] = set()
+        written: List[int] = []
+        written_set: Set[int] = set()
+
+        def use(reg: int) -> str:
+            if reg in written_set:
+                return f"r{reg}"
+            if reg >= n_dyn:
+                return repr(consts[reg - n_dyn])
+            if reg not in entry_set:
+                entry_set.add(reg)
+                entry.append(reg)
+            return f"r{reg}"
+
+        def define(reg: int) -> str:
+            if reg not in written_set:
+                written_set.add(reg)
+                written.append(reg)
+            return f"r{reg}"
+
+        stmts: List[str] = []
+        for body in bodies:
+            op = body[0]
+            sym = _KERNEL_BINOP_SYM.get(op)
+            if sym is not None:
+                a, b = use(body[2]), use(body[3])
+                stmts.append(f"    {define(body[1])} = {a} {sym} {b}")
+                continue
+            sym = _KERNEL_CMP_SYM.get(op)
+            if sym is not None:
+                a, b = use(body[2]), use(body[3])
+                stmts.append(
+                    f"    {define(body[1])} = 1 if {a} {sym} {b} else 0")
+            elif op == vm.OP_MOV:
+                a = use(body[2])
+                stmts.append(f"    {define(body[1])} = {a}")
+            elif op == vm.OP_LOAD:
+                a = use(body[2])
+                stmts.append(f"    {define(body[1])} = load({a})")
+            elif op == vm.OP_STORE:
+                stmts.append(f"    store({use(body[1])}, {use(body[2])})")
+            elif op == vm.OP_ADDI:
+                a = use(body[2])
+                stmts.append(f"    {define(body[1])} = {a} + {body[3]}")
+            elif op == vm.OP_GEPI:
+                a, i = use(body[2]), use(body[3])
+                stmts.append(
+                    f"    {define(body[1])} = {a} + {i} * {body[4]}")
+            elif op == vm.OP_SELECT:
+                c, a, b = use(body[2]), use(body[3]), use(body[4])
+                stmts.append(
+                    f"    {define(body[1])} = {a} if {c} else {b}")
+            elif op == vm.OP_SHL:
+                a, b = use(body[2]), use(body[3])
+                stmts.append(f"    {define(body[1])} = {a} << ({b} & 63)")
+            elif op == vm.OP_SHR:
+                a, b = use(body[2]), use(body[3])
+                stmts.append(f"    {define(body[1])} = {a} >> ({b} & 63)")
+            elif op == vm.OP_DIV or op == vm.OP_REM:
+                a, b = use(body[2]), use(body[3])
+                word = "division" if op == vm.OP_DIV else "remainder"
+                sym = "//" if op == vm.OP_DIV else "%"
+                stmts.append(f"    if {b} == 0:")
+                stmts.append(
+                    f"        raise ProgramCrash('{word} by zero')")
+                stmts.append(f"    {define(body[1])} = {a} {sym} {b}")
+            elif op == vm.OP_FBIN:
+                a, b = use(body[3]), use(body[4])
+                stmts.append(
+                    f"    {define(body[1])} = "
+                    f"fbin({vm.FOPS[body[2]]!r}, {a}, {b})")
+            else:  # pragma: no cover - flush() filters OP_CRASH bodies
+                raise _Reject
+        return stmts, entry, written
+
+    def _regs_read_outside_kernels(self) -> Set[int]:
+        """Registers the final flat code (and escape bridges) read; a
+        kernel-written register outside this set — and outside every
+        kernel's entry-read set — needs no write-back."""
+        code = self.code
+        reads: Set[int] = set()
+        pc = 0
+        length = len(code)
+        while pc < length:
+            op = code[pc]
+            if op in _READS_23:
+                reads.add(code[pc + 2])
+                reads.add(code[pc + 3])
+                pc += 4
+            elif op == vm.OP_MOV or op == vm.OP_LOAD:
+                reads.add(code[pc + 2])
+                pc += 3
+            elif op == vm.OP_STORE:
+                reads.add(code[pc + 1])
+                reads.add(code[pc + 2])
+                pc += 3
+            elif op == vm.OP_STEP1C:
+                pc += 2
+            elif op == vm.OP_STEPN or op == vm.OP_JMP:
+                pc += 3
+            elif op == vm.OP_JNZ:
+                reads.add(code[pc + 2])
+                pc += 5
+            elif op == vm.OP_ADDI:
+                reads.add(code[pc + 2])
+                pc += 4
+            elif op == vm.OP_GEPI:
+                reads.add(code[pc + 2])
+                reads.add(code[pc + 3])
+                pc += 5
+            elif op == vm.OP_SELECT:
+                reads.add(code[pc + 2])
+                reads.add(code[pc + 3])
+                reads.add(code[pc + 4])
+                pc += 5
+            elif op == vm.OP_FBIN:
+                reads.add(code[pc + 3])
+                reads.add(code[pc + 4])
+                pc += 5
+            elif op == vm.OP_PARCOPY:
+                count = code[pc + 1]
+                for position in range(count):
+                    reads.add(code[pc + 2 + position])
+                pc += 2 + 2 * count
+            elif op == vm.OP_RET:
+                reads.add(code[pc + 1])
+                pc += 2
+            else:  # OP_GOTO / OP_ESC / OP_OBS / OP_CRASH / OP_KERNEL
+                pc += 2
+        for _, pairs, _, _ in self.escapes:
+            for _, reg in pairs:
+                reads.add(reg)
+        return reads
+
+    def _compile_kernels(self) -> List:
+        """Generate and compile every kernel superinstruction for this
+        function in one module (called after branch fixups, when all
+        register reads are final)."""
+        if not self.kernel_bodies:
+            return []
+        specs = [self._kernel_spec(bodies) for bodies in self.kernel_bodies]
+        live = self._regs_read_outside_kernels()
+        for _, entry, _ in specs:
+            live.update(entry)
+        lines: List[str] = []
+        for index, (stmts, entry, written) in enumerate(specs):
+            lines.append(f"def _k{index}(regs, load, store, fbin):")
+            for reg in entry:
+                lines.append(f"    r{reg} = regs[{reg}]")
+            lines.extend(stmts)
+            for reg in written:
+                if reg in live:
+                    lines.append(f"    regs[{reg}] = r{reg}")
+            lines.append("")
+        namespace = {"ProgramCrash": vm.ProgramCrash}
+        exec(compile("\n".join(lines),
+                     f"<vm-kernels:{self.function.name}>", "exec"),
+             namespace)
+        return [namespace[f"_k{index}"] for index in range(len(specs))]

@@ -1,0 +1,364 @@
+"""Flat register-VM execution tier for the interpreter.
+
+:mod:`repro.sim.lower` translates an IR function into a
+:class:`CompiledFunction`: one flat integer opcode stream, a
+preallocated register file (dynamic SSA values first, a constant pool
+materialized into the tail), and side tables for cycle costs, crash
+messages, and escape bridges.  :func:`execute` runs it with a single
+``while True: op = code[pc]`` dispatch loop over local-variable-bound
+arrays — no per-instruction closures, no frame-dict lookups.
+
+Exactness contract (gated by ``tests/test_vm_equivalence.py``): the
+lowered code charges the same cycle costs in the same float-addition
+order, increments ``steps`` at the same instruction boundaries, fires
+the verifier ``on_step`` hook the same number of times at the same
+points, and raises the same exceptions with the same messages as the
+closure tier in :mod:`repro.sim.cpu`.  Anything the flat encoding
+cannot express exactly — calls, syscalls, runtime callouts, heap ops —
+executes through an **escape bridge**: the closure tier's own decoded
+handler, fed a minimal frame dict built from the registers it names
+(a per-instruction deopt, counted in ``Interpreter.deopt_count``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.cpu import ExecutionLimitExceeded, ProgramCrash
+
+# -- opcodes -----------------------------------------------------------------
+#
+# Contiguous small ints, grouped in eights so the dispatch loop resolves
+# an opcode in at most four comparisons.  Frequency-ordered: straight-
+# line arithmetic and the step-accounting headers sit in the first bank.
+
+OP_ADD = 0      # d a b     regs[d] = regs[a] + regs[b]
+OP_SUB = 1      # d a b
+OP_MUL = 2      # d a b
+OP_MOV = 3      # d a       cast / phi single-copy
+OP_LOAD = 4     # d a       regs[d] = memory.load(regs[a])
+OP_STORE = 5    # p v       memory.store(regs[p], regs[v])
+OP_STEP1C = 6   # ci        one step + charge costs[ci] (fused single)
+OP_STEPN = 7    # n ci      n-step batch + charge costs[ci] (fused group)
+
+OP_LT = 8       # d a b     regs[d] = 1 if regs[a] < regs[b] else 0
+OP_LE = 9       # d a b
+OP_GT = 10      # d a b
+OP_GE = 11      # d a b
+OP_EQ = 12      # d a b
+OP_NE = 13      # d a b
+OP_JNZ = 14     # ci c t f  step + charge + pc = t if regs[c] else f
+OP_JMP = 15     # ci t      step + charge + pc = t
+
+OP_ADDI = 16    # d a imm   regs[d] = regs[a] + imm (const-offset gep)
+OP_GEPI = 17    # d a i sz  regs[d] = regs[a] + regs[i] * sz
+OP_SELECT = 18  # d c a b   regs[d] = regs[a] if regs[c] else regs[b]
+OP_AND = 19     # d a b
+OP_OR = 20      # d a b
+OP_XOR = 21     # d a b
+OP_SHL = 22     # d a b     rhs masked & 63
+OP_SHR = 23     # d a b     rhs masked & 63
+
+OP_DIV = 24     # d a b     zero check -> ProgramCrash
+OP_REM = 25     # d a b     zero check -> ProgramCrash
+OP_FBIN = 26    # d f a b   regs[d] = interp._float_binop(FOPS[f], ...)
+OP_PARCOPY = 27  # n s1..sn d1..dn   simultaneous phi-edge copies
+OP_GOTO = 28    # t         charge-free control glue (edge stubs)
+OP_RET = 29     # a         step, then return regs[a]
+OP_ESC = 30     # e         step, then run escape bridge e
+OP_OBS = 31     # i         observer block-entry bookkeeping
+OP_CRASH = 32   # m         raise ProgramCrash(strs[m])
+OP_KERNEL = 33  # k         kernels[k](regs, load, store, fbin)
+
+FOPS = ("fadd", "fsub", "fmul", "fdiv")
+
+
+class CompiledFunction:
+    """One lowered function: flat code plus its side tables."""
+
+    __slots__ = ("name", "code", "costs", "template", "param_regs",
+                 "nparams", "alloca_bytes", "alloca_slots", "escapes",
+                 "strs", "obs_entries", "seen", "nblocks", "kernels")
+
+    def __init__(self, name: str, code: List[int], costs: List[float],
+                 template: List[int], param_regs: List[int],
+                 alloca_bytes: int, alloca_slots: List[Tuple[int, int]],
+                 escapes: List[Tuple[Callable, Tuple[Tuple[str, int], ...],
+                                     Optional[str], int]],
+                 strs: List[str],
+                 obs_entries: List[Tuple[str, str, int]],
+                 nblocks: int,
+                 kernels: List[Callable]) -> None:
+        self.name = name
+        self.code = code
+        self.costs = costs
+        self.template = template
+        self.param_regs = param_regs
+        self.nparams = len(param_regs)
+        self.alloca_bytes = alloca_bytes
+        self.alloca_slots = alloca_slots
+        self.escapes = escapes
+        self.strs = strs
+        self.obs_entries = obs_entries
+        #: Per-block first-execution flags: keeps the decode-hit/miss
+        #: observer counters identical to the closure tier's lazy
+        #: per-block decode cache.
+        self.seen = [False] * len(obs_entries)
+        self.nblocks = nblocks
+        self.kernels = kernels
+
+
+def execute(interp, compiled: CompiledFunction, args: List[int]) -> int:
+    """Run one compiled frame to its ``ret``; returns the return value.
+
+    The caller (``Interpreter._exec_function``) owns the shared
+    backward-edge epilogue (return-address check / hijack detection),
+    exactly as on the closure path.
+    """
+    process = interp.process
+    regs = compiled.template.copy()
+    param_regs = compiled.param_regs
+    for position, reg in enumerate(param_regs):
+        regs[reg] = args[position]
+    alloca_bytes = compiled.alloca_bytes
+    if alloca_bytes:
+        frame_base = process.push_frame(alloca_bytes)
+        for reg, offset in compiled.alloca_slots:
+            regs[reg] = frame_base + offset
+    else:
+        frame_base = None
+
+    code = compiled.code
+    costs = compiled.costs
+    escapes = compiled.escapes
+    strs = compiled.strs
+    kernels = compiled.kernels
+    cycles = process.cycles
+    memory = process.memory
+    load = memory.load
+    store = memory.store
+    fbin = interp._float_binop
+    on_step = interp._on_step
+    interval = interp.ON_STEP_INTERVAL
+    max_steps = interp.options.max_steps
+    obs = interp.observer
+    steps = interp.steps
+    pc = 0
+    try:
+        while True:
+            op = code[pc]
+            if op < 8:
+                if op < 4:
+                    if op == OP_ADD:
+                        regs[code[pc + 1]] = \
+                            regs[code[pc + 2]] + regs[code[pc + 3]]
+                        pc += 4
+                    elif op == OP_SUB:
+                        regs[code[pc + 1]] = \
+                            regs[code[pc + 2]] - regs[code[pc + 3]]
+                        pc += 4
+                    elif op == OP_MUL:
+                        regs[code[pc + 1]] = \
+                            regs[code[pc + 2]] * regs[code[pc + 3]]
+                        pc += 4
+                    else:  # OP_MOV
+                        regs[code[pc + 1]] = regs[code[pc + 2]]
+                        pc += 3
+                elif op == OP_LOAD:
+                    regs[code[pc + 1]] = load(regs[code[pc + 2]])
+                    pc += 3
+                elif op == OP_STORE:
+                    store(regs[code[pc + 1]], regs[code[pc + 2]])
+                    pc += 3
+                elif op == OP_STEP1C:
+                    steps += 1
+                    if steps > max_steps:
+                        raise ExecutionLimitExceeded(
+                            f"exceeded {max_steps} steps (hang?)")
+                    if on_step is not None and steps % interval == 0:
+                        interp.steps = steps
+                        on_step()
+                    cycles.user += costs[code[pc + 1]]
+                    pc += 2
+                else:  # OP_STEPN
+                    before = steps
+                    steps = before + code[pc + 1]
+                    if steps > max_steps:
+                        raise ExecutionLimitExceeded(
+                            f"exceeded {max_steps} steps (hang?)")
+                    if on_step is not None:
+                        fires = steps // interval - before // interval
+                        if fires:
+                            interp.steps = steps
+                            for _ in range(fires):
+                                on_step()
+                    cycles.user += costs[code[pc + 2]]
+                    pc += 3
+            elif op == OP_KERNEL:
+                kernels[code[pc + 1]](regs, load, store, fbin)
+                pc += 2
+            elif op < 16:
+                if op == OP_LT:
+                    regs[code[pc + 1]] = \
+                        1 if regs[code[pc + 2]] < regs[code[pc + 3]] else 0
+                    pc += 4
+                elif op == OP_LE:
+                    regs[code[pc + 1]] = \
+                        1 if regs[code[pc + 2]] <= regs[code[pc + 3]] else 0
+                    pc += 4
+                elif op == OP_GT:
+                    regs[code[pc + 1]] = \
+                        1 if regs[code[pc + 2]] > regs[code[pc + 3]] else 0
+                    pc += 4
+                elif op == OP_GE:
+                    regs[code[pc + 1]] = \
+                        1 if regs[code[pc + 2]] >= regs[code[pc + 3]] else 0
+                    pc += 4
+                elif op == OP_EQ:
+                    regs[code[pc + 1]] = \
+                        1 if regs[code[pc + 2]] == regs[code[pc + 3]] else 0
+                    pc += 4
+                elif op == OP_NE:
+                    regs[code[pc + 1]] = \
+                        1 if regs[code[pc + 2]] != regs[code[pc + 3]] else 0
+                    pc += 4
+                elif op == OP_JNZ:
+                    steps += 1
+                    if steps > max_steps:
+                        raise ExecutionLimitExceeded(
+                            f"exceeded {max_steps} steps (hang?)")
+                    if on_step is not None and steps % interval == 0:
+                        interp.steps = steps
+                        on_step()
+                    cycles.user += costs[code[pc + 1]]
+                    pc = code[pc + 3] if regs[code[pc + 2]] else code[pc + 4]
+                else:  # OP_JMP
+                    steps += 1
+                    if steps > max_steps:
+                        raise ExecutionLimitExceeded(
+                            f"exceeded {max_steps} steps (hang?)")
+                    if on_step is not None and steps % interval == 0:
+                        interp.steps = steps
+                        on_step()
+                    cycles.user += costs[code[pc + 1]]
+                    pc = code[pc + 2]
+            elif op < 24:
+                if op == OP_ADDI:
+                    regs[code[pc + 1]] = regs[code[pc + 2]] + code[pc + 3]
+                    pc += 4
+                elif op == OP_GEPI:
+                    regs[code[pc + 1]] = regs[code[pc + 2]] + \
+                        regs[code[pc + 3]] * code[pc + 4]
+                    pc += 5
+                elif op == OP_SELECT:
+                    regs[code[pc + 1]] = regs[code[pc + 3]] \
+                        if regs[code[pc + 2]] else regs[code[pc + 4]]
+                    pc += 5
+                elif op == OP_AND:
+                    regs[code[pc + 1]] = \
+                        regs[code[pc + 2]] & regs[code[pc + 3]]
+                    pc += 4
+                elif op == OP_OR:
+                    regs[code[pc + 1]] = \
+                        regs[code[pc + 2]] | regs[code[pc + 3]]
+                    pc += 4
+                elif op == OP_XOR:
+                    regs[code[pc + 1]] = \
+                        regs[code[pc + 2]] ^ regs[code[pc + 3]]
+                    pc += 4
+                elif op == OP_SHL:
+                    regs[code[pc + 1]] = \
+                        regs[code[pc + 2]] << (regs[code[pc + 3]] & 63)
+                    pc += 4
+                else:  # OP_SHR
+                    regs[code[pc + 1]] = \
+                        regs[code[pc + 2]] >> (regs[code[pc + 3]] & 63)
+                    pc += 4
+            elif op == OP_DIV:
+                divisor = regs[code[pc + 3]]
+                if divisor == 0:
+                    raise ProgramCrash("division by zero")
+                regs[code[pc + 1]] = regs[code[pc + 2]] // divisor
+                pc += 4
+            elif op == OP_REM:
+                divisor = regs[code[pc + 3]]
+                if divisor == 0:
+                    raise ProgramCrash("remainder by zero")
+                regs[code[pc + 1]] = regs[code[pc + 2]] % divisor
+                pc += 4
+            elif op == OP_FBIN:
+                regs[code[pc + 1]] = fbin(FOPS[code[pc + 2]],
+                                          regs[code[pc + 3]],
+                                          regs[code[pc + 4]])
+                pc += 5
+            elif op == OP_PARCOPY:
+                count = code[pc + 1]
+                base = pc + 2
+                values = [regs[code[base + k]] for k in range(count)]
+                base += count
+                for k in range(count):
+                    regs[code[base + k]] = values[k]
+                pc = base + count
+            elif op == OP_GOTO:
+                pc = code[pc + 1]
+            elif op == OP_RET:
+                steps += 1
+                if steps > max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_steps} steps (hang?)")
+                if on_step is not None and steps % interval == 0:
+                    interp.steps = steps
+                    on_step()
+                return regs[code[pc + 1]]
+            elif op == OP_ESC:
+                steps += 1
+                if steps > max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_steps} steps (hang?)")
+                if on_step is not None and steps % interval == 0:
+                    interp.steps = steps
+                    on_step()
+                run, pairs, result_name, result_reg = escapes[code[pc + 1]]
+                frame: Dict[str, int] = {}
+                for operand_name, reg in pairs:
+                    frame[operand_name] = regs[reg]
+                interp.deopt_count += 1
+                if obs is not None:
+                    obs.vm_deopt()
+                interp.steps = steps
+                try:
+                    outcome = run(frame)
+                finally:
+                    # Resync even when the bridge raises (verifier kill,
+                    # crash, limit): a nested call advanced the shared
+                    # counter, and the outer finally must not clobber it
+                    # with this frame's stale local.
+                    steps = interp.steps
+                if result_reg >= 0:
+                    regs[result_reg] = frame[result_name]
+                if outcome is not None:
+                    # Unreachable for VM-eligible functions: setjmp
+                    # resumes and branch outcomes never cross a bridge
+                    # (lowering rejects the functions that produce them).
+                    raise ProgramCrash(
+                        f"vm: unexpected escape outcome in {compiled.name}")
+                pc += 2
+            elif op == OP_OBS:
+                index = code[pc + 1]
+                function_name, block_name, size = \
+                    compiled.obs_entries[index]
+                seen = compiled.seen
+                if seen[index]:
+                    obs.cpu_decode_hits.value += 1
+                else:
+                    seen[index] = True
+                    obs.cpu_decode_miss(function_name, block_name)
+                obs.cpu_blocks.value += 1
+                obs.cpu_block_size.observe(size)
+                pc += 2
+            else:  # OP_CRASH
+                raise ProgramCrash(strs[code[pc + 1]])
+    finally:
+        interp.steps = steps
+        if frame_base is not None:
+            process.pop_frame(alloca_bytes)
