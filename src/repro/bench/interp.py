@@ -23,8 +23,9 @@ import argparse
 import json
 import os
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
+from repro.bench.timing import best_of, emit_perf_profile, floor_failures
 from repro.core.framework import RunResult, run_program
 from repro.workloads.generator import build_module
 from repro.workloads.profiles import BenchmarkProfile
@@ -48,20 +49,25 @@ ROUNDS = 3
 SECTION = "interp_tier"
 DEFAULT_REPORT = "BENCH_pipeline.json"
 
+#: Job-local hard floor: the compile tier's reason to exist.  Asserted
+#: on fresh numbers so a uniformly slow machine cannot mask a collapse.
+DEFAULT_MIN_SPEEDUP = 3.0
+
 
 def _measure(tier: str, rounds: int) -> Tuple[float, RunResult]:
     """Best-of-``rounds`` steps/second for one tier."""
-    best = 0.0
-    result: Optional[RunResult] = None
-    for _ in range(rounds):
+
+    def once() -> dict:
         module = build_module(PROFILE)
         start = time.perf_counter()
         result = run_program(module, design="baseline",
                              exec_option_overrides={"interp_tier": tier})
         elapsed = time.perf_counter() - start
-        best = max(best, result.steps / elapsed)
-    assert result is not None
-    return best, result
+        return {"steps_per_sec": result.steps / elapsed,
+                "result": result}
+
+    fastest = best_of(rounds, once, key="steps_per_sec")
+    return float(fastest["steps_per_sec"]), fastest["result"]
 
 
 def run_benchmark(rounds: int = ROUNDS) -> Dict[str, object]:
@@ -111,18 +117,14 @@ def check_regression(section: Dict[str, object], committed_path: str,
         return [f"cannot read committed report {committed_path}: {error}"]
     if not committed:
         return [f"no {SECTION!r} section in {committed_path}"]
-    for key in ("closure_steps_per_sec", "vm_steps_per_sec"):
-        reference = committed.get(key)
-        measured = section[key]
-        if not reference:
+    keys = ("closure_steps_per_sec", "vm_steps_per_sec")
+    for key in keys:
+        if not committed.get(key):
             failures.append(f"{key}: no committed reference")
-            continue
-        floor = float(reference) * (1.0 - tolerance)
-        if float(measured) < floor:
-            failures.append(
-                f"{key}: {measured:,} steps/s is below the "
-                f"{tolerance:.0%}-tolerance floor {floor:,.0f} "
-                f"(committed {reference:,})")
+    failures += floor_failures(
+        {key: section[key] for key in keys},
+        {key: committed[key] for key in keys if committed.get(key)},
+        tolerance, unit="steps/s")
     if float(section["speedup"]) < min_speedup:
         failures.append(
             f"speedup: {section['speedup']}x vm-over-closure is below "
@@ -150,9 +152,15 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional drop for --check "
                              "(default: %(default)s)")
-    parser.add_argument("--min-speedup", type=float, default=3.0,
-                        help="required vm-over-closure multiple for "
-                             "--check (default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="required vm-over-closure multiple, "
+                             "asserted on the fresh numbers even "
+                             "without --check (default with --check: "
+                             f"{DEFAULT_MIN_SPEEDUP})")
+    parser.add_argument("--perf-profile", default=None, metavar="PATH",
+                        help="also fold the numbers into the unified "
+                             "perf profile at PATH "
+                             "(repro.perf.profile.write)")
     args = parser.parse_args(argv)
 
     section = run_benchmark(args.rounds)
@@ -169,16 +177,32 @@ def main(argv=None) -> int:
         merge_section(args.update, section)
         print(f"updated {args.update} [{SECTION}]")
 
+    if args.perf_profile:
+        emit_perf_profile(args.perf_profile, "interp",
+                          {SECTION: section})
+
+    min_speedup = (args.min_speedup if args.min_speedup is not None
+                   else DEFAULT_MIN_SPEEDUP)
     if args.check:
         failures = check_regression(section, args.check, args.tolerance,
-                                    args.min_speedup)
+                                    min_speedup)
         if failures:
             print("\nregression guard FAILED:")
             for failure in failures:
                 print(f"  - {failure}")
             return 1
         print(f"\nregression guard: ok (tolerance {args.tolerance:.0%}, "
-              f"min speedup {args.min_speedup}x vs {args.check})")
+              f"min speedup {min_speedup}x vs {args.check})")
+    elif args.min_speedup is not None:
+        # Standalone hard floor (CI's cheap job-local sanity assert;
+        # trajectory regressions are the unified perf gate's business).
+        if float(section["speedup"]) < args.min_speedup:
+            print(f"\nspeedup floor FAILED: {section['speedup']}x "
+                  f"vm-over-closure is below the {args.min_speedup}x "
+                  f"floor (compile tier collapsed?)")
+            return 1
+        print(f"\nspeedup floor: ok ({section['speedup']}x >= "
+              f"{args.min_speedup}x)")
     return 0
 
 

@@ -49,6 +49,9 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.bench.timing import (best_of, emit_perf_profile,
+                                floor_failures, reference_benchmarks,
+                                update_quick_section)
 from repro.core.messages import Message, Op
 from repro.core.verifier import Verifier
 from repro.ipc.registry import create_channel
@@ -265,28 +268,16 @@ def bench_e2e(design: str = "hq-sfestk", channel: str = "uarch",
             "outcome": result.outcome, "steps": result.steps}
 
 
-def _best_of(rounds: int, fn: Callable[[], Dict[str, object]]
-             ) -> Dict[str, object]:
-    """Run ``fn`` ``rounds`` times; keep the fastest result."""
-    best: Optional[Dict[str, object]] = None
-    for _ in range(max(1, rounds)):
-        result = fn()
-        if best is None or result["msgs_per_sec"] > best["msgs_per_sec"]:
-            best = result
-    best["rounds"] = max(1, rounds)
-    return best
-
-
 def run_suite(messages: int, quick: bool,
               rounds: int = ROUNDS) -> Dict[str, Dict[str, object]]:
     benchmarks: Dict[str, Dict[str, object]] = {}
     channel_messages = max(1, messages // 2)
     for primitive in CHANNEL_PRIMITIVES:
-        benchmarks[f"channel:{primitive}"] = _best_of(
+        benchmarks[f"channel:{primitive}"] = best_of(
             rounds, lambda p=primitive: bench_channel(p, channel_messages))
     for name, (factory, stream_fn) in _policy_factories().items():
         stream = stream_fn(messages)
-        benchmarks[f"policy:{name}"] = _best_of(
+        benchmarks[f"policy:{name}"] = best_of(
             rounds, lambda n=name, f=factory, s=stream: bench_policy(
                 n, f, s, messages))
     benchmarks["e2e:hq-sfestk:uarch"] = bench_e2e(quick=quick)
@@ -338,22 +329,13 @@ def check_regression(benchmarks: Dict[str, Dict[str, object]],
     """
     with open(committed_path) as fh:
         committed = json.load(fh)
-    reference_set = committed.get("quick_benchmarks") if quick else None
-    if reference_set is None:
-        reference_set = committed.get("benchmarks", {})
-    failures: List[str] = []
-    for key, entry in reference_set.items():
-        reference = entry.get("msgs_per_sec")
-        current = benchmarks.get(key, {}).get("msgs_per_sec")
-        if not reference or current is None:
-            continue
-        floor = float(reference) * (1.0 - tolerance)
-        if float(current) < floor:
-            failures.append(
-                f"{key}: {float(current):,.0f} msgs/s is below the "
-                f"{tolerance:.0%}-tolerance floor {floor:,.0f} "
-                f"(committed {float(reference):,.0f})")
-    return failures
+    reference_set = reference_benchmarks(committed, quick)
+    return floor_failures(
+        {key: entry.get("msgs_per_sec")
+         for key, entry in benchmarks.items()},
+        {key: entry.get("msgs_per_sec")
+         for key, entry in reference_set.items()},
+        tolerance)
 
 
 def format_human(report: dict) -> str:
@@ -402,6 +384,10 @@ def main(argv=None) -> int:
                              "committed report at PATH as its "
                              "quick_benchmarks section (the reference "
                              "--check uses for quick runs)")
+    parser.add_argument("--perf-profile", default=None, metavar="PATH",
+                        help="also fold the numbers into the unified "
+                             "perf profile at PATH "
+                             "(repro.perf.profile.write)")
     args = parser.parse_args(argv)
     if args.update_quick and not args.quick:
         parser.error("--update-quick requires --quick")
@@ -427,13 +413,12 @@ def main(argv=None) -> int:
         print(format_human(report))
 
     if args.update_quick:
-        with open(args.update_quick) as fh:
-            committed = json.load(fh)
-        committed["quick_benchmarks"] = benchmarks
-        committed["quick_messages"] = messages
-        with open(args.update_quick, "w") as fh:
-            json.dump(committed, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        update_quick_section(args.update_quick, benchmarks, messages)
+
+    if args.perf_profile:
+        emit_perf_profile(args.perf_profile, "msgpath", report,
+                          quick=args.quick,
+                          meta={"messages": messages})
 
     if args.check:
         failures = check_regression(benchmarks, args.check, args.tolerance,

@@ -46,6 +46,9 @@ from array import array
 from typing import Dict, List
 
 from repro.bench.msgpath import _cfi_stream
+from repro.bench.timing import (emit_perf_profile, floor_failures,
+                                reference_benchmarks,
+                                update_quick_section)
 from repro.core.messages import MESSAGE_WORDS, _MASK32, _MASK64
 from repro.core.sharding import ShardMap
 from repro.core.shard_verifier import ShardWorker
@@ -195,41 +198,36 @@ def build_report(benchmarks: Dict[str, Dict[str, object]],
     }
 
 
+def scaling_floor_failures(benchmarks: Dict[str, Dict[str, object]],
+                           min_scaling: float) -> List[str]:
+    """Job-local hard floor: the current run's 2-shard point must
+    deliver at least ``min_scaling`` times its own 1-shard point — the
+    scale-out's reason to exist, asserted on fresh numbers so a
+    uniformly slow machine cannot mask a lost speedup."""
+    two = scaling_table(benchmarks).get("shards:2")
+    if two is not None and two < min_scaling:
+        return [f"shards:2 scaling {two:.2f}x is below the "
+                f"{min_scaling:.2f}x floor over shards:1"]
+    return []
+
+
 def check_regression(benchmarks: Dict[str, Dict[str, object]],
                      committed_path: str, tolerance: float,
                      min_scaling: float, quick: bool) -> List[str]:
-    """Guard both absolute throughput and the scaling shape.
-
-    * every sweep point must stay within ``tolerance`` of the committed
-      report (its ``quick_benchmarks`` section for quick runs);
-    * the current run's 2-shard point must deliver at least
-      ``min_scaling`` times its own 1-shard point — the scale-out's
-      reason to exist, asserted on fresh numbers so a uniformly slow
-      machine cannot mask a lost speedup.
-    """
-    failures: List[str] = []
-    scaling = scaling_table(benchmarks)
-    two = scaling.get("shards:2")
-    if two is not None and two < min_scaling:
-        failures.append(
-            f"shards:2 scaling {two:.2f}x is below the "
-            f"{min_scaling:.2f}x floor over shards:1")
+    """Guard both absolute throughput and the scaling shape: the
+    per-point tolerance floors vs the committed report (its
+    ``quick_benchmarks`` section for quick runs) plus the 2-shard
+    scaling floor."""
+    failures = scaling_floor_failures(benchmarks, min_scaling)
     with open(committed_path) as fh:
         committed = json.load(fh)
-    reference_set = committed.get("quick_benchmarks") if quick else None
-    if reference_set is None:
-        reference_set = committed.get("benchmarks", {})
-    for key, entry in reference_set.items():
-        reference = entry.get("msgs_per_sec")
-        current = benchmarks.get(key, {}).get("msgs_per_sec")
-        if not reference or current is None:
-            continue
-        floor = float(reference) * (1.0 - tolerance)
-        if float(current) < floor:
-            failures.append(
-                f"{key}: {float(current):,.0f} msgs/s is below the "
-                f"{tolerance:.0%}-tolerance floor {floor:,.0f} "
-                f"(committed {float(reference):,.0f})")
+    reference_set = reference_benchmarks(committed, quick)
+    failures += floor_failures(
+        {key: entry.get("msgs_per_sec")
+         for key, entry in benchmarks.items()},
+        {key: entry.get("msgs_per_sec")
+         for key, entry in reference_set.items()},
+        tolerance)
     return failures
 
 
@@ -284,13 +282,19 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.35,
                         help="allowed fractional throughput drop for "
                              "--check (default: %(default)s)")
-    parser.add_argument("--min-scaling", type=float, default=MIN_SCALING_2,
-                        help="2-shard/1-shard scaling floor for --check "
-                             "(default: %(default)s)")
+    parser.add_argument("--min-scaling", type=float, default=None,
+                        help="2-shard/1-shard scaling floor, asserted "
+                             "on the fresh numbers even without "
+                             "--check (default with --check: "
+                             f"{MIN_SCALING_2})")
     parser.add_argument("--update-quick", default=None, metavar="PATH",
                         help="merge this --quick run's numbers into the "
                              "committed report at PATH as its "
                              "quick_benchmarks section")
+    parser.add_argument("--perf-profile", default=None, metavar="PATH",
+                        help="also fold the numbers into the unified "
+                             "perf profile at PATH "
+                             "(repro.perf.profile.write)")
     args = parser.parse_args(argv)
     if args.update_quick and not args.quick:
         parser.error("--update-quick requires --quick")
@@ -314,26 +318,39 @@ def main(argv=None) -> int:
         print(format_human(report))
 
     if args.update_quick:
-        with open(args.update_quick) as fh:
-            committed = json.load(fh)
-        committed["quick_benchmarks"] = benchmarks
-        committed["quick_messages"] = total_messages
-        committed["quick_scaling"] = scaling_table(benchmarks)
-        with open(args.update_quick, "w") as fh:
-            json.dump(committed, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        update_quick_section(args.update_quick, benchmarks,
+                             total_messages,
+                             quick_scaling=scaling_table(benchmarks))
 
+    if args.perf_profile:
+        emit_perf_profile(args.perf_profile, "sharding", report,
+                          quick=args.quick,
+                          meta={"messages": total_messages})
+
+    min_scaling = (args.min_scaling if args.min_scaling is not None
+                   else MIN_SCALING_2)
     if args.check:
         failures = check_regression(benchmarks, args.check, args.tolerance,
-                                    args.min_scaling, quick=args.quick)
+                                    min_scaling, quick=args.quick)
         if failures:
             print("\nsharding regression detected:", file=sys.stderr)
             for failure in failures:
                 print(f"  {failure}", file=sys.stderr)
             return 2
         print(f"\nregression guard: ok (tolerance {args.tolerance:.0%}, "
-              f"min 2-shard scaling {args.min_scaling:.2f}x, "
+              f"min 2-shard scaling {min_scaling:.2f}x, "
               f"vs {args.check})")
+    elif args.min_scaling is not None:
+        # Standalone hard floor (CI's cheap job-local sanity assert;
+        # trajectory regressions are the unified perf gate's business).
+        failures = scaling_floor_failures(benchmarks, args.min_scaling)
+        if failures:
+            print("\nscaling floor FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 2
+        print(f"\nscaling floor: ok "
+              f"(>= {args.min_scaling:.2f}x at 2 shards)")
     return 0
 
 

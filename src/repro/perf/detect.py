@@ -1,0 +1,213 @@
+"""Statistical degradation detectors over a metric's trajectory.
+
+Perun-style (`check` package) detection: a flat per-step tolerance
+band, however tight, silently absorbs any drift slower than the band —
+five PRs each 5% slower all pass a 30% check while the trajectory loses
+23%.  These detectors look at the whole per-commit series instead:
+
+* :func:`trend_detector` — least-squares linear *and* exponential
+  (log-linear) fits over the normalized trajectory; whichever fits
+  better (raw-space SSE) speaks for the series.  If the fitted total
+  drift across the window degrades beyond threshold with a coherent fit
+  (R² ≥ 0.5), the series is bleeding, and the first commit whose fitted
+  level crosses half the threshold is named.
+* :func:`mean_shift_detector` — windowed mean comparison at every split
+  point (≥ 2 points per side); the split with the worst degradation
+  beyond threshold names a step regression and its first bad commit.
+
+Both are **best-of-N aware**: each point carries the ``rounds`` of the
+best-of harness that produced it, and the noise allowance added to the
+structural thresholds scales as ``BASE_NOISE / sqrt(rounds)`` — a
+best-of-3 throughput number gets a tighter band than a single
+wall-clock sample, because taking the best of N samples suppresses
+scheduler noise roughly as fast.
+
+Improvements never degrade: all thresholds are one-sided in the
+metric's bad direction (``direction`` = ``higher`` means drops are bad;
+``lower`` means rises are bad).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.perf.profile import HIGHER
+
+#: One-sided noise allowance for a single-sample measurement; divided
+#: by sqrt(rounds) for best-of-N points.
+BASE_NOISE = 0.08
+
+#: Structural drift threshold for the trend detector (fractional total
+#: degradation across the window, before the noise allowance).
+TREND_DRIFT = 0.06
+
+#: Minimum fit quality for a trend verdict: a bleed is *consistent*.
+TREND_MIN_R2 = 0.5
+
+#: Structural threshold for the windowed mean-shift detector.
+SHIFT_THRESHOLD = 0.10
+
+#: Minimum points on each side of a mean-shift split.
+MIN_WINDOW = 2
+
+#: Minimum trajectory length for either detector.
+MIN_POINTS = 4
+
+
+@dataclass(frozen=True)
+class Point:
+    """One trajectory sample: a commit's value for one metric."""
+
+    commit: str
+    value: float
+    rounds: int = 1
+
+
+@dataclass
+class Verdict:
+    """One detector's judgement of one metric's trajectory."""
+
+    metric: str
+    detector: str
+    degraded: bool
+    #: Fractional degradation in the bad direction (positive = worse).
+    magnitude: float = 0.0
+    first_bad_commit: Optional[str] = None
+    first_bad_index: Optional[int] = None
+    details: str = ""
+
+
+def noise_allowance(points: Sequence[Point]) -> float:
+    """Noise term for the series: scaled by the *fewest* rounds any
+    point was measured with (the noisiest sample bounds the series)."""
+    rounds = min((max(1, p.rounds) for p in points), default=1)
+    return BASE_NOISE / math.sqrt(rounds)
+
+
+def _bad_fraction(change: float, direction: str) -> float:
+    """Signed fractional change → positive-is-worse magnitude."""
+    return -change if direction == HIGHER else change
+
+
+def _linear_fit(xs: Sequence[float], ys: Sequence[float]
+                ) -> Tuple[float, float]:
+    """Least-squares ``(intercept, slope)``."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        return mean_y, 0.0
+    slope = sum((x - mean_x) * (y - mean_y)
+                for x, y in zip(xs, ys)) / var_x
+    return mean_y - slope * mean_x, slope
+
+
+def _r_squared(ys: Sequence[float], fitted: Sequence[float]) -> float:
+    mean_y = sum(ys) / len(ys)
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - f) ** 2 for y, f in zip(ys, fitted))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_trajectory(values: Sequence[float]
+                   ) -> Tuple[str, List[float], float]:
+    """Fit linear and exponential models; return the better one as
+    ``(kind, fitted values, r²)`` judged by raw-space SSE."""
+    xs = list(range(len(values)))
+    intercept, slope = _linear_fit(xs, values)
+    linear = [intercept + slope * x for x in xs]
+    candidates = [("linear", linear)]
+    if all(v > 0 for v in values):
+        log_intercept, log_slope = _linear_fit(
+            xs, [math.log(v) for v in values])
+        exponential = [math.exp(log_intercept + log_slope * x)
+                       for x in xs]
+        candidates.append(("exponential", exponential))
+    best_kind, best_fit = min(
+        candidates,
+        key=lambda kf: sum((y - f) ** 2 for y, f in zip(values, kf[1])))
+    return best_kind, best_fit, _r_squared(values, best_fit)
+
+
+def trend_detector(metric: str, points: Sequence[Point],
+                   direction: str = HIGHER) -> Verdict:
+    """Catch slow bleeds: consistent degradation across the window."""
+    verdict = Verdict(metric=metric, detector="trend", degraded=False)
+    if len(points) < MIN_POINTS:
+        verdict.details = (f"{len(points)} point(s) < {MIN_POINTS}: "
+                           f"not enough history")
+        return verdict
+    values = [p.value for p in points]
+    kind, fitted, r2 = fit_trajectory(values)
+    start = fitted[0]
+    if start == 0:
+        verdict.details = "fitted start is zero"
+        return verdict
+    drift = (fitted[-1] - start) / abs(start)
+    bad = _bad_fraction(drift, direction)
+    threshold = TREND_DRIFT + noise_allowance(points)
+    verdict.magnitude = bad
+    verdict.details = (f"{kind} fit drift {drift:+.1%} over "
+                       f"{len(points)} commits, r2={r2:.2f}, "
+                       f"threshold {threshold:.1%}")
+    if bad <= threshold or r2 < TREND_MIN_R2:
+        return verdict
+    verdict.degraded = True
+    point_cut = threshold / 2.0
+    for i, level in enumerate(fitted):
+        if _bad_fraction((level - start) / abs(start),
+                         direction) > point_cut:
+            verdict.first_bad_index = i
+            verdict.first_bad_commit = points[i].commit
+            break
+    else:
+        verdict.first_bad_index = len(points) - 1
+        verdict.first_bad_commit = points[-1].commit
+    return verdict
+
+
+def mean_shift_detector(metric: str, points: Sequence[Point],
+                        direction: str = HIGHER) -> Verdict:
+    """Catch step regressions: a level change between two windows."""
+    verdict = Verdict(metric=metric, detector="mean-shift",
+                      degraded=False)
+    if len(points) < max(MIN_POINTS, 2 * MIN_WINDOW):
+        verdict.details = (f"{len(points)} point(s): not enough history "
+                           f"for two windows of {MIN_WINDOW}")
+        return verdict
+    values = [p.value for p in points]
+    threshold = SHIFT_THRESHOLD + noise_allowance(points)
+    worst_bad = 0.0
+    worst_split = None
+    for split in range(MIN_WINDOW, len(values) - MIN_WINDOW + 1):
+        before = sum(values[:split]) / split
+        after = sum(values[split:]) / (len(values) - split)
+        if before == 0:
+            continue
+        bad = _bad_fraction((after - before) / abs(before), direction)
+        if bad > worst_bad:
+            worst_bad, worst_split = bad, split
+    verdict.magnitude = worst_bad
+    verdict.details = (f"worst window degradation {worst_bad:.1%} "
+                       f"(threshold {threshold:.1%})")
+    if worst_split is not None and worst_bad > threshold:
+        verdict.degraded = True
+        verdict.first_bad_index = worst_split
+        verdict.first_bad_commit = points[worst_split].commit
+        verdict.details += f", window split at index {worst_split}"
+    return verdict
+
+
+DETECTORS = (trend_detector, mean_shift_detector)
+
+
+def run_detectors(metric: str, points: Sequence[Point],
+                  direction: str = HIGHER) -> List[Verdict]:
+    """Every detector's verdict for one metric trajectory."""
+    return [detector(metric, points, direction)
+            for detector in DETECTORS]

@@ -1,0 +1,266 @@
+"""Adapters from the committed ``BENCH_*.json`` snapshots (and the CI
+report files the bench CLIs write) into unified profile metrics.
+
+The five historical formats — ``BENCH_pipeline.json`` (with its
+``interp_tier`` section), ``BENCH_msgpath.json``,
+``BENCH_sharding.json``, ``BENCH_obs.json``, ``BENCH_traffic.json`` —
+stay on disk exactly as their writers produce them; this module is the
+migration story: :func:`load_report` sniffs any of them (or a native
+``repro.perf/1`` profile) and returns ``{metric name: Metric}``, so the
+perf gate and the history store never care which era a file came from.
+
+Metric naming: ``<source>.<benchmark>.<quantity>`` with the source
+prefixes ``pipeline`` / ``interp`` / ``msgpath`` / ``sharding`` /
+``obs`` / ``traffic``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from typing import Dict, Mapping, Tuple
+
+from repro.perf.profile import LOWER, Metric, validate
+
+#: The committed snapshot files a repo checkout (or git ref) provides.
+SNAPSHOT_FILES = ("BENCH_pipeline.json", "BENCH_msgpath.json",
+                  "BENCH_sharding.json", "BENCH_obs.json",
+                  "BENCH_traffic.json")
+
+
+# ---------------------------------------------------------------------------
+# Per-format adapters
+# ---------------------------------------------------------------------------
+
+def from_pipeline(payload: Mapping[str, object],
+                  quick: bool = False) -> Dict[str, Metric]:
+    """``BENCH_pipeline.json`` — wall times are informational (the gate
+    policy assigns them no tolerance), the interp_tier section is the
+    gated interpreter throughput."""
+    metrics: Dict[str, Metric] = {}
+    if "total_seconds" in payload:
+        metrics["pipeline.total_seconds"] = Metric(
+            float(payload["total_seconds"]), unit="s", direction=LOWER)
+        for phase, secs in payload.get("phases_seconds", {}).items():
+            metrics[f"pipeline.phase:{phase}.seconds"] = Metric(
+                float(secs), unit="s", direction=LOWER)
+    section = payload.get("interp_tier")
+    if section:
+        metrics.update(from_interp_section(section))
+    return metrics
+
+
+def from_interp_section(section: Mapping[str, object],
+                        quick: bool = False) -> Dict[str, Metric]:
+    rounds = int(section.get("rounds", 1))
+    out: Dict[str, Metric] = {}
+    for key in ("closure_steps_per_sec", "vm_steps_per_sec"):
+        if key in section:
+            out[f"interp.{key}"] = Metric(float(section[key]),
+                                          unit="steps/s", rounds=rounds)
+    if "speedup" in section:
+        out["interp.speedup"] = Metric(float(section["speedup"]),
+                                       unit="x", rounds=rounds)
+    return out
+
+
+def _benchmark_set(payload: Mapping[str, object],
+                   quick: bool) -> Mapping[str, Mapping[str, object]]:
+    """A report's benchmark mapping; quick comparisons prefer the
+    committed ``quick_benchmarks`` section when one exists (quick-mode
+    numbers are systematically lower, so like compares with like)."""
+    if quick and payload.get("quick_benchmarks"):
+        return payload["quick_benchmarks"]  # type: ignore[return-value]
+    return payload.get("benchmarks", {})  # type: ignore[return-value]
+
+
+def from_msgpath(payload: Mapping[str, object],
+                 quick: bool = False) -> Dict[str, Metric]:
+    metrics: Dict[str, Metric] = {}
+    for key, entry in _benchmark_set(payload, quick).items():
+        rounds = int(entry.get("rounds", 1))
+        metrics[f"msgpath.{key}.msgs_per_sec"] = Metric(
+            float(entry["msgs_per_sec"]), unit="msgs/s", rounds=rounds)
+        if "steps_per_sec" in entry:
+            metrics[f"msgpath.{key}.steps_per_sec"] = Metric(
+                float(entry["steps_per_sec"]), unit="steps/s",
+                rounds=rounds)
+    return metrics
+
+
+def from_sharding(payload: Mapping[str, object],
+                  quick: bool = False) -> Dict[str, Metric]:
+    metrics: Dict[str, Metric] = {}
+    benchmarks = _benchmark_set(payload, quick)
+    for key, entry in benchmarks.items():
+        metrics[f"sharding.{key}.msgs_per_sec"] = Metric(
+            float(entry["msgs_per_sec"]), unit="msgs/s")
+    scaling = (payload.get("quick_scaling")
+               if quick and payload.get("quick_scaling")
+               else payload.get("scaling", {}))
+    base = benchmarks.get("shards:1", {}).get("msgs_per_sec")
+    if not scaling and base:
+        scaling = {key: float(entry["msgs_per_sec"]) / float(base)
+                   for key, entry in benchmarks.items()}
+    for key, ratio in (scaling or {}).items():
+        if key == "shards:1":
+            continue
+        metrics[f"sharding.scaling.{key}"] = Metric(float(ratio),
+                                                    unit="x")
+    return metrics
+
+
+def from_obs(payload: Mapping[str, object],
+             quick: bool = False) -> Dict[str, Metric]:
+    """Timing histograms become gated metrics; exact counters stay the
+    business of :func:`repro.obs.diff.diff_reports`, which the perf
+    gate invokes on the raw payloads."""
+    metrics: Dict[str, Metric] = {}
+    hists = payload.get("metrics", {}).get("histograms", {})
+    for name, data in hists.items():
+        if not name.endswith("_ns"):
+            continue
+        total = data.get("sum")
+        if total is None:
+            continue
+        metrics[f"obs.{name}.sum"] = Metric(float(total), unit="ns",
+                                            direction=LOWER)
+    return metrics
+
+
+def from_traffic(payload: Mapping[str, object],
+                 quick: bool = False) -> Dict[str, Metric]:
+    slo = payload.get("slo", {})
+    metrics: Dict[str, Metric] = {}
+    for key, unit, direction in (
+            ("validation_lag_p50", "msgs", LOWER),
+            ("validation_lag_p99", "msgs", LOWER),
+            ("validation_lag_max", "msgs", LOWER),
+            ("barrier_wait_ticks_p99", "ticks", LOWER),
+            ("ticks", "ticks", LOWER),
+            ("kills_per_sec", "1/s", LOWER),
+            ("shed_per_sec", "1/s", LOWER)):
+        if key in slo:
+            metrics[f"traffic.{key}"] = Metric(float(slo[key]), unit=unit,
+                                               direction=direction)
+    totals = payload.get("totals", {})
+    if "completed" in totals:
+        metrics["traffic.completed"] = Metric(float(totals["completed"]),
+                                              unit="sessions")
+    if "wall_s" in payload:
+        metrics["traffic.wall_s"] = Metric(float(payload["wall_s"]),
+                                           unit="s", direction=LOWER)
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Sniffing loader
+# ---------------------------------------------------------------------------
+
+#: (predicate, source name, adapter) in sniff order.
+_SNIFFERS = (
+    (lambda p: str(p.get("schema", "")).startswith("repro.perf/"),
+     "profile", None),
+    (lambda p: p.get("harness") == "repro.bench.msgpath",
+     "msgpath", from_msgpath),
+    (lambda p: p.get("harness") == "repro.bench.sharding",
+     "sharding", from_sharding),
+    (lambda p: "pipeline" in p or "interp_tier" in p,
+     "pipeline", from_pipeline),
+    (lambda p: isinstance(p.get("metrics"), dict)
+     and "counters" in p.get("metrics", {}),
+     "obs", from_obs),
+    (lambda p: "slo" in p and "totals" in p,
+     "traffic", from_traffic),
+)
+
+
+def sniff(payload: Mapping[str, object]) -> Tuple[str, object]:
+    """``(source name, adapter)`` for a parsed report payload."""
+    for predicate, source, adapter in _SNIFFERS:
+        if predicate(payload):
+            return source, adapter
+    raise ValueError("unrecognized report format (expected a repro.perf "
+                     "profile or one of the BENCH_* report shapes)")
+
+
+def metrics_from_payload(payload: Mapping[str, object],
+                         quick: bool = False) -> Dict[str, Metric]:
+    """Unified metrics from any known report payload."""
+    source, adapter = sniff(payload)
+    if adapter is None:                       # native profile
+        from repro.perf.profile import metrics_of
+        return metrics_of(validate(payload))
+    return adapter(payload, quick=quick)
+
+
+def load_report(path: str, quick: bool = False) -> Dict[str, Metric]:
+    with open(path, encoding="utf-8") as handle:
+        return metrics_from_payload(json.load(handle), quick=quick)
+
+
+def collect_committed(root: str = ".", quick: bool = False
+                      ) -> Tuple[Dict[str, Metric], Dict[str, dict]]:
+    """Merge every committed snapshot under ``root``.
+
+    Returns ``(metrics, raw payloads keyed by source)`` — the raw
+    payloads let the gate run the obs exact-counter diff alongside the
+    metric tolerances.
+    """
+    import os
+    metrics: Dict[str, Metric] = {}
+    raw: Dict[str, dict] = {}
+    for name in SNAPSHOT_FILES:
+        path = os.path.join(root, name)
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        source, _adapter = sniff(payload)
+        raw[source] = payload
+        metrics.update(metrics_from_payload(payload, quick=quick))
+    return metrics, raw
+
+
+def collect_git_ref(ref: str, repo: str = ".", quick: bool = False
+                    ) -> Tuple[Dict[str, Metric], Dict[str, dict]]:
+    """Like :func:`collect_committed`, reading the snapshots as they
+    exist at a git ref (``git show ref:FILE``)."""
+    metrics: Dict[str, Metric] = {}
+    raw: Dict[str, dict] = {}
+    for name in SNAPSHOT_FILES:
+        out = subprocess.run(
+            ["git", "-C", repo, "show", f"{ref}:{name}"],
+            capture_output=True, text=True, timeout=30)
+        if out.returncode != 0:
+            continue
+        try:
+            payload = json.loads(out.stdout)
+        except ValueError:
+            continue
+        source, _adapter = sniff(payload)
+        raw[source] = payload
+        metrics.update(metrics_from_payload(payload, quick=quick))
+    return metrics, raw
+
+
+def resolve_baseline(against: str, repo: str = ".", quick: bool = False
+                     ) -> Tuple[Dict[str, Metric], Dict[str, dict], str]:
+    """Resolve ``--against``: a profile path, a directory of committed
+    snapshots, or a git ref.  Returns ``(metrics, raw, description)``."""
+    import os
+    if os.path.isdir(against):
+        metrics, raw = collect_committed(against, quick=quick)
+        return metrics, raw, f"committed snapshots under {against!r}"
+    if os.path.isfile(against):
+        metrics = load_report(against, quick=quick)
+        return metrics, {}, f"profile {against!r}"
+    probe = subprocess.run(
+        ["git", "-C", repo, "rev-parse", "--verify", "--quiet",
+         f"{against}^{{commit}}"],
+        capture_output=True, text=True, timeout=30)
+    if probe.returncode == 0:
+        metrics, raw = collect_git_ref(against, repo=repo, quick=quick)
+        return metrics, raw, f"git ref {against!r} ({probe.stdout.strip()[:12]})"
+    raise FileNotFoundError(
+        f"--against {against!r} is neither a path nor a git ref")

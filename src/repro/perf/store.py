@@ -1,0 +1,151 @@
+"""The ``perf_history/`` store: one profile per recorded commit.
+
+Entries are plain profile JSON files named ``NNNN-<sha>.json`` — the
+zero-padded index gives a total order that survives shallow clones and
+rebases (git dates do not), and the sha ties the entry back to the
+commit it measured.  The store is append-only: ``record`` assigns the
+next index; re-recording the same sha replaces that sha's entry in
+place so a nightly re-run refreshes rather than duplicates.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.perf import profile as profile_mod
+from repro.perf.detect import Point
+from repro.perf.profile import Metric
+
+#: Default store location (repo root).
+DEFAULT_DIR = "perf_history"
+
+ENTRY_RE = re.compile(r"^(\d{4})-([0-9a-zA-Z_.-]{4,64})\.json$")
+
+
+@dataclass
+class Entry:
+    index: int
+    commit: str
+    path: str
+    profile: dict
+
+    @property
+    def quick(self) -> bool:
+        return bool(self.profile.get("environment", {}).get("quick"))
+
+    @property
+    def metrics(self) -> Dict[str, Metric]:
+        return profile_mod.metrics_of(self.profile)
+
+
+def entries(history_dir: str = DEFAULT_DIR) -> List[Entry]:
+    """All history entries in index order (missing dir → empty)."""
+    if not os.path.isdir(history_dir):
+        return []
+    found: List[Entry] = []
+    for name in sorted(os.listdir(history_dir)):
+        match = ENTRY_RE.match(name)
+        if not match:
+            continue
+        path = os.path.join(history_dir, name)
+        found.append(Entry(index=int(match.group(1)),
+                           commit=match.group(2),
+                           path=path,
+                           profile=profile_mod.load(path)))
+    found.sort(key=lambda e: e.index)
+    return found
+
+
+def record(prof: dict, history_dir: str = DEFAULT_DIR,
+           commit: Optional[str] = None) -> str:
+    """Append ``prof`` to the store (or replace its commit's entry)."""
+    sha = commit or str(prof.get("environment", {})
+                        .get("commit") or "worktree")
+    prof.setdefault("environment", {})["commit"] = sha
+    os.makedirs(history_dir, exist_ok=True)
+    existing = entries(history_dir)
+    short = sha[:12]
+    for entry in existing:
+        if entry.commit == short:
+            profile_mod.dump(prof, entry.path)
+            return entry.path
+    index = existing[-1].index + 1 if existing else 1
+    path = os.path.join(history_dir, f"{index:04d}-{short}.json")
+    profile_mod.dump(prof, path)
+    return path
+
+
+def trajectory(history: Sequence[Entry], metric: str,
+               quick: Optional[bool] = None) -> List[Point]:
+    """The per-commit series for one metric.
+
+    ``quick`` filters entries to one measurement mode — quick-mode and
+    full-size numbers are systematically different, so a trajectory
+    must never mix them.
+    """
+    points: List[Point] = []
+    for entry in history:
+        if quick is not None and entry.quick != quick:
+            continue
+        found = entry.metrics.get(metric)
+        if found is None:
+            continue
+        points.append(Point(commit=entry.commit, value=found.value,
+                            rounds=found.rounds))
+    return points
+
+
+def log_lines(history: Sequence[Entry],
+              metric: Optional[str] = None) -> List[str]:
+    """Human-readable ``log`` output (deterministic for fixed input)."""
+    lines: List[str] = []
+    for entry in history:
+        env = entry.profile.get("environment", {})
+        mode = "quick" if entry.quick else "full"
+        if metric is None:
+            lines.append(
+                f"{entry.index:04d}  {entry.commit:<12}  "
+                f"{len(entry.metrics):>3} metrics  {mode:<5}  "
+                f"py{env.get('python', '?')}  "
+                f"{env.get('recorded_at', '')}".rstrip())
+        else:
+            found = entry.metrics.get(metric)
+            value = (f"{found.value:,.2f} {found.unit}".rstrip()
+                     if found else "-")
+            lines.append(f"{entry.index:04d}  {entry.commit:<12}  "
+                         f"{value}")
+    return lines
+
+
+def diff_lines(old: Dict[str, Metric],
+               new: Dict[str, Metric]) -> List[str]:
+    """Deterministic metric-level diff between two profiles."""
+    lines: List[str] = []
+    for name in sorted(set(old) | set(new)):
+        a, b = old.get(name), new.get(name)
+        if a is None:
+            lines.append(f"+ {name}  {b.value:,.2f} {b.unit}".rstrip())
+        elif b is None:
+            lines.append(f"- {name}  {a.value:,.2f} {a.unit}".rstrip())
+        elif a.value != b.value:
+            delta = ((b.value - a.value) / a.value
+                     if a.value else float("inf"))
+            lines.append(f"~ {name}  {a.value:,.2f} -> {b.value:,.2f} "
+                         f"{b.unit} ({delta:+.1%})".replace("  (", " ("))
+    return lines
+
+
+def resolve_entry(history: Sequence[Entry], ref: str) -> Entry:
+    """Find an entry by index (``3`` / ``0003``) or commit prefix."""
+    if re.fullmatch(r"\d+", ref):
+        index = int(ref)
+        for entry in history:
+            if entry.index == index:
+                return entry
+    for entry in history:
+        if entry.commit.startswith(ref):
+            return entry
+    raise KeyError(f"no history entry matches {ref!r}")
